@@ -1,0 +1,50 @@
+// Ablation: shared-Ethernet vs contention-free network for the NOW case.
+//
+// The paper's NOW figures assume a contention-free network (their
+// captions); the architecture description says shared Ethernet.  This
+// ablation quantifies the difference: with a single shared server the
+// application's own communication saturates the medium well before the
+// instrumentation traffic matters.
+#include <iostream>
+#include <vector>
+
+#include "experiments/runner.hpp"
+#include "experiments/table.hpp"
+#include "rocc/config.hpp"
+
+int main() {
+  using namespace paradyn;
+  constexpr std::size_t kReps = 2;
+
+  const std::vector<double> nodes{1, 2, 4, 8, 16, 32};
+  const std::vector<std::string> names{"contention-free", "shared Ethernet"};
+  std::vector<std::vector<double>> app(2), lat(2), net(2);
+
+  for (const double n : nodes) {
+    for (int shared = 0; shared < 2; ++shared) {
+      auto c = rocc::SystemConfig::now(static_cast<std::int32_t>(n));
+      c.duration_us = 4e6;
+      c.batch_size = 32;
+      c.contention = shared ? rocc::NetworkContention::SharedSingleServer
+                            : rocc::NetworkContention::ContentionFree;
+      const experiments::ReplicationSet rs(c, kReps);
+      const auto s = static_cast<std::size_t>(shared);
+      app[s].push_back(rs.mean([](const rocc::SimulationResult& r) { return r.app_cpu_util_pct; }));
+      lat[s].push_back(rs.mean([](const rocc::SimulationResult& r) { return r.latency_sec() * 1e3; }));
+      net[s].push_back(rs.mean([](const rocc::SimulationResult& r) { return r.network_util_pct; }));
+    }
+  }
+
+  std::cout << "=== Ablation: NOW network contention model (SP = 40 ms, BF 32) ===\n";
+  experiments::print_series(std::cout, "Application CPU utilization/node (%)", "nodes", nodes,
+                            names, app);
+  experiments::print_series(std::cout, "Monitoring latency/sample (ms)", "nodes", nodes, names,
+                            lat);
+  experiments::print_series(std::cout, "Network occupancy (% of one server)", "nodes", nodes,
+                            names, net);
+  std::cout << "\nOn a real shared Ethernet the application's own messages saturate the\n"
+            << "segment near ~10 nodes and application progress collapses — which is\n"
+            << "why the paper (and our defaults) evaluate the NOW IS questions on a\n"
+            << "contention-free network: they isolate IS effects from medium effects.\n";
+  return 0;
+}

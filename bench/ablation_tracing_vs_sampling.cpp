@@ -1,0 +1,55 @@
+// Ablation: sampling-based vs trace-based data collection.
+//
+// Paradyn's design goal is "detailed, flexible performance information
+// without incurring the space and time overheads typically associated with
+// trace-based tools" (Section 2).  This ablation quantifies that: the same
+// system under timer-driven sampling vs per-event tracing (one record per
+// computation/communication cycle), across sampling periods.
+#include <iostream>
+#include <vector>
+
+#include "experiments/runner.hpp"
+#include "experiments/table.hpp"
+#include "rocc/config.hpp"
+
+int main() {
+  using namespace paradyn;
+  constexpr std::size_t kReps = 3;
+
+  const std::vector<double> periods_ms{5, 10, 20, 40, 64};
+  const std::vector<std::string> names{"sampling CF", "sampling BF(32)", "tracing CF",
+                                       "tracing BF(32)"};
+  std::vector<std::vector<double>> pd(4), app(4), volume(4);
+
+  for (const double sp : periods_ms) {
+    for (std::size_t v = 0; v < names.size(); ++v) {
+      auto c = rocc::SystemConfig::now(4);
+      c.duration_us = 5e6;
+      c.sampling_period_us = sp * 1'000.0;
+      c.batch_size = (v % 2 == 1) ? 32 : 1;
+      c.instrumentation_mode =
+          v >= 2 ? rocc::InstrumentationMode::Tracing : rocc::InstrumentationMode::Sampling;
+      const experiments::ReplicationSet rs(c, kReps);
+      pd[v].push_back(rs.mean([](const rocc::SimulationResult& r) { return r.pd_cpu_util_pct; }));
+      app[v].push_back(rs.mean([](const rocc::SimulationResult& r) { return r.app_cpu_util_pct; }));
+      volume[v].push_back(rs.mean([](const rocc::SimulationResult& r) {
+        return static_cast<double>(r.samples_generated) / (r.duration_us / 1e6);
+      }));
+    }
+  }
+
+  std::cout << "=== Ablation: sampling vs tracing instrumentation (NOW, 4 nodes) ===\n";
+  experiments::print_series(std::cout, "Data volume (records/sec, whole system)",
+                            "sampling period (ms)", periods_ms, names, volume, 0);
+  experiments::print_series(std::cout, "Pd CPU utilization/node (%)", "sampling period (ms)",
+                            periods_ms, names, pd);
+  experiments::print_series(std::cout, "Application CPU utilization/node (%)",
+                            "sampling period (ms)", periods_ms, names, app);
+
+  std::cout << "\nTracing volume is set by the application's event rate (~cycles/sec),\n"
+            << "not the sampling period, so its overhead neither shrinks with longer\n"
+            << "periods nor stays bounded on busier programs — the cost profile that\n"
+            << "motivated Paradyn's periodic-sampling IS.  Batching (BF) softens but\n"
+            << "does not remove the gap.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro-benchmarks of the simulation engine and statistics substrate
+// (google-benchmark).  These guard the performance envelope that makes the
+// paper-scale experiments (256-node MPP, 2^4 r factorials) cheap to run.
+#include <benchmark/benchmark.h>
+
+#include "des/engine.hpp"
+#include "des/random.hpp"
+#include "rocc/simulation.hpp"
+#include "stats/distributions.hpp"
+#include "stats/fitting.hpp"
+
+namespace {
+
+using namespace paradyn;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  des::RngStream rng(1, 1);
+  for (auto _ : state) {
+    des::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)q.push(rng.next_double(), [] {});
+    }
+    while (auto e = q.pop()) benchmark::DoNotOptimize(e->time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1'000)->Arg(100'000);
+
+void BM_EngineSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Engine engine;
+    std::uint64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 100'000) (void)engine.schedule_after(1.0, tick);
+    };
+    (void)engine.schedule_after(1.0, tick);
+    (void)engine.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_EngineSelfScheduling);
+
+void BM_Pcg32(benchmark::State& state) {
+  des::RngStream rng(7, 7);
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.next_double();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Pcg32);
+
+void BM_SampleLognormal(benchmark::State& state) {
+  const auto dist = stats::Lognormal::from_mean_stddev(2213.0, 3034.0);
+  des::RngStream rng(7, 9);
+  double acc = 0.0;
+  for (auto _ : state) acc += dist.sample(rng);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SampleLognormal);
+
+void BM_SampleExponential(benchmark::State& state) {
+  const stats::Exponential dist(223.0);
+  des::RngStream rng(7, 11);
+  double acc = 0.0;
+  for (auto _ : state) acc += dist.sample(rng);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SampleExponential);
+
+void BM_FitLognormal(benchmark::State& state) {
+  const auto dist = stats::Lognormal::from_mean_stddev(2213.0, 3034.0);
+  des::RngStream rng(5, 5);
+  std::vector<double> data;
+  for (int i = 0; i < 10'000; ++i) data.push_back(dist.sample(rng));
+  for (auto _ : state) {
+    const auto fit = stats::fit_lognormal(data);
+    benchmark::DoNotOptimize(fit.mu());
+  }
+}
+BENCHMARK(BM_FitLognormal);
+
+void BM_NowSimulation(benchmark::State& state) {
+  const auto nodes = static_cast<std::int32_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto cfg = rocc::SystemConfig::now(nodes);
+    cfg.duration_us = 1e6;  // 1 simulated second
+    cfg.sampling_period_us = 40'000.0;
+    rocc::Simulation sim(cfg);
+    const auto result = sim.run();
+    events += sim.engine().events_processed();
+    benchmark::DoNotOptimize(result.pd_cpu_time_per_node_us);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("events/s == items/s; 1 simulated second per iteration");
+}
+BENCHMARK(BM_NowSimulation)->Arg(8)->Arg(64);
+
+void BM_MppTreeSimulation(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto cfg = rocc::SystemConfig::mpp(64, rocc::ForwardingTopology::BinaryTree);
+    cfg.duration_us = 1e6;
+    cfg.batch_size = 32;
+    rocc::Simulation sim(cfg);
+    const auto result = sim.run();
+    events += sim.engine().events_processed();
+    benchmark::DoNotOptimize(result.latency_us.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_MppTreeSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Shared sweep driver for the SMP figures 22-24: four metrics as a
+// function of one swept parameter, for 1-4 Paradyn daemons, under CF and
+// BF, plus an uninstrumented baseline where meaningful.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments/runner.hpp"
+#include "experiments/table.hpp"
+#include "rocc/config.hpp"
+
+namespace paradyn::bench {
+
+/// For each policy (CF, BF batch 32) print IS utilization, latency, and
+/// application utilization vs `xs`, one series per daemon count 1..4 plus
+/// an uninstrumented reference.
+inline void smp_daemon_sweep(const std::string& figure, const std::vector<double>& xs,
+                             const std::string& x_label,
+                             const std::function<rocc::SystemConfig(double, int)>& make,
+                             std::size_t reps) {
+  for (const int batch : {1, 32}) {
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> is_util, lat, app;
+    for (int daemons = 1; daemons <= 4; ++daemons) {
+      names.push_back(std::to_string(daemons) + " Pd" + (daemons > 1 ? "s" : ""));
+      std::vector<double> is_row, lat_row, app_row;
+      for (const double x : xs) {
+        auto c = make(x, daemons);
+        c.batch_size = batch;
+        const experiments::ReplicationSet rs(c, reps);
+        is_row.push_back(
+            rs.mean([](const rocc::SimulationResult& r) { return r.is_cpu_util_pct; }));
+        lat_row.push_back(
+            rs.mean([](const rocc::SimulationResult& r) { return r.latency_sec(); }));
+        app_row.push_back(
+            rs.mean([](const rocc::SimulationResult& r) { return r.app_cpu_util_pct; }));
+      }
+      is_util.push_back(std::move(is_row));
+      lat.push_back(std::move(lat_row));
+      app.push_back(std::move(app_row));
+    }
+    // Uninstrumented baseline for the application-utilization panel.
+    {
+      names.push_back("uninstr.");
+      std::vector<double> is_row, lat_row, app_row;
+      for (const double x : xs) {
+        auto c = make(x, 1);
+        c.instrumentation_enabled = false;
+        const experiments::ReplicationSet rs(c, reps);
+        is_row.push_back(0.0);
+        lat_row.push_back(0.0);
+        app_row.push_back(
+            rs.mean([](const rocc::SimulationResult& r) { return r.app_cpu_util_pct; }));
+      }
+      is_util.push_back(std::move(is_row));
+      lat.push_back(std::move(lat_row));
+      app.push_back(std::move(app_row));
+    }
+
+    std::cout << "=== " << figure << (batch == 1 ? "a (CF policy)" : "b (BF policy, batch=32)")
+              << " ===\n";
+    experiments::print_series(std::cout, "IS CPU utilization/node (%)", x_label, xs, names,
+                              is_util);
+    experiments::print_series(std::cout, "Monitoring latency/sample (sec)", x_label, xs, names,
+                              lat, 6);
+    experiments::print_series(std::cout, "Application CPU utilization/node (%)", x_label, xs,
+                              names, app);
+    std::cout << '\n';
+  }
+}
+
+}  // namespace paradyn::bench

@@ -1,0 +1,60 @@
+// Table 3: comparison of measurements of NAS benchmark pvmbt on an SP-2
+// with the simulation results of the same case.
+//
+// "Measurement" here is the synthetic SP-2 trace (the substitution for the
+// AIX traces): summing its application/Pd CPU occupancy gives the
+// measured CPU times.  The simulation runs the ROCC model with the Table 2
+// parameterization of the same case (1 node, 40 ms sampling, CF) and
+// reports the same two quantities.  The paper's values are shown for
+// reference (85.71 s / 0.74 s measured vs 87.96 s / 0.59 s simulated over
+// its ~100 s benchmark run).
+#include <iostream>
+
+#include "experiments/table.hpp"
+#include "rocc/simulation.hpp"
+#include "trace/characterize.hpp"
+#include "trace/generator.hpp"
+
+int main() {
+  using namespace paradyn;
+  using experiments::fmt;
+
+  constexpr double kDuration = 100e6;  // 100 s, the paper's benchmark length
+
+  // "Measured": total occupancy in the synthetic AIX trace.
+  const auto records =
+      trace::generate_trace(trace::Sp2TraceModel::paper_pvmbt(kDuration), 1, 42);
+  double measured_app = 0.0;
+  double measured_pd = 0.0;
+  for (const auto& r : records) {
+    if (r.resource != trace::ResourceKind::Cpu) continue;
+    if (r.pclass == trace::ProcessClass::Application) measured_app += r.duration_us;
+    if (r.pclass == trace::ProcessClass::ParadynDaemon) measured_pd += r.duration_us;
+  }
+
+  // Simulated: the ROCC model of the same case.
+  auto cfg = rocc::SystemConfig::now(1);
+  cfg.duration_us = kDuration;
+  cfg.sampling_period_us = 40'000.0;
+  cfg.batch_size = 1;                   // the pre-release Paradyn IS used CF
+  cfg.main_on_dedicated_host = true;    // Figure 29: main runs on its own node
+  const auto sim = rocc::run_simulation(cfg);
+
+  experiments::TablePrinter table(
+      "Table 3 — measurement vs simulation, NAS pvmbt case (100 s, 1 node, CF)",
+      {"Type of experiment", "Application CPU time (sec)", "Pd CPU time (sec)"});
+  table.add_row({"Measurement based (synthetic trace)", fmt(measured_app / 1e6, 2),
+                 fmt(measured_pd / 1e6, 2)});
+  table.add_row({"Simulation model based", fmt(sim.app_cpu_time_sec(), 2),
+                 fmt(sim.pd_cpu_time_sec(), 2)});
+  table.add_row({"(paper: measurement)", "85.71", "0.74"});
+  table.add_row({"(paper: simulation)", "87.96", "0.59"});
+  table.print(std::cout);
+
+  const double app_err =
+      100.0 * (sim.app_cpu_time_sec() - measured_app / 1e6) / (measured_app / 1e6);
+  std::cout << "\nSimulated application CPU time within " << fmt(app_err, 1)
+            << "% of the trace total — the same close agreement the paper uses to\n"
+            << "validate the parameterized ROCC model (its Table 3 shows ~2.6%).\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// End-to-end demonstration of what the Paradyn IS exists for: the
+// Performance Consultant's on-the-fly bottleneck search (W3), fed by
+// instrumentation samples that traverse the full collection/forwarding
+// path of the ROCC model.
+//
+// Scenario: an 8-node NOW runs an SPMD program with a barrier every 100 ms.
+// Node 5 is "sick" — its computation bursts are 4x longer — so it is
+// CPU-bound while every other node waits at the barrier (SyncWaiting).
+// The consultant, consuming only delivered samples, must locate both.
+#include <cstdio>
+#include <memory>
+
+#include "consultant/consultant.hpp"
+#include "rocc/simulation.hpp"
+
+int main() {
+  using namespace paradyn;
+
+  auto cfg = rocc::SystemConfig::now(8);
+  cfg.duration_us = 20e6;
+  cfg.sampling_period_us = 40'000.0;
+  cfg.batch_size = 8;
+  cfg.barrier_every_cycles = 40;  // SPMD: barrier after each block of work
+  cfg.main_on_dedicated_host = true;
+
+  // Node 5's computation is 4x heavier: the bottleneck to find.
+  rocc::AppModel sick = cfg.app;
+  sick.cpu_burst =
+      std::make_shared<stats::Lognormal>(stats::Lognormal::from_mean_stddev(8852.0, 12136.0));
+  cfg.app_overrides[5] = sick;
+
+  rocc::Simulation sim(cfg);
+  consultant::ConsultantConfig pc_cfg;
+  pc_cfg.cpu_bound_threshold = 0.75;  // SPMD with barriers: 75% busy is hot
+  consultant::PerformanceConsultant pc(pc_cfg);
+  sim.main_process()->set_sample_sink(
+      [&pc](const rocc::Sample& s) { pc.observe(s); });
+
+  std::puts("Running 20 simulated seconds of an 8-node SPMD program with a barrier");
+  std::puts("every 40 work cycles; node 5's computation is 4x heavier.\n");
+  const auto result = sim.run();
+
+  std::printf("samples delivered to main Paradyn process: %llu (latency %.2f ms avg)\n\n",
+              static_cast<unsigned long long>(result.samples_delivered),
+              result.latency_us.mean() / 1e3);
+
+  std::puts("per-node windowed metric means seen by the consultant:");
+  for (const auto node : pc.known_nodes()) {
+    std::printf("  node %d: cpu %.2f  comm %.2f  wait %.2f\n", node,
+                pc.node_mean(consultant::Hypothesis::CpuBound, node),
+                pc.node_mean(consultant::Hypothesis::CommunicationBound, node),
+                pc.node_mean(consultant::Hypothesis::SyncWaiting, node));
+  }
+
+  std::puts("\nPerformance Consultant findings (why @ where):");
+  const auto findings = pc.search_and_record();
+  if (findings.empty()) std::puts("  (none)");
+  for (const auto& f : findings) {
+    std::printf("  %-18s @ %-14s observed %.2f (threshold %.2f, n=%zu)\n",
+                consultant::to_string(f.hypothesis), f.focus.describe().c_str(), f.observed,
+                f.threshold, f.samples);
+  }
+
+  std::puts("\nepisodes (the W3 'when' axis):");
+  for (const auto& e : pc.history()) {
+    std::printf("  %-18s @ %-14s confirmed from t=%.1f s\n",
+                consultant::to_string(e.hypothesis), e.focus.describe().c_str(),
+                e.first_confirmed_us / 1e6);
+  }
+  std::puts("\nThe search isolates node 5 as CPU-bound while its neighbors show the");
+  std::puts("synchronization-waiting signature — found purely from IS samples.");
+  return 0;
+}

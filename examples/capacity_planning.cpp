@@ -1,0 +1,78 @@
+// Capacity planning with the ROCC model: "with an appropriate model for
+// the IS, users can specify tolerable limits for IS overheads relative to
+// the needs of their applications" (paper, Section 7).
+//
+// Given a perturbation budget (max application slowdown vs uninstrumented)
+// and a monitoring-latency budget, search the (sampling period, batch
+// size) space for the *fastest* sampling configuration that stays inside
+// both budgets on a given cluster size.
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "rocc/simulation.hpp"
+
+namespace {
+
+struct Plan {
+  double sampling_period_ms;
+  int batch;
+  double slowdown_pct;
+  double latency_ms;
+};
+
+std::optional<Plan> evaluate(int nodes, double sp_ms, int batch, double baseline_app_util) {
+  auto cfg = paradyn::rocc::SystemConfig::now(nodes);
+  cfg.duration_us = 3e6;
+  cfg.sampling_period_us = sp_ms * 1'000.0;
+  cfg.batch_size = batch;
+  const auto r = paradyn::rocc::run_simulation(cfg);
+  if (r.samples_delivered == 0) return std::nullopt;
+  const double slowdown = 100.0 * (baseline_app_util - r.app_cpu_util_pct) / baseline_app_util;
+  return Plan{sp_ms, batch, slowdown, r.latency_sec() * 1e3};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kNodes = 16;
+  constexpr double kMaxSlowdownPct = 3.0;  // user's perturbation budget
+  constexpr double kMaxLatencyMs = 25.0;   // bottleneck search needs fresh data
+
+  // Uninstrumented baseline.
+  auto base = paradyn::rocc::SystemConfig::now(kNodes);
+  base.duration_us = 3e6;
+  base.instrumentation_enabled = false;
+  const double baseline_util = paradyn::rocc::run_simulation(base).app_cpu_util_pct;
+
+  std::printf("Capacity planning on a %d-node NOW: slowdown <= %.1f%%, latency <= %.0f ms\n\n",
+              kNodes, kMaxSlowdownPct, kMaxLatencyMs);
+  std::printf("%8s %7s %12s %12s  %s\n", "SP (ms)", "batch", "slowdown(%)", "latency(ms)",
+              "verdict");
+
+  std::optional<Plan> best;
+  for (const double sp : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    for (const int batch : {1, 8, 32, 128}) {
+      const auto plan = evaluate(kNodes, sp, batch, baseline_util);
+      if (!plan) continue;
+      const bool ok = plan->slowdown_pct <= kMaxSlowdownPct && plan->latency_ms <= kMaxLatencyMs;
+      std::printf("%8.1f %7d %12.2f %12.3f  %s\n", plan->sampling_period_ms, plan->batch,
+                  plan->slowdown_pct, plan->latency_ms, ok ? "feasible" : "-");
+      if (ok && (!best || plan->sampling_period_ms < best->sampling_period_ms ||
+                 (plan->sampling_period_ms == best->sampling_period_ms &&
+                  plan->slowdown_pct < best->slowdown_pct))) {
+        best = plan;
+      }
+    }
+  }
+
+  if (best) {
+    std::printf("\nRecommended IS configuration: sampling period %.1f ms, %s (batch %d)\n",
+                best->sampling_period_ms, best->batch == 1 ? "CF" : "BF", best->batch);
+    std::printf("-> %.2f%% slowdown, %.3f ms monitoring latency.\n", best->slowdown_pct,
+                best->latency_ms);
+  } else {
+    std::puts("\nNo feasible configuration inside the budgets.");
+  }
+  return 0;
+}

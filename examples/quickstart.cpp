@@ -1,0 +1,50 @@
+// Quickstart: simulate the Paradyn instrumentation system on an 8-node
+// network of workstations and compare the collect-and-forward (CF) and
+// batch-and-forward (BF) data-forwarding policies.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "rocc/simulation.hpp"
+
+namespace {
+
+void report(const char* label, const paradyn::rocc::SimulationResult& r) {
+  std::printf("%-28s %10.3f %12.2f %12.3f %14.1f %10.2f\n", label, r.pd_cpu_time_sec(),
+              r.pd_cpu_util_pct, r.latency_sec() * 1e3, r.throughput_samples_per_sec,
+              r.app_cpu_util_pct);
+}
+
+}  // namespace
+
+int main() {
+  using namespace paradyn;
+
+  std::printf("Paradyn IS / ROCC model quickstart: 8-node NOW, 10 s simulated, 40 ms sampling\n\n");
+  std::printf("%-28s %10s %12s %12s %14s %10s\n", "configuration", "Pd CPU(s)", "Pd util(%)",
+              "lat(ms)", "thru(smp/s)", "app util(%)");
+
+  // Collect-and-forward: one forwarding system call per sample.
+  rocc::SystemConfig cf = rocc::SystemConfig::now(8);
+  cf.sampling_period_us = 40'000;
+  cf.batch_size = 1;
+  cf.duration_us = 10e6;
+  report("CF (batch=1)", rocc::run_simulation(cf));
+
+  // Batch-and-forward: amortize the forwarding call over 32 samples.
+  rocc::SystemConfig bf = cf;
+  bf.batch_size = 32;
+  report("BF (batch=32)", rocc::run_simulation(bf));
+
+  // Uninstrumented baseline.
+  rocc::SystemConfig off = cf;
+  off.instrumentation_enabled = false;
+  report("uninstrumented", rocc::run_simulation(off));
+
+  std::printf("\nBF cuts the Paradyn daemon's direct CPU overhead by batching samples\n");
+  std::printf("into one system call per batch — the effect the paper measured as a\n");
+  std::printf(">60%% overhead reduction on the real IBM SP-2 implementation.\n");
+  return 0;
+}

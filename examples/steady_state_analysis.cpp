@@ -1,0 +1,62 @@
+// Steady-state output analysis of a single long run: warm-up deletion,
+// autocorrelation of the monitoring-latency series, and batch-means
+// confidence intervals (Law & Kelton's method, the methodology the paper's
+// simulation study builds on).
+//
+// A naive Student-t interval over a within-run series is only valid when
+// successive observations are (close to) independent.  This example runs
+// the check instead of assuming it: it estimates the autocorrelation of
+// the latency series, then compares the naive interval to batch-means
+// intervals, which stay valid either way.
+#include <cstdio>
+
+#include "rocc/simulation.hpp"
+#include "stats/timeseries.hpp"
+
+int main() {
+  using namespace paradyn;
+
+  auto cfg = rocc::SystemConfig::now(8);
+  cfg.duration_us = 60e6;
+  cfg.warmup_us = 5e6;  // transient deletion
+  cfg.sampling_period_us = 5'000.0;
+  cfg.batch_size = 1;
+  cfg.record_latency_series = true;
+
+  std::puts("60 s simulated (5 s warm-up discarded), 8-node NOW, CF, SP = 5 ms\n");
+  const auto r = rocc::run_simulation(cfg);
+  const auto& series = r.latency_series_us;
+  std::printf("latency observations: %zu   mean %.1f us\n\n", series.size(),
+              r.latency_us.mean());
+
+  std::puts("autocorrelation of successive latencies (IID check):");
+  double worst = 0.0;
+  for (const std::size_t lag : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double ac = stats::autocorrelation(series, lag);
+    worst = std::max(worst, std::abs(ac));
+    std::printf("  lag %2zu: %+.3f\n", lag, ac);
+  }
+
+  const auto naive = stats::mean_confidence_interval(series, 0.90);
+  std::printf("\nnaive IID 90%% interval:    %.2f +- %.2f us\n", naive.mean, naive.half_width);
+
+  for (const std::size_t batches : {40u, 20u, 10u}) {
+    const auto bm = stats::batch_means(series, batches, 0.90);
+    std::printf("batch means (%2zu x %6zu):  %.2f +- %.2f us   lag-1 of means %+.3f\n",
+                bm.batch_count, bm.batch_size, bm.ci.mean, bm.ci.half_width,
+                bm.lag1_of_batch_means);
+  }
+
+  if (worst < 0.05) {
+    std::puts("\nVerdict: the latency series is effectively uncorrelated at this\n"
+              "operating point — successive samples are ~5 ms apart per daemon while\n"
+              "its queues drain in about a millisecond, so the queue state 'forgets'\n"
+              "between samples.  The naive and batch-means intervals agree, and the\n"
+              "naive one is legitimate here.  At operating points where this check\n"
+              "fails (sustained backlog), batch means remains the defensible interval.");
+  } else {
+    std::puts("\nVerdict: the series is autocorrelated — trust the batch-means\n"
+              "interval, not the naive one.");
+  }
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "analytic/operational.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace paradyn::analytic {
+namespace {
+
+void validate(const Scenario& s) {
+  if (!(s.sampling_period_us > 0.0)) {
+    throw std::invalid_argument("Scenario: sampling_period_us must be > 0");
+  }
+  if (s.batch_size <= 0) throw std::invalid_argument("Scenario: batch_size must be > 0");
+  if (s.nodes <= 0) throw std::invalid_argument("Scenario: nodes must be > 0");
+  if (s.app_processes <= 0) throw std::invalid_argument("Scenario: app_processes must be > 0");
+  if (s.daemons <= 0) throw std::invalid_argument("Scenario: daemons must be > 0");
+}
+
+/// Clamp a utilization into [0, 1] and flag saturation.
+double clamp_util(double u, bool& saturated) {
+  if (u >= 1.0) {
+    saturated = true;
+    return 1.0;
+  }
+  return std::max(u, 0.0);
+}
+
+/// Residence time D / (1 - U) of one queueing station; infinite when that
+/// station is saturated (flow balance no longer holds there).
+double residence(double demand, double util) {
+  if (util >= 1.0) return std::numeric_limits<double>::infinity();
+  return demand / (1.0 - util);
+}
+
+}  // namespace
+
+double arrival_rate_per_node(const Scenario& s) {
+  validate(s);
+  // Equation (1): one sample per app process per sampling period, delivered
+  // in units of `batch_size` samples.
+  return static_cast<double>(s.app_processes) /
+         (s.sampling_period_us * static_cast<double>(s.batch_size));
+}
+
+Metrics now_metrics(const Scenario& s, const Demands& d) {
+  validate(s);
+  Metrics m;
+  const double lambda = arrival_rate_per_node(s);
+  const double n = static_cast<double>(s.nodes);
+
+  // Equation (2): utilization law, mu = lambda * D_{Pd,CPU}.  lambda
+  // already contains the 1/batch factor (equation (1)), so the analytic
+  // model predicts the full hyperbolic overhead reduction with batch size
+  // that Figure 10 shows; the simulator refines this with the explicit
+  // collect/forward cost split.
+  m.pd_cpu_utilization = clamp_util(lambda * d.pd_cpu_us, m.saturated);
+
+  // Equation (3): network utilization of Pd traffic, all nodes share it.
+  m.network_utilization = clamp_util(n * lambda * d.pd_net_us, m.saturated);
+
+  // Equation (5): main Paradyn CPU utilization.
+  m.main_cpu_utilization = clamp_util(n * lambda * d.main_cpu_us, m.saturated);
+
+  // Equation (4): monitoring latency = CPU residence + network residence.
+  m.monitoring_latency_us = residence(d.pd_cpu_us, m.pd_cpu_utilization) +
+                            residence(d.pd_net_us, m.network_utilization);
+
+  // Equation (6): application CPU utilization (indirect).
+  m.app_cpu_utilization = 1.0 - m.pd_cpu_utilization;
+  m.is_cpu_utilization = m.pd_cpu_utilization;
+  return m;
+}
+
+Metrics smp_metrics(const Scenario& s, const Demands& d) {
+  validate(s);
+  Metrics m;
+  // SMP arrival rate includes the daemon factor (Section 3.2).
+  const double lambda = arrival_rate_per_node(s) * static_cast<double>(s.daemons);
+  const double n = static_cast<double>(s.nodes);  // CPUs in the pool
+  const double daemons = static_cast<double>(s.daemons);
+
+  // Equations (7)-(8): demands divided by the CPU count.
+  m.pd_cpu_utilization = clamp_util(lambda * d.pd_cpu_us / n, m.saturated);
+  m.main_cpu_utilization = clamp_util(lambda * d.main_cpu_us / n, m.saturated);
+
+  // Equation (9): pooled IS utilization.
+  m.is_cpu_utilization =
+      (daemons * m.pd_cpu_utilization + m.main_cpu_utilization) / (daemons + 1.0);
+
+  // Equation (10).
+  m.app_cpu_utilization = 1.0 - m.is_cpu_utilization;
+
+  // Equation (11): bus utilization.
+  m.network_utilization = clamp_util(lambda * d.pd_net_us, m.saturated);
+
+  // Equation (12).
+  m.monitoring_latency_us = residence(d.pd_cpu_us / n, m.pd_cpu_utilization) +
+                            residence(d.pd_net_us, m.network_utilization);
+  return m;
+}
+
+Metrics mpp_tree_metrics(const Scenario& s, const Demands& d) {
+  validate(s);
+  Metrics m;
+  const double lambda = arrival_rate_per_node(s);
+  const double n = static_cast<double>(s.nodes);
+
+  // Equation (13): average Pd CPU utilization over leaf nodes (lambda *
+  // D_pd), interior nodes (local + two children merges), and the one node
+  // with a single child.
+  const double leaf = lambda * d.pd_cpu_us;
+  const double interior = lambda * d.pd_cpu_us + 2.0 * lambda * d.pdm_cpu_us;
+  const double single = lambda * d.pdm_cpu_us;
+  const double pd_util =
+      ((n / 2.0) * leaf + (n / 2.0 - 1.0) * interior + single) / n;
+  m.pd_cpu_utilization = clamp_util(pd_util, m.saturated);
+
+  // Equation (14): the root's two children deliver to the main process.
+  m.main_cpu_utilization = clamp_util(2.0 * lambda * d.main_cpu_us, m.saturated);
+
+  // Equation (15): network utilization with en-route forwarding.
+  const double net =
+      ((n / 2.0) * lambda * d.pd_net_us +
+       (n / 2.0 - 1.0) * (lambda * d.pd_cpu_us + 2.0 * lambda * d.pd_net_us) +
+       lambda * d.pd_net_us) /
+      n;
+  m.network_utilization = clamp_util(net, m.saturated);
+
+  // Equation (16): per-hop CPU (collect + merge) residence plus network
+  // residence.
+  m.monitoring_latency_us =
+      residence(d.pd_cpu_us + d.pdm_cpu_us, m.pd_cpu_utilization) +
+      residence(d.pd_net_us, m.network_utilization);
+
+  m.app_cpu_utilization = 1.0 - m.pd_cpu_utilization;
+  m.is_cpu_utilization = m.pd_cpu_utilization;
+  return m;
+}
+
+MvaResult mva_closed(const std::vector<MvaStation>& stations, std::int32_t customers) {
+  if (stations.empty()) throw std::invalid_argument("mva_closed: need at least one station");
+  if (customers <= 0) throw std::invalid_argument("mva_closed: customers must be > 0");
+  for (const auto& st : stations) {
+    if (st.demand_us < 0.0) throw std::invalid_argument("mva_closed: negative demand");
+  }
+
+  const std::size_t k = stations.size();
+  std::vector<double> queue(k, 0.0);  // Q_i(n - 1)
+  MvaResult result;
+  result.residence_time_us.assign(k, 0.0);
+
+  for (std::int32_t n = 1; n <= customers; ++n) {
+    double cycle = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      // Exact MVA: R_i(n) = D_i (delay) or D_i (1 + Q_i(n-1)) (queueing).
+      result.residence_time_us[i] = stations[i].delay_center
+                                        ? stations[i].demand_us
+                                        : stations[i].demand_us * (1.0 + queue[i]);
+      cycle += result.residence_time_us[i];
+    }
+    const double x = static_cast<double>(n) / cycle;
+    for (std::size_t i = 0; i < k; ++i) queue[i] = x * result.residence_time_us[i];
+    result.cycle_time_us = cycle;
+    result.throughput_per_us = x;
+  }
+
+  result.mean_queue_length = queue;
+  result.utilization.reserve(k);
+  for (const auto& st : stations) {
+    result.utilization.push_back(result.throughput_per_us * st.demand_us);
+  }
+  return result;
+}
+
+MvaResult application_mva(std::int32_t app_processes, const Demands& d) {
+  // Two stations per node: the CPU (queueing) and the contention-free
+  // network modeled as a delay center, visited once per cycle each.
+  const std::vector<MvaStation> stations{
+      {d.app_cpu_us, false},
+      {d.app_net_us, true},
+  };
+  return mva_closed(stations, app_processes);
+}
+
+}  // namespace paradyn::analytic

@@ -1,0 +1,104 @@
+// Operational analysis of the ROCC model (Section 3 of the paper).
+//
+// "Back-of-the-envelope" predictions of four IS performance metrics under a
+// flow-balance assumption, for the NOW, SMP, and MPP cases — equations
+// (1)-(16).  As in the paper, these are deliberately approximate: they
+// ignore the dependence between the Paradyn-daemon (open/transaction)
+// workload and the application (closed/batch) workload, and are meant to
+// show gross trends that the simulator then models in detail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace paradyn::analytic {
+
+/// Mean resource demands (microseconds) shared by all three models.
+/// Defaults are the paper's Table 2 means.
+struct Demands {
+  double pd_cpu_us = 267.0;       ///< D_{Pd,CPU}: Pd CPU per sample.
+  double pd_net_us = 71.0;        ///< D_{Pd,Network}: Pd network per forwarding op.
+  double pdm_cpu_us = 89.0;       ///< D_{Pdm,CPU}: merge CPU per en-route batch (tree).
+  double main_cpu_us = 3'208.0;   ///< D_{Paradyn,CPU}: main process CPU per unit.
+  double app_cpu_us = 2'213.0;    ///< Application CPU burst mean.
+  double app_net_us = 223.0;      ///< Application network burst mean.
+};
+
+/// Inputs that the paper varies ("four parameters", Section 3).
+struct Scenario {
+  double sampling_period_us = 40'000.0;
+  std::int32_t batch_size = 1;       ///< 1 == CF.
+  std::int32_t nodes = 8;            ///< NOW/MPP: workstations; SMP: CPUs.
+  std::int32_t app_processes = 1;    ///< Per node (NOW/MPP) or total (SMP).
+  std::int32_t daemons = 1;          ///< SMP only.
+};
+
+/// The four metrics of Section 3.  Utilizations are fractions in [0, 1]
+/// (clamped); latency is in microseconds.
+struct Metrics {
+  double pd_cpu_utilization = 0.0;      ///< Per node.
+  double main_cpu_utilization = 0.0;    ///< Main Paradyn process.
+  double is_cpu_utilization = 0.0;      ///< SMP only: pooled IS utilization (eq. 9).
+  double app_cpu_utilization = 0.0;     ///< Per node (eq. 6 / 10).
+  double network_utilization = 0.0;     ///< Shared network / bus by Pd traffic.
+  double monitoring_latency_us = 0.0;   ///< Per sample (eq. 4 / 12 / 16).
+  bool saturated = false;               ///< Some utilization reached 1: latency unbounded.
+};
+
+/// Equation (1): arrival rate of Pd forwarding units per node,
+/// lambda = app_processes / (sampling_period * batch_size), extended with
+/// the SMP daemon factor when `daemons > 1` callers pass it explicitly.
+[[nodiscard]] double arrival_rate_per_node(const Scenario& s);
+
+/// NOW case, equations (1)-(6) — also the MPP direct-forwarding case.
+[[nodiscard]] Metrics now_metrics(const Scenario& s, const Demands& d = {});
+
+/// SMP case, equations (7)-(12): `s.nodes` is the number of CPUs in the
+/// pool; demands are divided by the CPU count.
+[[nodiscard]] Metrics smp_metrics(const Scenario& s, const Demands& d = {});
+
+/// MPP case with binary-tree forwarding, equations (13)-(16).
+[[nodiscard]] Metrics mpp_tree_metrics(const Scenario& s, const Demands& d = {});
+
+/// MPP case with direct forwarding (identical to the NOW equations).
+[[nodiscard]] inline Metrics mpp_direct_metrics(const Scenario& s, const Demands& d = {}) {
+  return now_metrics(s, d);
+}
+
+// ---------------------------------------------------------------------------
+// Exact Mean Value Analysis for the closed (batch) application workload.
+//
+// Section 3 notes that the application side of the ROCC model is a closed
+// queueing network that MVA could solve, then rejects the approach because
+// (1) the resulting utilization would not vary with the IS parameters and
+// (2) it cannot capture the IS/application CPU contention.  We implement
+// exact single-class MVA anyway: it demonstrates both limitations
+// quantitatively and provides the textbook baseline the indirect
+// calculation (equation (6)) is checked against.
+
+/// One service station of a closed product-form network.
+struct MvaStation {
+  double demand_us = 0.0;  ///< Total service demand per customer cycle.
+  bool delay_center = false;  ///< True for think/delay stations (no queueing).
+};
+
+struct MvaResult {
+  double throughput_per_us = 0.0;           ///< System throughput X(N).
+  double cycle_time_us = 0.0;               ///< Mean cycle (response) time.
+  std::vector<double> utilization;          ///< Per station, X * D (queueing only).
+  std::vector<double> mean_queue_length;    ///< Per station.
+  std::vector<double> residence_time_us;    ///< Per station.
+};
+
+/// Exact MVA recursion for `customers` statistically identical customers
+/// over `stations`.  Throws on empty stations / zero customers.
+[[nodiscard]] MvaResult mva_closed(const std::vector<MvaStation>& stations,
+                                   std::int32_t customers);
+
+/// The paper's closed application model on one node: CPU demand + network
+/// demand per computation/communication cycle, `app_processes` customers
+/// sharing them.  Returns the MVA application CPU utilization — which, as
+/// the paper observes, is blind to every IS parameter.
+[[nodiscard]] MvaResult application_mva(std::int32_t app_processes, const Demands& d = {});
+
+}  // namespace paradyn::analytic

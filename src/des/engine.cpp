@@ -1,0 +1,35 @@
+#include "des/engine.hpp"
+
+namespace paradyn::des {
+
+std::uint64_t Engine::run() {
+  stopping_ = false;
+  std::uint64_t executed = 0;
+  while (!stopping_) {
+    auto fired = queue_.pop();
+    if (!fired) break;
+    now_ = fired->time;
+    fired->callback();
+    ++executed;
+    ++processed_;
+  }
+  return executed;
+}
+
+std::uint64_t Engine::run_until(SimTime t_end) {
+  stopping_ = false;
+  std::uint64_t executed = 0;
+  while (!stopping_) {
+    auto next = queue_.peek_time();
+    if (!next || *next > t_end) break;
+    auto fired = queue_.pop();
+    now_ = fired->time;
+    fired->callback();
+    ++executed;
+    ++processed_;
+  }
+  if (!stopping_ && now_ < t_end) now_ = t_end;
+  return executed;
+}
+
+}  // namespace paradyn::des

@@ -1,0 +1,67 @@
+// The discrete-event simulation engine.
+//
+// Classic event-scheduling world view: model components register callbacks
+// at future simulation times; the engine pops them in (time, seq) order and
+// advances the clock.  Components never see time move backwards, and events
+// scheduled "now" from inside a callback run after the current callback
+// returns (still at the same clock value, in scheduling order).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "des/event_queue.hpp"
+#include "des/time.hpp"
+
+namespace paradyn::des {
+
+class Engine {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Current simulation time (microseconds).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule a callback at absolute time `t` (must be >= now()).
+  EventHandle schedule_at(SimTime t, Callback cb) {
+    if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
+    return queue_.push(t, std::move(cb));
+  }
+
+  /// Schedule a callback `dt` from now (dt must be >= 0).
+  EventHandle schedule_after(SimTime dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Cancel a pending event (no-op if already fired/cancelled).
+  void cancel(EventHandle& handle) noexcept { queue_.cancel(handle); }
+
+  /// Run until the event queue is exhausted or stop() is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Run events with time <= t_end, then set the clock to exactly t_end.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime t_end);
+
+  /// Request that the current run() / run_until() return after the current
+  /// event completes.
+  void stop() noexcept { stopping_ = true; }
+
+  /// True if no live events remain.
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+  /// Live events currently pending.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace paradyn::des

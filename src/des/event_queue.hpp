@@ -1,0 +1,82 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary min-heap ordered by (time, insertion sequence).  The sequence
+// tie-break makes execution order fully deterministic: two events scheduled
+// for the same instant fire in the order they were scheduled.  Cancellation
+// is lazy — a cancelled event stays in the heap but its control block is
+// marked dead and it is skipped on pop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace paradyn::des {
+
+/// Handle to a scheduled event; allows cancellation.  Default-constructed
+/// handles refer to no event and are safe to cancel (a no-op).
+class EventHandle {
+ public:
+  EventHandle() noexcept = default;
+
+  /// True if the event is still pending (not fired, not cancelled).
+  [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) noexcept : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Min-heap of timestamped callbacks with deterministic tie-breaking.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Insert an event; returns a handle usable for cancellation.
+  EventHandle push(SimTime time, Callback cb);
+
+  /// Cancel a pending event.  Safe on empty/fired/cancelled handles.
+  void cancel(EventHandle& handle) noexcept;
+
+  /// Remove and return the earliest live event, or nullopt if none remain.
+  struct Fired {
+    SimTime time = 0;
+    Callback callback;
+  };
+  [[nodiscard]] std::optional<Fired> pop();
+
+  /// Time of the earliest live event, if any.
+  [[nodiscard]] std::optional<SimTime> peek_time();
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+ private:
+  struct Node {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    Callback callback;
+    std::shared_ptr<bool> alive;
+  };
+  struct Earlier {
+    bool operator()(const Node& a, const Node& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_top();
+
+  std::vector<Node> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace paradyn::des

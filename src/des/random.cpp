@@ -1,0 +1,35 @@
+#include "des/random.hpp"
+
+namespace paradyn::des {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a, std::uint64_t b) noexcept {
+  SplitMix64 mix(base ^ (a * 0x9E3779B97F4A7C15ULL) ^ (b * 0xC2B2AE3D27D4EB4FULL));
+  (void)mix.next();
+  return mix.next();
+}
+
+std::uint64_t hash_label(std::string_view label) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint32_t Pcg32::next_below(std::uint32_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+  auto lo = static_cast<std::uint32_t>(m);
+  if (lo < bound) {
+    const std::uint32_t threshold = (0U - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<std::uint64_t>(next_u32()) * bound;
+      lo = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32U);
+}
+
+}  // namespace paradyn::des

@@ -1,0 +1,33 @@
+// Simulation time base for the Paradyn ROCC simulator.
+//
+// All model parameters in the paper (Table 2) are expressed in microseconds,
+// so the simulator uses a double-precision microsecond clock.  Helpers are
+// provided to convert to/from the other units used in the paper's figures
+// (milliseconds for sampling/barrier periods, seconds for CPU-time totals).
+#pragma once
+
+namespace paradyn::des {
+
+/// Simulation time in microseconds.
+using SimTime = double;
+
+/// One microsecond (the base unit).
+inline constexpr SimTime kMicrosecond = 1.0;
+/// One millisecond expressed in the base unit.
+inline constexpr SimTime kMillisecond = 1'000.0;
+/// One second expressed in the base unit.
+inline constexpr SimTime kSecond = 1'000'000.0;
+
+/// Convert microseconds to seconds (for reporting, e.g. "Pd CPU time (sec)").
+[[nodiscard]] constexpr double to_seconds(SimTime t) { return t / kSecond; }
+
+/// Convert microseconds to milliseconds (for reporting latency per sample).
+[[nodiscard]] constexpr double to_milliseconds(SimTime t) { return t / kMillisecond; }
+
+/// Convert milliseconds to the simulator's microsecond base.
+[[nodiscard]] constexpr SimTime from_milliseconds(double ms) { return ms * kMillisecond; }
+
+/// Convert seconds to the simulator's microsecond base.
+[[nodiscard]] constexpr SimTime from_seconds(double s) { return s * kSecond; }
+
+}  // namespace paradyn::des

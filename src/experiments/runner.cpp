@@ -1,0 +1,71 @@
+#include "experiments/runner.hpp"
+
+#include <stdexcept>
+
+namespace paradyn::experiments {
+
+ReplicationSet::ReplicationSet(const rocc::SystemConfig& config, std::size_t replications)
+    : results_(rocc::run_replications(config, replications)) {
+  if (replications == 0) throw std::invalid_argument("ReplicationSet: replications must be > 0");
+}
+
+stats::ConfidenceInterval ReplicationSet::metric(const MetricFn& fn, double level) const {
+  stats::SummaryStats s;
+  for (const auto& r : results_) s.add(fn(r));
+  return stats::mean_confidence_interval(s, level);
+}
+
+double ReplicationSet::mean(const MetricFn& fn) const {
+  stats::SummaryStats s;
+  for (const auto& r : results_) s.add(fn(r));
+  return s.mean();
+}
+
+double FactorialCell::mean(const MetricFn& fn) const {
+  stats::SummaryStats s;
+  for (const auto& r : runs) s.add(fn(r));
+  return s.mean();
+}
+
+FactorialExperiment::FactorialExperiment(rocc::SystemConfig base, std::vector<Factor> factors,
+                                         std::size_t replications)
+    : factors_(std::move(factors)), replications_(replications) {
+  if (factors_.empty()) throw std::invalid_argument("FactorialExperiment: need factors");
+  if (factors_.size() > 8) throw std::invalid_argument("FactorialExperiment: too many factors");
+  if (replications_ == 0) {
+    throw std::invalid_argument("FactorialExperiment: replications must be > 0");
+  }
+
+  const unsigned num_cells = 1U << factors_.size();
+  cells_.reserve(num_cells);
+  for (unsigned mask = 0; mask < num_cells; ++mask) {
+    FactorialCell cell;
+    cell.mask = mask;
+    cell.config = base;
+    for (std::size_t f = 0; f < factors_.size(); ++f) {
+      factors_[f].apply(cell.config, (mask >> f) & 1U);
+    }
+    cell.runs.reserve(replications_);
+    for (std::size_t rep = 0; rep < replications_; ++rep) {
+      rocc::SystemConfig c = cell.config;
+      c.seed = base.seed + rep;  // common random numbers across cells
+      cell.runs.push_back(rocc::run_simulation(c));
+    }
+    cells_.push_back(std::move(cell));
+  }
+}
+
+stats::FactorialAnalysis FactorialExperiment::analyze(const MetricFn& fn) const {
+  std::vector<std::string> names;
+  names.reserve(factors_.size());
+  for (const auto& f : factors_) names.push_back(f.name);
+  stats::FactorialDesign design(names, replications_);
+  for (const auto& cell : cells_) {
+    for (std::size_t rep = 0; rep < cell.runs.size(); ++rep) {
+      design.set_response(cell.mask, rep, fn(cell.runs[rep]));
+    }
+  }
+  return design.analyze();
+}
+
+}  // namespace paradyn::experiments

@@ -1,0 +1,93 @@
+// Replication and 2^k r factorial runners coupling the ROCC simulator to
+// the statistics library (Section 4.1 of the paper).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rocc/simulation.hpp"
+#include "stats/confidence.hpp"
+#include "stats/factorial.hpp"
+
+namespace paradyn::experiments {
+
+/// Extracts one scalar metric from a finished simulation.
+using MetricFn = std::function<double(const rocc::SimulationResult&)>;
+
+/// A set of independent replications of one configuration.
+class ReplicationSet {
+ public:
+  /// Run `replications` simulations (seeds seed, seed+1, ...).
+  ReplicationSet(const rocc::SystemConfig& config, std::size_t replications);
+
+  /// Confidence interval of a metric over the replications (the paper uses
+  /// 90% intervals).
+  [[nodiscard]] stats::ConfidenceInterval metric(const MetricFn& fn, double level = 0.90) const;
+
+  /// Plain mean of a metric.
+  [[nodiscard]] double mean(const MetricFn& fn) const;
+
+  [[nodiscard]] const std::vector<rocc::SimulationResult>& results() const noexcept {
+    return results_;
+  }
+
+ private:
+  std::vector<rocc::SimulationResult> results_;
+};
+
+/// One two-level factor of a factorial experiment: a name plus a mutator
+/// that sets the configuration to the factor's low or high level.
+struct Factor {
+  std::string name;
+  std::string low_label;
+  std::string high_label;
+  std::function<void(rocc::SystemConfig&, bool high)> apply;
+};
+
+/// Raw responses of one factorial cell (used to print Tables 4-6).
+struct FactorialCell {
+  unsigned mask = 0;                          ///< Bit i set = factor i high.
+  rocc::SystemConfig config;                  ///< The fully-applied config.
+  std::vector<rocc::SimulationResult> runs;   ///< r replications.
+
+  [[nodiscard]] double mean(const MetricFn& fn) const;
+};
+
+/// Complete 2^k r factorial experiment over the simulator.
+class FactorialExperiment {
+ public:
+  /// Runs all 2^k cells with `replications` runs each.  Every cell rep uses
+  /// seed base.seed + rep so paired comparisons share random streams.
+  FactorialExperiment(rocc::SystemConfig base, std::vector<Factor> factors,
+                      std::size_t replications);
+
+  [[nodiscard]] const std::vector<FactorialCell>& cells() const noexcept { return cells_; }
+  [[nodiscard]] const std::vector<Factor>& factors() const noexcept { return factors_; }
+  [[nodiscard]] std::size_t replications() const noexcept { return replications_; }
+
+  /// Allocation-of-variation analysis for one response metric — the
+  /// paper's "principal component analysis" of Figures 16/20/25.
+  [[nodiscard]] stats::FactorialAnalysis analyze(const MetricFn& fn) const;
+
+ private:
+  std::vector<Factor> factors_;
+  std::size_t replications_;
+  std::vector<FactorialCell> cells_;
+};
+
+// Commonly used metric extractors.
+[[nodiscard]] inline double pd_cpu_time_sec(const rocc::SimulationResult& r) {
+  return r.pd_cpu_time_sec();
+}
+[[nodiscard]] inline double is_cpu_time_sec(const rocc::SimulationResult& r) {
+  return (r.pd_cpu_time_per_node_us + r.main_cpu_time_us / (r.nodes * r.cpus_per_node)) / 1e6;
+}
+[[nodiscard]] inline double latency_ms(const rocc::SimulationResult& r) {
+  return r.latency_sec() * 1e3;
+}
+[[nodiscard]] inline double throughput(const rocc::SimulationResult& r) {
+  return r.throughput_samples_per_sec;
+}
+
+}  // namespace paradyn::experiments

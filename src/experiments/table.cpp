@@ -1,0 +1,106 @@
+#include "experiments/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace paradyn::experiments {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TablePrinter: need at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto rule = [&] {
+    for (const std::size_t w : widths) os << '+' << std::string(w + 2, '-');
+    os << "+\n";
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(widths[c])) << std::left << cells[c] << ' ';
+    }
+    os << "|\n";
+  };
+
+  os << title_ << '\n';
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+}
+
+std::string fmt(double v, int digits) {
+  std::ostringstream os;
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (std::isnan(v)) return "nan";
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string fmt_ci(double mean, double half_width, int digits) {
+  return fmt(mean, digits) + " +- " + fmt(half_width, digits);
+}
+
+void print_series(std::ostream& os, const std::string& title, const std::string& x_label,
+                  const std::vector<double>& xs, const std::vector<std::string>& series_names,
+                  const std::vector<std::vector<double>>& series, int digits) {
+  if (series_names.size() != series.size()) {
+    throw std::invalid_argument("print_series: one name per series required");
+  }
+  for (const auto& s : series) {
+    if (s.size() != xs.size()) {
+      throw std::invalid_argument("print_series: series length must match xs");
+    }
+  }
+  std::vector<std::string> headers{x_label};
+  headers.insert(headers.end(), series_names.begin(), series_names.end());
+  TablePrinter table(title, headers);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row{fmt(xs[i], 2)};
+    for (const auto& s : series) row.push_back(fmt(s[i], digits));
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
+void write_series_csv(std::ostream& os, const std::string& x_label,
+                      const std::vector<double>& xs,
+                      const std::vector<std::string>& series_names,
+                      const std::vector<std::vector<double>>& series) {
+  if (series_names.size() != series.size()) {
+    throw std::invalid_argument("write_series_csv: one name per series required");
+  }
+  for (const auto& s : series) {
+    if (s.size() != xs.size()) {
+      throw std::invalid_argument("write_series_csv: series length must match xs");
+    }
+  }
+  os << x_label;
+  for (const auto& name : series_names) os << ',' << name;
+  os << '\n';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os << xs[i];
+    for (const auto& s : series) os << ',' << s[i];
+    os << '\n';
+  }
+}
+
+}  // namespace paradyn::experiments

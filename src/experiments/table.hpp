@@ -1,0 +1,53 @@
+// ASCII table and series printers for the experiment harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures as
+// fixed-width text: tables print rows of cells, figures print one row per
+// x-value with one column per series (exactly the data the paper plots).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace paradyn::experiments {
+
+/// Fixed-width column table with a title and optional caption.
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> headers);
+
+  /// Append a row; must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column widths fitted to content.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant-looking decimals.
+[[nodiscard]] std::string fmt(double v, int digits = 3);
+
+/// Format "mean +- half-width" for a confidence interval.
+[[nodiscard]] std::string fmt_ci(double mean, double half_width, int digits = 3);
+
+/// Print a figure-style data block: a header naming the series, then one
+/// row per x-value.  `series[i][j]` is series i's value at x j.
+void print_series(std::ostream& os, const std::string& title, const std::string& x_label,
+                  const std::vector<double>& xs, const std::vector<std::string>& series_names,
+                  const std::vector<std::vector<double>>& series, int digits = 4);
+
+/// Write the same figure data as CSV (header row: x_label,name1,name2,...)
+/// for external re-plotting.  Same validation as print_series.
+void write_series_csv(std::ostream& os, const std::string& x_label,
+                      const std::vector<double>& xs,
+                      const std::vector<std::string>& series_names,
+                      const std::vector<std::vector<double>>& series);
+
+}  // namespace paradyn::experiments

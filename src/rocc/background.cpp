@@ -1,0 +1,40 @@
+#include "rocc/background.hpp"
+
+#include <stdexcept>
+
+namespace paradyn::rocc {
+
+OpenArrivalStream::OpenArrivalStream(des::Engine& engine, stats::DistributionPtr interarrival,
+                                     stats::DistributionPtr length, ProcessClass pclass,
+                                     CpuResource* cpu, NetworkResource* network,
+                                     des::RngStream rng)
+    : engine_(engine),
+      interarrival_(std::move(interarrival)),
+      length_(std::move(length)),
+      pclass_(pclass),
+      cpu_(cpu),
+      network_(network),
+      rng_(rng) {
+  if ((cpu_ == nullptr) == (network_ == nullptr)) {
+    throw std::invalid_argument("OpenArrivalStream: exactly one target resource required");
+  }
+  if (!interarrival_ || !length_) {
+    throw std::invalid_argument("OpenArrivalStream: distributions required");
+  }
+}
+
+void OpenArrivalStream::start() {
+  engine_.schedule_after(interarrival_->sample(rng_), [this] { on_arrival(); });
+}
+
+void OpenArrivalStream::on_arrival() {
+  const double len = length_->sample(rng_);
+  if (cpu_ != nullptr) {
+    cpu_->submit(CpuRequest{len, pclass_, nullptr});
+  } else {
+    network_->submit(NetRequest{len, pclass_, nullptr});
+  }
+  engine_.schedule_after(interarrival_->sample(rng_), [this] { on_arrival(); });
+}
+
+}  // namespace paradyn::rocc

@@ -1,0 +1,41 @@
+// Background load: the PVM daemon and "other user/system processes" of
+// Table 2, modeled as open arrival streams of CPU and network occupancy
+// requests (they contend for resources but carry no instrumentation data).
+#pragma once
+
+#include "des/engine.hpp"
+#include "des/random.hpp"
+#include "rocc/config.hpp"
+#include "rocc/cpu.hpp"
+#include "rocc/network.hpp"
+
+namespace paradyn::rocc {
+
+/// An open Poisson-like stream: every `interarrival` draw, submit one
+/// occupancy request of `length` to a resource.  Fire-and-forget — requests
+/// queue and complete without feedback to the arrival process.
+class OpenArrivalStream {
+ public:
+  /// Exactly one of `cpu` / `network` must be non-null.
+  OpenArrivalStream(des::Engine& engine, stats::DistributionPtr interarrival,
+                    stats::DistributionPtr length, ProcessClass pclass, CpuResource* cpu,
+                    NetworkResource* network, des::RngStream rng);
+
+  OpenArrivalStream(const OpenArrivalStream&) = delete;
+  OpenArrivalStream& operator=(const OpenArrivalStream&) = delete;
+
+  void start();
+
+ private:
+  void on_arrival();
+
+  des::Engine& engine_;
+  stats::DistributionPtr interarrival_;
+  stats::DistributionPtr length_;
+  ProcessClass pclass_;
+  CpuResource* cpu_;
+  NetworkResource* network_;
+  des::RngStream rng_;
+};
+
+}  // namespace paradyn::rocc

@@ -1,0 +1,37 @@
+#include "rocc/barrier.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace paradyn::rocc {
+
+BarrierManager::BarrierManager(des::Engine& engine, std::int32_t participants)
+    : engine_(engine), participants_(participants) {
+  if (participants <= 0) throw std::invalid_argument("BarrierManager: participants must be > 0");
+  waiters_.reserve(static_cast<std::size_t>(participants));
+  arrival_times_.reserve(static_cast<std::size_t>(participants));
+}
+
+void BarrierManager::arrive(std::function<void()> resume) {
+  if (waiting() >= participants_) {
+    throw std::logic_error("BarrierManager: more arrivals than participants");
+  }
+  waiters_.push_back(std::move(resume));
+  arrival_times_.push_back(engine_.now());
+
+  if (waiting() == participants_) {
+    const SimTime release = engine_.now();
+    for (const SimTime arrived : arrival_times_) total_wait_ += release - arrived;
+    ++rounds_;
+    // Move the waiters out before scheduling: a resumed process may arrive
+    // at the next barrier round synchronously.
+    std::vector<std::function<void()>> to_release = std::move(waiters_);
+    waiters_.clear();
+    arrival_times_.clear();
+    for (auto& w : to_release) {
+      engine_.schedule_after(0.0, std::move(w));
+    }
+  }
+}
+
+}  // namespace paradyn::rocc

@@ -1,0 +1,54 @@
+// Global synchronization barrier for the application processes.
+//
+// The SPMD applications the paper models synchronize on barriers; Figure 28
+// sweeps the barrier frequency and observes that application CPU occupancy
+// drops (processes idle at the barrier) while the Paradyn daemon contends
+// less for the CPU.  Participants call arrive(); when the last participant
+// arrives, every waiter's continuation is scheduled (at the current time)
+// and the barrier resets for the next round.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "rocc/types.hpp"
+
+namespace paradyn::rocc {
+
+class BarrierManager {
+ public:
+  BarrierManager(des::Engine& engine, std::int32_t participants);
+
+  BarrierManager(const BarrierManager&) = delete;
+  BarrierManager& operator=(const BarrierManager&) = delete;
+
+  /// Register arrival; `resume` runs when all participants have arrived.
+  void arrive(std::function<void()> resume);
+
+  [[nodiscard]] std::int32_t participants() const noexcept { return participants_; }
+  [[nodiscard]] std::int32_t waiting() const noexcept {
+    return static_cast<std::int32_t>(waiters_.size());
+  }
+  /// Zero the round/wait accounting (warm-up deletion); waiters persist.
+  void reset_accounting() noexcept {
+    rounds_ = 0;
+    total_wait_ = 0.0;
+  }
+
+  /// Completed barrier rounds.
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  /// Cumulative time participants spent waiting at the barrier.
+  [[nodiscard]] SimTime total_wait_time() const noexcept { return total_wait_; }
+
+ private:
+  des::Engine& engine_;
+  std::int32_t participants_;
+  std::vector<std::function<void()>> waiters_;
+  std::vector<SimTime> arrival_times_;
+  std::uint64_t rounds_ = 0;
+  SimTime total_wait_ = 0.0;
+};
+
+}  // namespace paradyn::rocc

@@ -1,0 +1,76 @@
+#include "rocc/cost_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace paradyn::rocc {
+
+SamplingController::SamplingController(des::Engine& engine,
+                                       const AdaptiveSamplingConfig& config,
+                                       SimTime initial_period_us,
+                                       std::vector<const CpuResource*> cpus,
+                                       double total_cpu_capacity_per_us)
+    : engine_(engine),
+      config_(config),
+      period_us_(initial_period_us),
+      cpus_(std::move(cpus)),
+      capacity_per_us_(total_cpu_capacity_per_us) {
+  if (!(config_.overhead_budget_pct > 0.0)) {
+    throw std::invalid_argument("SamplingController: overhead budget must be > 0");
+  }
+  if (!(config_.adjust_interval_us > 0.0)) {
+    throw std::invalid_argument("SamplingController: adjust interval must be > 0");
+  }
+  if (!(config_.min_period_us > 0.0) || config_.max_period_us < config_.min_period_us) {
+    throw std::invalid_argument("SamplingController: bad period bounds");
+  }
+  if (!(config_.grow > 1.0) || !(config_.shrink > 0.0) || !(config_.shrink < 1.0)) {
+    throw std::invalid_argument("SamplingController: grow must be > 1 and shrink in (0,1)");
+  }
+  if (cpus_.empty() || !(capacity_per_us_ > 0.0)) {
+    throw std::invalid_argument("SamplingController: need CPUs and positive capacity");
+  }
+  period_us_ = std::clamp(period_us_, config_.min_period_us, config_.max_period_us);
+}
+
+double SamplingController::is_busy_time_us() const {
+  double busy = 0.0;
+  for (const CpuResource* cpu : cpus_) {
+    busy += cpu->busy_time(ProcessClass::ParadynDaemon) +
+            cpu->busy_time(ProcessClass::MainParadyn);
+  }
+  return busy;
+}
+
+void SamplingController::start() {
+  last_is_busy_us_ = is_busy_time_us();
+  last_adjust_at_ = engine_.now();
+  engine_.schedule_after(config_.adjust_interval_us, [this] { on_adjust(); });
+}
+
+void SamplingController::on_adjust() {
+  const double busy = is_busy_time_us();
+  const SimTime now = engine_.now();
+  const double window = now - last_adjust_at_;
+  // max(0, ...): a warm-up reset can rewind the busy counters mid-window.
+  const double overhead_pct =
+      (window > 0.0)
+          ? std::max(0.0, 100.0 * (busy - last_is_busy_us_) / (capacity_per_us_ * window))
+          : 0.0;
+  last_is_busy_us_ = busy;
+  last_adjust_at_ = now;
+
+  // Multiplicative increase of the period (rate back-off) when over
+  // budget; gentle speed-up only when comfortably under half the budget
+  // (hysteresis keeps the controller from oscillating at the boundary).
+  if (overhead_pct > config_.overhead_budget_pct) {
+    period_us_ = std::min(period_us_ * config_.grow, config_.max_period_us);
+  } else if (overhead_pct < 0.5 * config_.overhead_budget_pct) {
+    period_us_ = std::max(period_us_ * config_.shrink, config_.min_period_us);
+  }
+  adjustments_.push_back({now, overhead_pct, period_us_});
+
+  engine_.schedule_after(config_.adjust_interval_us, [this] { on_adjust(); });
+}
+
+}  // namespace paradyn::rocc

@@ -1,0 +1,60 @@
+// Adaptive instrumentation cost model (Paradyn's dynamic cost model,
+// Hollingsworth & Miller, EuroPar'96 — reference [12] of the paper).
+//
+// Paradyn regulates its own perturbation: it observes the CPU the IS is
+// consuming and adapts the data-collection rate to keep the direct
+// overhead under a user-specified budget (the "tolerable limits" the
+// paper's Section 7 wants users to express).  This controller implements
+// that loop inside the ROCC model: every adjustment interval it measures
+// the IS's CPU occupancy over the window and scales the sampling period
+// multiplicatively — up when over budget, down when comfortably under.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "rocc/config.hpp"
+#include "rocc/cpu.hpp"
+#include "rocc/metrics.hpp"
+#include "rocc/types.hpp"
+
+namespace paradyn::rocc {
+
+/// On-line overhead regulator.  Owns the current sampling period; the
+/// application processes read it when arming their next sampling timer.
+class SamplingController {
+ public:
+  SamplingController(des::Engine& engine, const AdaptiveSamplingConfig& config,
+                     SimTime initial_period_us, std::vector<const CpuResource*> cpus,
+                     double total_cpu_capacity_per_us);
+
+  SamplingController(const SamplingController&) = delete;
+  SamplingController& operator=(const SamplingController&) = delete;
+
+  /// Begin the periodic adjustment loop.
+  void start();
+
+  /// The sampling period the instrumentation should currently use.
+  [[nodiscard]] SimTime current_period_us() const noexcept { return period_us_; }
+
+  /// Decision log (one entry per adjustment interval).
+  [[nodiscard]] const std::vector<CostModelAdjustment>& adjustments() const noexcept {
+    return adjustments_;
+  }
+
+ private:
+  void on_adjust();
+  [[nodiscard]] double is_busy_time_us() const;
+
+  des::Engine& engine_;
+  AdaptiveSamplingConfig config_;
+  SimTime period_us_;
+  std::vector<const CpuResource*> cpus_;
+  double capacity_per_us_;
+  double last_is_busy_us_ = 0.0;
+  SimTime last_adjust_at_ = 0.0;
+  std::vector<CostModelAdjustment> adjustments_;
+};
+
+}  // namespace paradyn::rocc

@@ -1,0 +1,56 @@
+#include "rocc/cpu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace paradyn::rocc {
+
+CpuResource::CpuResource(des::Engine& engine, std::int32_t num_cpus, SimTime quantum)
+    : engine_(engine), num_cpus_(num_cpus), quantum_(quantum), idle_cpus_(num_cpus) {
+  if (num_cpus <= 0) throw std::invalid_argument("CpuResource: num_cpus must be > 0");
+  if (!(quantum > 0.0)) throw std::invalid_argument("CpuResource: quantum must be > 0");
+}
+
+void CpuResource::submit(CpuRequest request) {
+  if (request.duration < 0.0) throw std::invalid_argument("CpuResource: negative duration");
+  if (request.duration == 0.0) {
+    // Zero-length requests complete immediately without occupying a CPU.
+    if (request.on_complete) {
+      engine_.schedule_after(0.0, std::move(request.on_complete));
+    }
+    return;
+  }
+  ready_.push_back(Job{request.duration, std::move(request)});
+  dispatch();
+}
+
+SimTime CpuResource::busy_time_total() const noexcept {
+  SimTime total = 0.0;
+  for (const SimTime t : busy_) total += t;
+  return total;
+}
+
+void CpuResource::dispatch() {
+  while (idle_cpus_ > 0 && !ready_.empty()) {
+    Job job = std::move(ready_.front());
+    ready_.pop_front();
+    --idle_cpus_;
+
+    const SimTime slice = std::min(quantum_, job.remaining);
+    job.remaining -= slice;
+    busy_[static_cast<std::size_t>(job.request.pclass)] += slice;
+
+    engine_.schedule_after(slice, [this, job = std::move(job)]() mutable {
+      ++idle_cpus_;
+      if (job.remaining > 0.0) {
+        ready_.push_back(std::move(job));  // preempted: back of the queue
+      } else if (job.request.on_complete) {
+        job.request.on_complete();
+      }
+      dispatch();
+    });
+  }
+}
+
+}  // namespace paradyn::rocc

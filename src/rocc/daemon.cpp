@@ -1,0 +1,179 @@
+#include "rocc/daemon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "rocc/main_paradyn.hpp"
+
+namespace paradyn::rocc {
+
+ParadynDaemon::ParadynDaemon(des::Engine& engine, const SystemConfig& config, CpuResource& cpu,
+                             NetworkResource& network, MetricsCollector& metrics,
+                             des::RngStream rng, std::int32_t node)
+    : engine_(engine),
+      config_(config),
+      cpu_(cpu),
+      network_(network),
+      metrics_(metrics),
+      rng_(rng),
+      node_(node) {}
+
+void ParadynDaemon::attach_pipe(Pipe& pipe) { pipes_.push_back(&pipe); }
+
+void ParadynDaemon::set_destination_main(MainParadyn& main) {
+  main_ = &main;
+  parent_ = nullptr;
+}
+
+void ParadynDaemon::set_destination_parent(ParadynDaemon& parent) {
+  parent_ = &parent;
+  main_ = nullptr;
+}
+
+void ParadynDaemon::start() {
+  if (main_ == nullptr && parent_ == nullptr) {
+    throw std::logic_error("ParadynDaemon: no forwarding destination configured");
+  }
+  try_start();
+}
+
+void ParadynDaemon::receive_from_child(Batch batch) {
+  merge_queue_.push_back(batch);
+  try_start();
+}
+
+void ParadynDaemon::stall_until(SimTime until) {
+  stalled_until_ = until;
+  engine_.schedule_at(until, [this] { try_start(); });
+}
+
+bool ParadynDaemon::stalled() const noexcept { return engine_.now() < stalled_until_; }
+
+void ParadynDaemon::try_start() {
+  if (busy_ || stalled()) return;
+
+  // A due flush outranks new work: en-route samples must not age more than
+  // one sampling period per hop waiting for the local batch to fill.
+  if (flush_due_ && !(merged_pending_.empty() && pending_batch_.empty())) {
+    begin_forward_local();
+    return;
+  }
+
+  // Merged traffic first: en-route samples have already paid latency.
+  if (!merge_queue_.empty()) {
+    Batch batch = merge_queue_.front();
+    merge_queue_.pop_front();
+    start_merge(batch);
+    return;
+  }
+
+  // Round-robin over the pipes of the local application processes.
+  for (std::size_t scanned = 0; scanned < pipes_.size(); ++scanned) {
+    Pipe& pipe = *pipes_[next_pipe_];
+    next_pipe_ = (next_pipe_ + 1) % pipes_.size();
+    if (auto sample = pipe.try_get()) {
+      start_collect(*sample);
+      return;
+    }
+  }
+
+  // Nothing to do: sleep until any pipe signals data.
+  for (Pipe* pipe : pipes_) {
+    pipe->notify_on_data([this] { try_start(); });
+  }
+}
+
+void ParadynDaemon::start_collect(const Sample& sample) {
+  busy_ = true;
+  cpu_.submit(CpuRequest{config_.pd.collect_cpu->sample(rng_), ProcessClass::ParadynDaemon,
+                         [this, sample] {
+                           ++samples_collected_;
+                           pending_batch_.push_back(sample);
+                           if (static_cast<std::int32_t>(pending_batch_.size()) >=
+                               config_.batch_size) {
+                             begin_forward_local();
+                           } else {
+                             busy_ = false;
+                             try_start();
+                           }
+                         }});
+}
+
+void ParadynDaemon::begin_forward_local() {
+  // The outgoing unit carries the local batch plus everything merged from
+  // the children since the last forward: tree aggregation keeps every
+  // daemon's outgoing unit rate at its own lambda (equation (14)) instead
+  // of multiplying units along the path to the root.
+  Batch batch;
+  batch.forward_started_at = engine_.now();
+  batch.origin_node = node_;
+  batch.samples = std::move(pending_batch_);
+  pending_batch_.clear();
+  if (!merged_pending_.empty()) {
+    batch.forward_started_at = std::min(batch.forward_started_at, merged_pending_earliest_);
+    batch.samples.insert(batch.samples.end(), merged_pending_.begin(), merged_pending_.end());
+    merged_pending_.clear();
+  }
+  flush_due_ = false;
+  engine_.cancel(flush_timer_);
+  forward_batch(std::move(batch));
+}
+
+void ParadynDaemon::start_merge(Batch batch) {
+  busy_ = true;
+  cpu_.submit(CpuRequest{config_.pd.merge_cpu->sample(rng_), ProcessClass::ParadynDaemon,
+                         [this, batch = std::move(batch)] {
+                           ++batches_merged_;
+                           // Fold the child's samples into the next local
+                           // forwarding unit; keep the earliest forwarding
+                           // start so monitoring latency accumulates across
+                           // tree hops (equation (16)).
+                           const bool was_empty = merged_pending_.empty();
+                           if (was_empty ||
+                               batch.forward_started_at < merged_pending_earliest_) {
+                             merged_pending_earliest_ = batch.forward_started_at;
+                           }
+                           merged_pending_.insert(merged_pending_.end(), batch.samples.begin(),
+                                                  batch.samples.end());
+                           if (was_empty && !flush_timer_.pending() && !flush_due_) {
+                             flush_timer_ = engine_.schedule_after(
+                                 config_.sampling_period_us, [this] { on_flush_due(); });
+                           }
+                           busy_ = false;
+                           try_start();
+                         }});
+}
+
+void ParadynDaemon::forward_batch(Batch batch) {
+  busy_ = true;
+  cpu_.submit(CpuRequest{
+      config_.pd.forward_cpu->sample(rng_), ProcessClass::ParadynDaemon, [this, batch] {
+        // The paper assumes a merged/batched unit occupies the network like
+        // a single sample; net_per_extra_sample_us generalizes that.
+        const double occupancy =
+            config_.pd.net_occupancy->sample(rng_) +
+            config_.pd.net_per_extra_sample_us * static_cast<double>(batch.sample_count() - 1);
+        network_.submit(NetRequest{occupancy, ProcessClass::ParadynDaemon, [this, batch] {
+                                     ++batches_forwarded_;
+                                     deliver(batch);
+                                     busy_ = false;
+                                     try_start();
+                                   }});
+      }});
+}
+
+void ParadynDaemon::on_flush_due() {
+  flush_due_ = true;
+  try_start();
+}
+
+void ParadynDaemon::deliver(const Batch& batch) {
+  if (parent_ != nullptr) {
+    parent_->receive_from_child(batch);
+  } else {
+    main_->receive(batch);
+  }
+}
+
+}  // namespace paradyn::rocc

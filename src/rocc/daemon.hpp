@@ -1,0 +1,109 @@
+// Paradyn daemon (Pd) model.
+//
+// A serial server that drains samples from the pipes of the application
+// processes it instruments.  Per sample it spends *collect* CPU; per
+// forwarding operation it spends *forward* CPU followed by a network
+// occupancy (a blocking send).  Under CF every sample is forwarded
+// immediately (batch size 1); under BF samples accumulate until the batch
+// is full (Figure 3).  In the MPP binary-tree configuration a non-leaf
+// daemon additionally receives batches from its children, spends *merge*
+// CPU per received batch, and forwards the merged unit to its parent
+// (Figure 4b, Section 3.3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/random.hpp"
+#include "rocc/config.hpp"
+#include "rocc/cpu.hpp"
+#include "rocc/metrics.hpp"
+#include "rocc/network.hpp"
+#include "rocc/pipe.hpp"
+
+namespace paradyn::rocc {
+
+class MainParadyn;
+
+class ParadynDaemon {
+ public:
+  ParadynDaemon(des::Engine& engine, const SystemConfig& config, CpuResource& cpu,
+                NetworkResource& network, MetricsCollector& metrics, des::RngStream rng,
+                std::int32_t node);
+
+  ParadynDaemon(const ParadynDaemon&) = delete;
+  ParadynDaemon& operator=(const ParadynDaemon&) = delete;
+
+  /// Register a pipe this daemon drains (one per instrumented process).
+  void attach_pipe(Pipe& pipe);
+
+  /// Direct configuration: deliver to the main process.  Exactly one of
+  /// set_destination_main / set_destination_parent must be called.
+  void set_destination_main(MainParadyn& main);
+  /// Tree configuration: deliver to the parent daemon.
+  void set_destination_parent(ParadynDaemon& parent);
+
+  /// Begin draining pipes.
+  void start();
+
+  /// Tree configuration: accept a batch forwarded by a child daemon.
+  void receive_from_child(Batch batch);
+
+  /// Fault injection: stop draining/forwarding until `until` (simulated
+  /// time).  An in-flight operation completes; new work waits.  The daemon
+  /// resumes automatically.
+  void stall_until(SimTime until);
+  [[nodiscard]] bool stalled() const noexcept;
+
+  [[nodiscard]] std::int32_t node() const noexcept { return node_; }
+  [[nodiscard]] std::uint64_t samples_collected() const noexcept { return samples_collected_; }
+  [[nodiscard]] std::uint64_t batches_forwarded() const noexcept { return batches_forwarded_; }
+  [[nodiscard]] std::uint64_t batches_merged() const noexcept { return batches_merged_; }
+
+ private:
+  /// Pick the next piece of work if idle: a due flush of en-route data, a
+  /// child batch to merge, else a sample from the pipes (round-robin),
+  /// else go idle.
+  void try_start();
+  /// The flush timer fired: merged child content must not wait longer than
+  /// one sampling period for the local batch to fill.
+  void on_flush_due();
+  void start_collect(const Sample& sample);
+  void start_merge(Batch batch);
+  /// Forward the current local batch (CF: single sample) to the destination.
+  void begin_forward_local();
+  /// CPU(forward) then network occupancy then delivery.
+  void forward_batch(Batch batch);
+  void deliver(const Batch& batch);
+
+  des::Engine& engine_;
+  const SystemConfig& config_;
+  CpuResource& cpu_;
+  NetworkResource& network_;
+  MetricsCollector& metrics_;
+  des::RngStream rng_;
+  std::int32_t node_;
+
+  std::vector<Pipe*> pipes_;
+  std::size_t next_pipe_ = 0;
+  std::deque<Batch> merge_queue_;
+  std::vector<Sample> pending_batch_;
+  /// Samples merged from children, waiting to ride the next local forward.
+  std::vector<Sample> merged_pending_;
+  SimTime merged_pending_earliest_ = 0.0;
+  des::EventHandle flush_timer_;
+  bool flush_due_ = false;
+  bool busy_ = false;
+  SimTime stalled_until_ = 0.0;
+
+  MainParadyn* main_ = nullptr;
+  ParadynDaemon* parent_ = nullptr;
+
+  std::uint64_t samples_collected_ = 0;
+  std::uint64_t batches_forwarded_ = 0;
+  std::uint64_t batches_merged_ = 0;
+};
+
+}  // namespace paradyn::rocc

@@ -1,0 +1,113 @@
+// Metric collection for the ROCC simulator.
+//
+// The paper's metrics (Section 2.1, "Metrics"): average direct IS overhead
+// (CPU occupancy of IS modules), monitoring latency of data forwarding,
+// per-node direct overhead, and data-forwarding throughput.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rocc/types.hpp"
+#include "stats/summary.hpp"
+
+namespace paradyn::rocc {
+
+/// Counters shared by the process models during a run.
+struct MetricsCollector {
+  /// Per-sample monitoring latency: forwarding-path residence from the
+  /// start of the forwarding operation at the (leaf) daemon to receipt at
+  /// the main Paradyn process, in microseconds.  Batching wait is excluded,
+  /// matching the operational definition behind equation (4).
+  stats::SummaryStats latency_us;
+  std::uint64_t samples_generated = 0;
+  std::uint64_t samples_delivered = 0;
+  std::uint64_t batches_delivered = 0;
+  /// Raw per-sample latencies in delivery order; only populated when
+  /// SystemConfig::record_latency_series is set (feeds the batch-means
+  /// steady-state analysis in stats/timeseries.hpp).
+  std::vector<double> latency_series_us;
+  bool record_latency_series = false;
+};
+
+/// One adaptive-cost-model decision (see rocc/cost_model.hpp).
+struct CostModelAdjustment {
+  SimTime at_us = 0.0;
+  double observed_overhead_pct = 0.0;
+  SimTime new_period_us = 0.0;
+};
+
+/// CPU-occupancy breakdown of one node.
+struct NodeBreakdown {
+  std::int32_t node = 0;
+  double app_cpu_us = 0.0;
+  double pd_cpu_us = 0.0;
+  double pvmd_cpu_us = 0.0;
+  double other_cpu_us = 0.0;
+  double main_cpu_us = 0.0;
+};
+
+/// Final report of one simulation run.  All "per node" values are per
+/// CPU-equivalent node: for NOW/MPP a physical node, for SMP one processor
+/// of the shared pool (the paper's SMP "number of nodes" is the CPU count).
+struct SimulationResult {
+  SimTime duration_us = 0.0;
+  std::int32_t nodes = 0;
+  std::int32_t cpus_per_node = 0;
+
+  /// Per-node occupancy (includes the dedicated main host as an extra
+  /// trailing entry when main_on_dedicated_host is set).
+  std::vector<NodeBreakdown> per_node;
+
+  // --- CPU occupancy time (microseconds) ---
+  double app_cpu_time_per_node_us = 0.0;
+  double pd_cpu_time_per_node_us = 0.0;
+  double pvmd_cpu_time_per_node_us = 0.0;
+  double other_cpu_time_per_node_us = 0.0;
+  double main_cpu_time_us = 0.0;
+
+  // --- CPU utilization (percent) ---
+  double app_cpu_util_pct = 0.0;
+  double pd_cpu_util_pct = 0.0;
+  double main_cpu_util_pct = 0.0;
+  /// (all daemons + main) busy time over all CPUs — the SMP "IS CPU
+  /// utilization per node" metric.
+  double is_cpu_util_pct = 0.0;
+  /// Pd share of *occupied* CPU time (Pd busy / total busy) — the
+  /// contention-relative overhead view used for the barrier study.
+  double pd_busy_share_pct = 0.0;
+
+  // --- Network ---
+  double network_util_pct = 0.0;  ///< Of the shared server; aggregate occupancy if contention-free.
+
+  // --- Forwarding ---
+  stats::SummaryStats latency_us;
+  /// Per-sample latencies in delivery order (empty unless
+  /// SystemConfig::record_latency_series was set).
+  std::vector<double> latency_series_us;
+  std::uint64_t samples_generated = 0;
+  std::uint64_t samples_delivered = 0;
+  std::uint64_t batches_delivered = 0;
+  double throughput_samples_per_sec = 0.0;
+
+  // --- Barrier ---
+  std::uint64_t barrier_rounds = 0;
+  double barrier_wait_us = 0.0;
+
+  // --- Adaptive cost model (empty/0 when not enabled) ---
+  double final_sampling_period_us = 0.0;
+  std::vector<CostModelAdjustment> cost_adjustments;
+
+  /// Monitoring latency per received sample, in seconds (figure units).
+  [[nodiscard]] double latency_sec() const {
+    return latency_us.count() ? latency_us.mean() / 1e6 : 0.0;
+  }
+  /// Pd CPU time per node in seconds (figure units).
+  [[nodiscard]] double pd_cpu_time_sec() const { return pd_cpu_time_per_node_us / 1e6; }
+  /// Application CPU time per node in seconds.
+  [[nodiscard]] double app_cpu_time_sec() const { return app_cpu_time_per_node_us / 1e6; }
+  /// Main Paradyn CPU time in seconds.
+  [[nodiscard]] double main_cpu_time_sec() const { return main_cpu_time_us / 1e6; }
+};
+
+}  // namespace paradyn::rocc

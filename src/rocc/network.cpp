@@ -1,0 +1,46 @@
+#include "rocc/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace paradyn::rocc {
+
+NetworkResource::NetworkResource(des::Engine& engine, NetworkContention contention)
+    : engine_(engine), contention_(contention) {}
+
+SimTime NetworkResource::busy_time_total() const noexcept {
+  SimTime total = 0.0;
+  for (const SimTime t : busy_) total += t;
+  return total;
+}
+
+void NetworkResource::submit(NetRequest request) {
+  if (request.duration < 0.0) throw std::invalid_argument("NetworkResource: negative duration");
+  busy_[static_cast<std::size_t>(request.pclass)] += request.duration;
+
+  if (contention_ == NetworkContention::ContentionFree) {
+    engine_.schedule_after(request.duration, [cb = std::move(request.on_complete)]() {
+      if (cb) cb();
+    });
+    return;
+  }
+
+  queue_.push_back(std::move(request));
+  if (!server_busy_) start_next();
+}
+
+void NetworkResource::start_next() {
+  if (queue_.empty()) {
+    server_busy_ = false;
+    return;
+  }
+  server_busy_ = true;
+  NetRequest req = std::move(queue_.front());
+  queue_.pop_front();
+  engine_.schedule_after(req.duration, [this, cb = std::move(req.on_complete)]() {
+    if (cb) cb();
+    start_next();
+  });
+}
+
+}  // namespace paradyn::rocc

@@ -1,0 +1,67 @@
+// Network resource.
+//
+// Two contention models (Section 2.1 / Section 4):
+//  * SharedSingleServer — one FIFO server for the whole system: the shared
+//    Ethernet of a NOW or the shared bus of an SMP.  "Network delays are
+//    represented by the arrivals to a single server buffer" (Figure 2).
+//  * ContentionFree — a high-speed dedicated MPP interconnect: every
+//    occupancy request is served immediately (pure delay / infinite-server
+//    station), as assumed in Section 4.4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "des/engine.hpp"
+#include "rocc/types.hpp"
+
+namespace paradyn::rocc {
+
+/// One network occupancy request.
+struct NetRequest {
+  SimTime duration = 0.0;
+  ProcessClass pclass = ProcessClass::Application;
+  /// Invoked when the occupancy completes (message delivered).  May be
+  /// empty for fire-and-forget background traffic.
+  std::function<void()> on_complete;
+};
+
+class NetworkResource {
+ public:
+  NetworkResource(des::Engine& engine, NetworkContention contention);
+
+  NetworkResource(const NetworkResource&) = delete;
+  NetworkResource& operator=(const NetworkResource&) = delete;
+
+  void submit(NetRequest request);
+
+  /// Total network busy time accumulated by a process class.  For the
+  /// contention-free model this is the summed occupancy (utilization of an
+  /// infinitely wide resource).
+  [[nodiscard]] SimTime busy_time(ProcessClass c) const noexcept {
+    return busy_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] SimTime busy_time_total() const noexcept;
+
+  /// Zero the per-class busy-time accounting (warm-up deletion).
+  void reset_accounting() noexcept { busy_.fill(0.0); }
+
+  [[nodiscard]] NetworkContention contention() const noexcept { return contention_; }
+  /// Requests waiting or in service (shared mode only; 0 when idle).
+  [[nodiscard]] std::size_t backlog() const noexcept {
+    return queue_.size() + (server_busy_ ? 1 : 0);
+  }
+
+ private:
+  void start_next();
+
+  des::Engine& engine_;
+  NetworkContention contention_;
+  bool server_busy_ = false;
+  std::deque<NetRequest> queue_;
+  std::array<SimTime, trace::kNumProcessClasses> busy_{};
+};
+
+}  // namespace paradyn::rocc

@@ -1,0 +1,42 @@
+#include "rocc/pipe.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace paradyn::rocc {
+
+Pipe::Pipe(std::int32_t capacity) : capacity_(capacity) {
+  if (capacity <= 0) throw std::invalid_argument("Pipe: capacity must be > 0");
+}
+
+bool Pipe::try_put(const Sample& sample) {
+  if (full()) {
+    ++rejected_;
+    return false;
+  }
+  buffer_.push_back(sample);
+  ++accepted_;
+  if (on_data_) {
+    // Move out first: the callback may re-register.
+    auto cb = std::exchange(on_data_, nullptr);
+    cb();
+  }
+  return true;
+}
+
+std::optional<Sample> Pipe::try_get() {
+  if (buffer_.empty()) return std::nullopt;
+  Sample s = buffer_.front();
+  buffer_.pop_front();
+  if (on_space_) {
+    auto cb = std::exchange(on_space_, nullptr);
+    cb();
+  }
+  return s;
+}
+
+void Pipe::notify_on_data(std::function<void()> cb) { on_data_ = std::move(cb); }
+
+void Pipe::notify_on_space(std::function<void()> cb) { on_space_ = std::move(cb); }
+
+}  // namespace paradyn::rocc

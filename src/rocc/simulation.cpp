@@ -1,0 +1,264 @@
+#include "rocc/simulation.hpp"
+
+#include <stdexcept>
+
+namespace paradyn::rocc {
+namespace {
+
+/// Role tags for RNG stream derivation — keep stable so results are
+/// reproducible across code changes that add entities.
+enum RoleTag : std::uint64_t {
+  kTagApp = 1,
+  kTagDaemon = 2,
+  kTagMain = 3,
+  kTagPvmdCpu = 4,
+  kTagPvmdNet = 5,
+  kTagOtherCpu = 6,
+  kTagOtherNet = 7,
+};
+
+}  // namespace
+
+Simulation::Simulation(SystemConfig config) : config_(std::move(config)) {
+  config_.validate();
+  metrics_.record_latency_series = config_.record_latency_series;
+  build();
+}
+
+void Simulation::build() {
+  const std::int32_t nodes = config_.nodes;
+
+  // Resources.  An optional extra CPU at the end hosts the main Paradyn
+  // process when it runs on a dedicated workstation (Figure 29 setup).
+  const bool dedicated_main = config_.instrumentation_enabled && config_.main_on_dedicated_host;
+  const std::int32_t cpu_groups = nodes + (dedicated_main ? 1 : 0);
+  node_cpus_.reserve(static_cast<std::size_t>(cpu_groups));
+  for (std::int32_t n = 0; n < cpu_groups; ++n) {
+    node_cpus_.push_back(
+        std::make_unique<CpuResource>(engine_, config_.cpus_per_node, config_.cpu_quantum_us));
+  }
+  network_ = std::make_unique<NetworkResource>(engine_, config_.contention);
+
+  const std::int32_t total_apps = nodes * config_.app_processes_per_node;
+  if ((config_.barrier_period_us > 0.0 || config_.barrier_every_cycles > 0) && total_apps > 0) {
+    barrier_ = std::make_unique<BarrierManager>(engine_, total_apps);
+  }
+
+  // Main Paradyn process lives on node 0's CPU(s), or on the dedicated
+  // host CPU when main_on_dedicated_host is set.
+  if (config_.instrumentation_enabled) {
+    CpuResource& main_cpu = dedicated_main ? *node_cpus_.back() : *node_cpus_[0];
+    main_ = std::make_unique<MainParadyn>(engine_, config_, main_cpu, metrics_,
+                                          des::RngStream(config_.seed, 0, kTagMain));
+  }
+
+  // Daemons: one per node (NOW/MPP) or `daemons` sharing the pool (SMP).
+  if (config_.instrumentation_enabled) {
+    const std::int32_t daemon_count =
+        (config_.arch == Architecture::Smp) ? config_.daemons : nodes;
+    daemons_.reserve(static_cast<std::size_t>(daemon_count));
+    for (std::int32_t d = 0; d < daemon_count; ++d) {
+      const std::int32_t host_node = (config_.arch == Architecture::Smp) ? 0 : d;
+      daemons_.push_back(std::make_unique<ParadynDaemon>(
+          engine_, config_, *node_cpus_[host_node], *network_, metrics_,
+          des::RngStream(config_.seed, static_cast<std::uint64_t>(d), kTagDaemon), host_node));
+    }
+    // Forwarding destinations.
+    if (config_.topology == ForwardingTopology::BinaryTree) {
+      for (std::size_t d = 0; d < daemons_.size(); ++d) {
+        if (d == 0) {
+          daemons_[d]->set_destination_main(*main_);
+        } else {
+          daemons_[d]->set_destination_parent(*daemons_[(d - 1) / 2]);
+        }
+      }
+    } else {
+      for (auto& daemon : daemons_) daemon->set_destination_main(*main_);
+    }
+  }
+
+  // Adaptive cost model: the controller watches every CPU's IS occupancy
+  // and owns the live sampling period.
+  if (config_.instrumentation_enabled && config_.adaptive.enabled) {
+    std::vector<const CpuResource*> cpu_views;
+    cpu_views.reserve(node_cpus_.size());
+    for (const auto& cpu : node_cpus_) cpu_views.push_back(cpu.get());
+    const double capacity =
+        static_cast<double>(node_cpus_.size()) * static_cast<double>(config_.cpus_per_node);
+    controller_ = std::make_unique<SamplingController>(
+        engine_, config_.adaptive, config_.sampling_period_us, std::move(cpu_views), capacity);
+  }
+
+  // Application processes and their pipes.
+  for (std::int32_t n = 0; n < nodes; ++n) {
+    for (std::int32_t a = 0; a < config_.app_processes_per_node; ++a) {
+      Pipe* pipe = nullptr;
+      if (config_.instrumentation_enabled) {
+        pipes_.push_back(std::make_unique<Pipe>(config_.pipe_capacity));
+        pipe = pipes_.back().get();
+        // NOW/MPP: the node's own daemon.  SMP: apps assigned round-robin
+        // over the daemon pool.
+        const std::size_t app_global =
+            static_cast<std::size_t>(n) * static_cast<std::size_t>(config_.app_processes_per_node) +
+            static_cast<std::size_t>(a);
+        const std::size_t daemon_idx = (config_.arch == Architecture::Smp)
+                                           ? app_global % daemons_.size()
+                                           : static_cast<std::size_t>(n);
+        daemons_[daemon_idx]->attach_pipe(*pipe);
+      }
+      const auto app_tag =
+          static_cast<std::uint64_t>(n) * 4096 + static_cast<std::uint64_t>(a);
+      const auto override_it = config_.app_overrides.find(n);
+      const AppModel& model =
+          override_it != config_.app_overrides.end() ? override_it->second : config_.app;
+      apps_.push_back(std::make_unique<ApplicationProcess>(
+          engine_, config_, model, *node_cpus_[n], *network_, pipe, barrier_.get(),
+          controller_.get(), metrics_, des::RngStream(config_.seed, app_tag, kTagApp), n, a));
+    }
+  }
+
+  // Background load (PVM daemon + other processes) on every node.
+  if (config_.background.enabled) {
+    const auto& bg = config_.background;
+    for (std::int32_t n = 0; n < nodes; ++n) {
+      const auto node_tag = static_cast<std::uint64_t>(n);
+      background_.push_back(std::make_unique<OpenArrivalStream>(
+          engine_, bg.pvmd_interarrival, bg.pvmd_cpu_length, ProcessClass::PvmDaemon,
+          node_cpus_[n].get(), nullptr, des::RngStream(config_.seed, node_tag, kTagPvmdCpu)));
+      background_.push_back(std::make_unique<OpenArrivalStream>(
+          engine_, bg.pvmd_interarrival, bg.pvmd_net_length, ProcessClass::PvmDaemon, nullptr,
+          network_.get(), des::RngStream(config_.seed, node_tag, kTagPvmdNet)));
+      background_.push_back(std::make_unique<OpenArrivalStream>(
+          engine_, bg.other_cpu_interarrival, bg.other_cpu_length, ProcessClass::Other,
+          node_cpus_[n].get(), nullptr, des::RngStream(config_.seed, node_tag, kTagOtherCpu)));
+      background_.push_back(std::make_unique<OpenArrivalStream>(
+          engine_, bg.other_net_interarrival, bg.other_net_length, ProcessClass::Other, nullptr,
+          network_.get(), des::RngStream(config_.seed, node_tag, kTagOtherNet)));
+    }
+  }
+}
+
+SimulationResult Simulation::run() {
+  if (ran_) throw std::logic_error("Simulation::run: already ran");
+  ran_ = true;
+
+  for (auto& stream : background_) stream->start();
+  for (auto& daemon : daemons_) daemon->start();
+  for (auto& app : apps_) app->start();
+  if (controller_) controller_->start();
+
+  // Fault injection: schedule the daemon stall window.
+  const auto& stall = config_.fault_daemon_stall;
+  if (stall.duration_us > 0.0 && !daemons_.empty()) {
+    if (static_cast<std::size_t>(stall.daemon_index) >= daemons_.size()) {
+      throw std::invalid_argument("Simulation: daemon stall index out of range");
+    }
+    ParadynDaemon* victim = daemons_[static_cast<std::size_t>(stall.daemon_index)].get();
+    engine_.schedule_at(stall.start_us, [victim, &stall] {
+      victim->stall_until(stall.start_us + stall.duration_us);
+    });
+  }
+
+  if (config_.warmup_us > 0.0) {
+    // Transient deletion: run the warm-up, then zero every accumulator so
+    // the reported metrics cover only the (closer-to-)steady-state window.
+    engine_.run_until(config_.warmup_us);
+    for (auto& cpu : node_cpus_) cpu->reset_accounting();
+    network_->reset_accounting();
+    if (barrier_) barrier_->reset_accounting();
+    metrics_ = MetricsCollector{};
+    metrics_.record_latency_series = config_.record_latency_series;
+  }
+  engine_.run_until(config_.duration_us);
+  return collect();
+}
+
+SimulationResult Simulation::collect() const {
+  SimulationResult r;
+  // The measurement window excludes the warm-up (all accounting was reset
+  // at its end).
+  const SimTime window_us = config_.duration_us - config_.warmup_us;
+  r.duration_us = window_us;
+  r.nodes = config_.nodes;
+  r.cpus_per_node = config_.cpus_per_node;
+
+  const double total_cpus =
+      static_cast<double>(config_.nodes) * static_cast<double>(config_.cpus_per_node);
+  const double cpu_time_denominator = total_cpus;  // "per node" == per CPU-equivalent
+
+  double app_busy = 0.0;
+  double pd_busy = 0.0;
+  double pvmd_busy = 0.0;
+  double other_busy = 0.0;
+  double main_busy = 0.0;
+  double all_busy = 0.0;
+  for (const auto& cpu : node_cpus_) {
+    app_busy += cpu->busy_time(ProcessClass::Application);
+    pd_busy += cpu->busy_time(ProcessClass::ParadynDaemon);
+    pvmd_busy += cpu->busy_time(ProcessClass::PvmDaemon);
+    other_busy += cpu->busy_time(ProcessClass::Other);
+    main_busy += cpu->busy_time(ProcessClass::MainParadyn);
+    all_busy += cpu->busy_time_total();
+  }
+
+  r.app_cpu_time_per_node_us = app_busy / cpu_time_denominator;
+  r.pd_cpu_time_per_node_us = pd_busy / cpu_time_denominator;
+  r.pvmd_cpu_time_per_node_us = pvmd_busy / cpu_time_denominator;
+  r.other_cpu_time_per_node_us = other_busy / cpu_time_denominator;
+  r.main_cpu_time_us = main_busy;
+
+  const double capacity = total_cpus * window_us;
+  r.app_cpu_util_pct = 100.0 * app_busy / capacity;
+  r.pd_cpu_util_pct = 100.0 * pd_busy / capacity;
+  r.main_cpu_util_pct = 100.0 * main_busy / window_us;
+  r.is_cpu_util_pct = 100.0 * (pd_busy + main_busy) / capacity;
+  r.pd_busy_share_pct = (all_busy > 0.0) ? 100.0 * pd_busy / all_busy : 0.0;
+
+  r.network_util_pct = 100.0 * network_->busy_time_total() / window_us;
+
+  r.latency_us = metrics_.latency_us;
+  r.latency_series_us = metrics_.latency_series_us;
+
+  // Per-node occupancy breakdown.
+  r.per_node.reserve(node_cpus_.size());
+  for (std::size_t n = 0; n < node_cpus_.size(); ++n) {
+    NodeBreakdown nb;
+    nb.node = static_cast<std::int32_t>(n);
+    nb.app_cpu_us = node_cpus_[n]->busy_time(ProcessClass::Application);
+    nb.pd_cpu_us = node_cpus_[n]->busy_time(ProcessClass::ParadynDaemon);
+    nb.pvmd_cpu_us = node_cpus_[n]->busy_time(ProcessClass::PvmDaemon);
+    nb.other_cpu_us = node_cpus_[n]->busy_time(ProcessClass::Other);
+    nb.main_cpu_us = node_cpus_[n]->busy_time(ProcessClass::MainParadyn);
+    r.per_node.push_back(nb);
+  }
+  r.samples_generated = metrics_.samples_generated;
+  r.samples_delivered = metrics_.samples_delivered;
+  r.batches_delivered = metrics_.batches_delivered;
+  r.throughput_samples_per_sec =
+      static_cast<double>(metrics_.samples_delivered) / des::to_seconds(window_us);
+
+  if (barrier_) {
+    r.barrier_rounds = barrier_->rounds();
+    r.barrier_wait_us = barrier_->total_wait_time();
+  }
+  if (controller_) {
+    r.final_sampling_period_us = controller_->current_period_us();
+    r.cost_adjustments = controller_->adjustments();
+  }
+  return r;
+}
+
+SimulationResult run_simulation(const SystemConfig& config) { return Simulation(config).run(); }
+
+std::vector<SimulationResult> run_replications(SystemConfig config, std::size_t replications) {
+  std::vector<SimulationResult> results;
+  results.reserve(replications);
+  for (std::size_t i = 0; i < replications; ++i) {
+    SystemConfig c = config;
+    c.seed = config.seed + i;
+    results.push_back(run_simulation(c));
+  }
+  return results;
+}
+
+}  // namespace paradyn::rocc

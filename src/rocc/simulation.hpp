@@ -1,0 +1,85 @@
+// Simulation façade: builds the ROCC queueing network for a SystemConfig
+// (Figure 2 / Figure 5), runs it, and reports the paper's metrics.
+//
+// Typical use:
+//   auto cfg = rocc::SystemConfig::now(8);
+//   cfg.sampling_period_us = 40'000;
+//   cfg.batch_size = 32;                       // BF policy
+//   cfg.warmup_us = 1e6;                       // optional transient deletion
+//   rocc::SimulationResult r = rocc::Simulation(cfg).run();
+//
+// To consume delivered samples (e.g. with the Performance Consultant),
+// construct the Simulation, attach a sink via main_process(), then run:
+//   rocc::Simulation sim(cfg);
+//   sim.main_process()->set_sample_sink([&](const rocc::Sample& s) { ... });
+//   auto r = sim.run();
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "rocc/app_process.hpp"
+#include "rocc/background.hpp"
+#include "rocc/barrier.hpp"
+#include "rocc/config.hpp"
+#include "rocc/cost_model.hpp"
+#include "rocc/cpu.hpp"
+#include "rocc/daemon.hpp"
+#include "rocc/main_paradyn.hpp"
+#include "rocc/metrics.hpp"
+#include "rocc/network.hpp"
+#include "rocc/pipe.hpp"
+
+namespace paradyn::rocc {
+
+class Simulation {
+ public:
+  /// Validates and captures the configuration, then builds the model.
+  explicit Simulation(SystemConfig config);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Run to config.duration_us and collect the metrics.  May be called once.
+  [[nodiscard]] SimulationResult run();
+
+  /// Accessors for tests and custom drivers (valid after construction).
+  [[nodiscard]] des::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const MetricsCollector& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] std::size_t num_daemons() const noexcept { return daemons_.size(); }
+  [[nodiscard]] std::size_t num_apps() const noexcept { return apps_.size(); }
+  /// The main Paradyn process, for attaching sample consumers (null when
+  /// instrumentation is disabled).  Call before run().
+  [[nodiscard]] MainParadyn* main_process() noexcept { return main_.get(); }
+
+ private:
+  void build();
+  [[nodiscard]] SimulationResult collect() const;
+
+  SystemConfig config_;
+  des::Engine engine_;
+  MetricsCollector metrics_;
+
+  std::vector<std::unique_ptr<CpuResource>> node_cpus_;
+  std::unique_ptr<NetworkResource> network_;
+  std::unique_ptr<SamplingController> controller_;
+  std::unique_ptr<BarrierManager> barrier_;
+  std::vector<std::unique_ptr<Pipe>> pipes_;
+  std::vector<std::unique_ptr<ApplicationProcess>> apps_;
+  std::vector<std::unique_ptr<ParadynDaemon>> daemons_;
+  std::unique_ptr<MainParadyn> main_;
+  std::vector<std::unique_ptr<OpenArrivalStream>> background_;
+  bool ran_ = false;
+};
+
+/// Convenience: build and run in one call.
+[[nodiscard]] SimulationResult run_simulation(const SystemConfig& config);
+
+/// Run `replications` simulations with seeds seed, seed+1, ... and return
+/// all results (the 2^k r experiment harness builds on this).
+[[nodiscard]] std::vector<SimulationResult> run_replications(SystemConfig config,
+                                                             std::size_t replications);
+
+}  // namespace paradyn::rocc

@@ -1,0 +1,214 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/special_functions.hpp"
+
+namespace paradyn::stats {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) throw std::invalid_argument(std::string(what) + " must be > 0");
+}
+}  // namespace
+
+double Distribution::log_likelihood(std::span<const double> data) const {
+  double ll = 0.0;
+  for (const double x : data) {
+    const double p = pdf(x);
+    if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+    ll += std::log(p);
+  }
+  return ll;
+}
+
+double Distribution::stddev() const { return std::sqrt(variance()); }
+
+double sample_standard_normal(des::Pcg32& rng) {
+  // Box-Muller; one variate per call keeps streams replayable without
+  // hidden generator state.
+  const double u1 = rng.next_open_double();
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+}
+
+// ---------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double mean) : mean_(mean) { require_positive(mean, "Exponential mean"); }
+
+std::string Exponential::describe() const {
+  std::ostringstream os;
+  os << "exponential(mean=" << mean_ << ")";
+  return os.str();
+}
+
+double Exponential::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return std::exp(-x / mean_) / mean_;
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-x / mean_);
+}
+
+double Exponential::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0)) throw std::invalid_argument("Exponential::quantile: p in [0,1)");
+  return -mean_ * std::log1p(-p);
+}
+
+double Exponential::sample(des::Pcg32& rng) const {
+  return -mean_ * std::log(rng.next_open_double());
+}
+
+// ------------------------------------------------------------------ Lognormal
+
+Lognormal::Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require_positive(sigma, "Lognormal sigma");
+}
+
+Lognormal Lognormal::from_mean_stddev(double mean, double stddev) {
+  require_positive(mean, "Lognormal mean");
+  require_positive(stddev, "Lognormal stddev");
+  const double cv2 = (stddev / mean) * (stddev / mean);
+  const double sigma2 = std::log1p(cv2);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return Lognormal(mu, std::sqrt(sigma2));
+}
+
+std::string Lognormal::describe() const {
+  std::ostringstream os;
+  os << "lognormal(mean=" << mean() << ", stddev=" << stddev() << ")";
+  return os.str();
+}
+
+double Lognormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+double Lognormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return std::expm1(s2) * std::exp(2.0 * mu_ + s2);
+}
+
+double Lognormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * kPi));
+}
+
+double Lognormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double Lognormal::quantile(double p) const {
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double Lognormal::sample(des::Pcg32& rng) const {
+  return std::exp(mu_ + sigma_ * sample_standard_normal(rng));
+}
+
+// -------------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  require_positive(shape, "Weibull shape");
+  require_positive(scale, "Weibull scale");
+}
+
+std::string Weibull::describe() const {
+  std::ostringstream os;
+  os << "weibull(shape=" << shape_ << ", scale=" << scale_ << ")";
+  return os.str();
+}
+
+double Weibull::mean() const { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
+
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return (shape_ < 1.0) ? std::numeric_limits<double>::infinity()
+                                      : (shape_ == 1.0 ? 1.0 / scale_ : 0.0);
+  const double t = x / scale_;
+  return (shape_ / scale_) * std::pow(t, shape_ - 1.0) * std::exp(-std::pow(t, shape_));
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0)) throw std::invalid_argument("Weibull::quantile: p in [0,1)");
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::sample(des::Pcg32& rng) const {
+  return scale_ * std::pow(-std::log(rng.next_open_double()), 1.0 / shape_);
+}
+
+// -------------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("Uniform: hi must be > lo");
+}
+
+std::string Uniform::describe() const {
+  std::ostringstream os;
+  os << "uniform(" << lo_ << ", " << hi_ << ")";
+  return os.str();
+}
+
+double Uniform::variance() const {
+  const double w = hi_ - lo_;
+  return w * w / 12.0;
+}
+
+double Uniform::pdf(double x) const {
+  return (x >= lo_ && x <= hi_) ? 1.0 / (hi_ - lo_) : 0.0;
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0)) throw std::invalid_argument("Uniform::quantile: p in [0,1]");
+  return lo_ + p * (hi_ - lo_);
+}
+
+double Uniform::sample(des::Pcg32& rng) const { return lo_ + rng.next_double() * (hi_ - lo_); }
+
+// -------------------------------------------------------------- Deterministic
+
+Deterministic::Deterministic(double value) : value_(value) {
+  if (!(value >= 0.0)) throw std::invalid_argument("Deterministic value must be >= 0");
+}
+
+std::string Deterministic::describe() const {
+  std::ostringstream os;
+  os << "deterministic(" << value_ << ")";
+  return os.str();
+}
+
+double Deterministic::pdf(double x) const {
+  return (x == value_) ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+double Deterministic::cdf(double x) const { return (x >= value_) ? 1.0 : 0.0; }
+
+double Deterministic::quantile(double /*p*/) const { return value_; }
+
+double Deterministic::sample(des::Pcg32& /*rng*/) const { return value_; }
+
+}  // namespace paradyn::stats

@@ -1,0 +1,69 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace paradyn::stats {
+
+Empirical::Empirical(std::span<const double> data) : sorted_(data.begin(), data.end()) {
+  if (sorted_.size() < 2) {
+    throw std::invalid_argument("Empirical: need at least 2 observations");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  const SummaryStats s = summarize(sorted_);
+  mean_ = s.mean();
+  variance_ = s.variance();
+}
+
+std::string Empirical::describe() const {
+  std::ostringstream os;
+  os << "empirical(n=" << sorted_.size() << ", mean=" << mean_ << ")";
+  return os.str();
+}
+
+double Empirical::cdf(double x) const {
+  if (x <= sorted_.front()) return 0.0;
+  if (x >= sorted_.back()) return 1.0;
+  // F(x_(i)) = (i) / (n-1) with linear interpolation between order
+  // statistics (the continuous empirical CDF of Law & Kelton).
+  const auto n = sorted_.size();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  const auto i = static_cast<std::size_t>(it - sorted_.begin());  // x_(i-1) <= x < x_(i)
+  const double lo = sorted_[i - 1];
+  const double hi = sorted_[i];
+  const double base = static_cast<double>(i - 1) / static_cast<double>(n - 1);
+  const double step = 1.0 / static_cast<double>(n - 1);
+  const double frac = (hi > lo) ? (x - lo) / (hi - lo) : 0.0;
+  return base + frac * step;
+}
+
+double Empirical::pdf(double x) const {
+  if (x < sorted_.front() || x > sorted_.back()) return 0.0;
+  const auto n = sorted_.size();
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  if (it == sorted_.begin()) ++it;
+  if (it == sorted_.end()) --it;
+  const auto i = static_cast<std::size_t>(it - sorted_.begin());
+  const double lo = sorted_[i - 1];
+  const double hi = sorted_[i];
+  if (hi <= lo) return 0.0;  // tied order statistics: density spike, report 0
+  return (1.0 / static_cast<double>(n - 1)) / (hi - lo);
+}
+
+double Empirical::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0)) throw std::invalid_argument("Empirical::quantile: p in [0,1]");
+  const auto n = sorted_.size();
+  const double h = p * static_cast<double>(n - 1);
+  const auto i = static_cast<std::size_t>(std::floor(h));
+  if (i + 1 >= n) return sorted_.back();
+  const double frac = h - std::floor(h);
+  return sorted_[i] + frac * (sorted_[i + 1] - sorted_[i]);
+}
+
+double Empirical::sample(des::Pcg32& rng) const { return quantile(rng.next_double()); }
+
+}  // namespace paradyn::stats

@@ -1,0 +1,46 @@
+// Empirical distribution over observed data.
+//
+// The alternative to parametric fitting (Law & Kelton ch. 6): when none of
+// the candidate families matches the occupancy-request lengths well, drive
+// the ROCC simulator directly from the observed sample, interpolating the
+// empirical CDF between order statistics.  Plugs in anywhere a parametric
+// Distribution does (trace replay without distribution fitting).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/distributions.hpp"
+
+namespace paradyn::stats {
+
+class Empirical final : public Distribution {
+ public:
+  /// Builds the interpolated empirical CDF from `data` (copied, sorted).
+  /// Requires at least two observations.
+  explicit Empirical(std::span<const double> data);
+
+  [[nodiscard]] std::string name() const override { return "empirical"; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double variance() const override { return variance_; }
+  /// Piecewise-constant density between order statistics (0 outside the
+  /// observed range).
+  [[nodiscard]] double pdf(double x) const override;
+  /// Piecewise-linear interpolated empirical CDF.
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  /// Inverse-CDF sampling: continuous variates on [min, max].
+  [[nodiscard]] double sample(des::Pcg32& rng) const override;
+
+  [[nodiscard]] std::size_t observations() const noexcept { return sorted_.size(); }
+  [[nodiscard]] double min() const noexcept { return sorted_.front(); }
+  [[nodiscard]] double max() const noexcept { return sorted_.back(); }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+}  // namespace paradyn::stats

@@ -1,0 +1,111 @@
+#include "stats/factorial.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace paradyn::stats {
+
+const FactorialEffect& FactorialAnalysis::effect(const std::string& label) const {
+  for (const auto& e : effects) {
+    if (e.label == label) return e;
+  }
+  throw std::out_of_range("FactorialAnalysis::effect: no effect labeled " + label);
+}
+
+FactorialDesign::FactorialDesign(std::vector<std::string> factor_names, std::size_t replications)
+    : names_(std::move(factor_names)), reps_(replications) {
+  if (names_.empty()) throw std::invalid_argument("FactorialDesign: need at least one factor");
+  if (names_.size() > 16) throw std::invalid_argument("FactorialDesign: too many factors");
+  if (reps_ == 0) throw std::invalid_argument("FactorialDesign: replications must be >= 1");
+  responses_.assign(num_cells(), std::vector<double>(reps_, 0.0));
+  filled_.assign(num_cells(), std::vector<bool>(reps_, false));
+}
+
+void FactorialDesign::set_response(unsigned cell_mask, std::size_t rep, double y) {
+  if (cell_mask >= num_cells()) throw std::out_of_range("FactorialDesign: bad cell mask");
+  if (rep >= reps_) throw std::out_of_range("FactorialDesign: bad replication index");
+  responses_[cell_mask][rep] = y;
+  filled_[cell_mask][rep] = true;
+}
+
+bool FactorialDesign::complete() const noexcept {
+  for (const auto& cell : filled_) {
+    for (const bool f : cell) {
+      if (!f) return false;
+    }
+  }
+  return true;
+}
+
+std::string FactorialDesign::mask_label(unsigned mask) {
+  if (mask == 0) return "mean";
+  std::string label;
+  for (unsigned i = 0; mask >> i; ++i) {
+    if (mask & (1U << i)) label.push_back(static_cast<char>('A' + i));
+  }
+  return label;
+}
+
+FactorialAnalysis FactorialDesign::analyze() const {
+  if (!complete()) throw std::logic_error("FactorialDesign::analyze: design incomplete");
+  const std::size_t cells = num_cells();
+  const auto cells_d = static_cast<double>(cells);
+  const auto reps_d = static_cast<double>(reps_);
+
+  // Per-cell means and within-cell (replication) error.
+  std::vector<double> cell_mean(cells, 0.0);
+  double sse = 0.0;
+  for (std::size_t c = 0; c < cells; ++c) {
+    double sum = 0.0;
+    for (const double y : responses_[c]) sum += y;
+    cell_mean[c] = sum / reps_d;
+    for (const double y : responses_[c]) {
+      const double d = y - cell_mean[c];
+      sse += d * d;
+    }
+  }
+
+  // Sign-table effects: q_mask = (1/2^k) * sum_cells sign(mask, cell) * mean.
+  // sign(mask, cell) = +1 if the parity of (mask & cell) is even when
+  // low level is encoded as -1: each participating factor contributes its
+  // level sign, i.e. product over bits of (+1 if cell bit set else -1).
+  FactorialAnalysis out;
+  std::vector<double> q(cells, 0.0);
+  for (unsigned mask = 0; mask < cells; ++mask) {
+    double acc = 0.0;
+    for (unsigned cell = 0; cell < cells; ++cell) {
+      // Parity of participating factors that are at the LOW level.
+      const unsigned lows = mask & ~cell;
+      const double sign = (std::popcount(lows) % 2 == 0) ? 1.0 : -1.0;
+      acc += sign * cell_mean[cell];
+    }
+    q[mask] = acc / cells_d;
+  }
+  out.grand_mean = q[0];
+
+  double ss_effects = 0.0;
+  for (unsigned mask = 1; mask < cells; ++mask) {
+    FactorialEffect e;
+    e.mask = mask;
+    e.label = mask_label(mask);
+    e.effect = q[mask];
+    e.sum_of_squares = cells_d * reps_d * q[mask] * q[mask];
+    ss_effects += e.sum_of_squares;
+    out.effects.push_back(std::move(e));
+  }
+
+  out.sse = sse;
+  out.sst = ss_effects + sse;
+  const double sst = (out.sst > 0.0) ? out.sst : 1.0;
+  for (auto& e : out.effects) e.variation_fraction = e.sum_of_squares / sst;
+  out.error_fraction = sse / sst;
+
+  std::sort(out.effects.begin(), out.effects.end(),
+            [](const FactorialEffect& a, const FactorialEffect& b) {
+              return a.variation_fraction > b.variation_fraction;
+            });
+  return out;
+}
+
+}  // namespace paradyn::stats

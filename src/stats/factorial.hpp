@@ -1,0 +1,80 @@
+// 2^k r factorial experiment design and allocation of variation.
+//
+// The paper (Section 4.1) uses Jain's 2^k r factorial technique with k = 4
+// factors and r replications, then reports the *percentage of variation
+// explained* by each factor and factor interaction (Figures 16, 20, 25 and
+// Tables 7, 8 — which the paper labels "principal component analysis").
+//
+// Implementation follows Jain, "The Art of Computer Systems Performance
+// Analysis", chs. 17-18: a sign table over the 2^k cells yields the effect
+// q_j of every factor subset; SS_j = 2^k * r * q_j^2; experimental error is
+// SSE = sum over cells of within-cell variation; the fraction SS_j / SST is
+// the variation explained.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace paradyn::stats {
+
+/// One estimated effect (a factor or interaction) from a 2^k r design.
+struct FactorialEffect {
+  /// Bitmask over factors; bit i set means factor i participates.  The mask
+  /// 0 (grand mean) is not reported as an effect.
+  unsigned mask = 0;
+  /// Human-readable label: "A", "B", "AB", "ABC", ...
+  std::string label;
+  /// The effect magnitude q_j.
+  double effect = 0.0;
+  /// Sum of squares attributed to this effect.
+  double sum_of_squares = 0.0;
+  /// Fraction of total variation explained, in [0, 1].
+  double variation_fraction = 0.0;
+};
+
+/// Full analysis output.
+struct FactorialAnalysis {
+  double grand_mean = 0.0;
+  std::vector<FactorialEffect> effects;  ///< Sorted by descending variation.
+  double sse = 0.0;                      ///< Experimental (replication) error.
+  double sst = 0.0;                      ///< Total variation.
+  double error_fraction = 0.0;           ///< SSE / SST.
+
+  /// Look up an effect by label ("A", "BC", ...); throws if absent.
+  [[nodiscard]] const FactorialEffect& effect(const std::string& label) const;
+};
+
+/// Collects responses of a 2^k r design and analyzes them.
+class FactorialDesign {
+ public:
+  /// `factor_names[i]` is the name of factor i; its sign-table letter is
+  /// 'A' + i.  `replications` is r (>= 1; >= 2 required for SSE > 0).
+  FactorialDesign(std::vector<std::string> factor_names, std::size_t replications);
+
+  [[nodiscard]] std::size_t num_factors() const noexcept { return names_.size(); }
+  [[nodiscard]] std::size_t num_cells() const noexcept { return std::size_t{1} << names_.size(); }
+  [[nodiscard]] std::size_t replications() const noexcept { return reps_; }
+  [[nodiscard]] const std::vector<std::string>& factor_names() const noexcept { return names_; }
+
+  /// Record the response of replication `rep` in the cell addressed by
+  /// `cell_mask` (bit i set = factor i at its high level).
+  void set_response(unsigned cell_mask, std::size_t rep, double y);
+
+  /// True once every (cell, rep) slot has been filled.
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// Run the sign-table analysis.  Throws std::logic_error if incomplete.
+  [[nodiscard]] FactorialAnalysis analyze() const;
+
+  /// Label for a factor-subset bitmask, e.g. mask 0b101 -> "AC".
+  [[nodiscard]] static std::string mask_label(unsigned mask);
+
+ private:
+  std::vector<std::string> names_;
+  std::size_t reps_;
+  std::vector<std::vector<double>> responses_;  // [cell][rep]
+  std::vector<std::vector<bool>> filled_;
+};
+
+}  // namespace paradyn::stats

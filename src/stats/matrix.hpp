@@ -1,0 +1,53 @@
+// Small dense matrix with a Jacobi symmetric eigensolver.
+//
+// Used by the principal-component analysis in pca.hpp.  The matrices here
+// are tiny (k x k for a handful of experimental factors), so a simple
+// row-major dense representation and the classical Jacobi rotation method
+// are the right tools: exact enough, dependency-free, easy to verify.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace paradyn::stats {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] const double& at(std::size_t r, std::size_t c) const;
+  double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  const double& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+  [[nodiscard]] bool is_symmetric(double tol = 1e-9) const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Eigen decomposition of a symmetric matrix.
+struct EigenResult {
+  std::vector<double> values;  ///< Descending order.
+  Matrix vectors;              ///< Column i is the eigenvector for values[i].
+};
+
+/// Classical Jacobi rotation eigensolver for symmetric matrices.
+/// Throws std::invalid_argument if `m` is not square/symmetric.
+[[nodiscard]] EigenResult jacobi_eigen(const Matrix& m, double tol = 1e-12,
+                                       int max_sweeps = 100);
+
+}  // namespace paradyn::stats

@@ -1,0 +1,81 @@
+#include "stats/pca.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace paradyn::stats {
+
+PcaResult pca(const Matrix& data, bool standardize) {
+  const std::size_t n = data.rows();
+  const std::size_t k = data.cols();
+  if (n < 2) throw std::invalid_argument("pca: need at least 2 observations");
+  if (k == 0) throw std::invalid_argument("pca: need at least 1 variable");
+
+  PcaResult result;
+  result.column_means.assign(k, 0.0);
+  result.column_scales.assign(k, 1.0);
+
+  for (std::size_t c = 0; c < k; ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < n; ++r) mean += data(r, c);
+    result.column_means[c] = mean / static_cast<double>(n);
+  }
+  if (standardize) {
+    for (std::size_t c = 0; c < k; ++c) {
+      double ss = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const double d = data(r, c) - result.column_means[c];
+        ss += d * d;
+      }
+      const double var = ss / static_cast<double>(n - 1);
+      result.column_scales[c] = (var > 0.0) ? std::sqrt(var) : 1.0;
+    }
+  }
+
+  // Covariance (or correlation) matrix of the centered/scaled data.
+  Matrix cov(k, k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const double a = (data(r, i) - result.column_means[i]) / result.column_scales[i];
+        const double b = (data(r, j) - result.column_means[j]) / result.column_scales[j];
+        acc += a * b;
+      }
+      const double v = acc / static_cast<double>(n - 1);
+      cov(i, j) = v;
+      cov(j, i) = v;
+    }
+  }
+
+  EigenResult eig = jacobi_eigen(cov);
+  result.eigenvalues = eig.values;
+  result.components = std::move(eig.vectors);
+
+  double total = 0.0;
+  for (const double v : result.eigenvalues) total += std::max(v, 0.0);
+  result.explained_fraction.reserve(k);
+  for (const double v : result.eigenvalues) {
+    result.explained_fraction.push_back(total > 0.0 ? std::max(v, 0.0) / total : 0.0);
+  }
+  return result;
+}
+
+std::vector<double> pca_project(const PcaResult& model, const std::vector<double>& observation,
+                                std::size_t n_components) {
+  const std::size_t k = model.column_means.size();
+  if (observation.size() != k) throw std::invalid_argument("pca_project: dimension mismatch");
+  n_components = std::min(n_components, k);
+  std::vector<double> out(n_components, 0.0);
+  for (std::size_t c = 0; c < n_components; ++c) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double z = (observation[i] - model.column_means[i]) / model.column_scales[i];
+      acc += z * model.components(i, c);
+    }
+    out[c] = acc;
+  }
+  return out;
+}
+
+}  // namespace paradyn::stats

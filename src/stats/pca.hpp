@@ -1,0 +1,35 @@
+// Principal component analysis.
+//
+// The paper's "PCA" percentages (Figures 16/20/25, Tables 7/8) are in fact
+// the 2^k r factorial *allocation of variation* — see factorial.hpp.  This
+// module provides a genuine eigen-decomposition PCA as well, used as a
+// cross-check and offered as part of the public statistics API.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.hpp"
+
+namespace paradyn::stats {
+
+struct PcaResult {
+  std::vector<double> eigenvalues;          ///< Descending.
+  Matrix components;                        ///< Column i: loading vector of PC i.
+  std::vector<double> explained_fraction;   ///< eigenvalue_i / sum(eigenvalues).
+  std::vector<double> column_means;         ///< Per-variable centering offsets.
+  std::vector<double> column_scales;        ///< Per-variable scaling (1 if not standardized).
+};
+
+/// PCA of a data matrix (rows = observations, columns = variables).
+/// If `standardize` is true the correlation matrix is used (each column
+/// scaled to unit variance), otherwise the covariance matrix.
+[[nodiscard]] PcaResult pca(const Matrix& data, bool standardize = true);
+
+/// Project an observation (length = #variables) onto the first
+/// `n_components` principal axes.
+[[nodiscard]] std::vector<double> pca_project(const PcaResult& model,
+                                              const std::vector<double>& observation,
+                                              std::size_t n_components);
+
+}  // namespace paradyn::stats

@@ -1,0 +1,70 @@
+// RAII POSIX pipe carrying fixed-size instrumentation samples.
+//
+// This is the real counterpart of the simulator's Pipe: the kernel buffer
+// between an instrumented application and its Paradyn daemon, and between
+// the daemon and the collector.  Writes block when the pipe is full (the
+// backpressure the paper observes at small sampling periods); reads block
+// until data or EOF.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace paradyn::testbed {
+
+/// One instrumentation sample on the wire (fixed 24-byte record).
+struct WireSample {
+  std::int64_t generated_ns = 0;  ///< monotonic_ns() at generation time.
+  std::int32_t app_id = 0;
+  std::int32_t metric_id = 0;
+  double value = 0.0;
+};
+static_assert(sizeof(WireSample) == 24, "wire format must be stable");
+
+/// A unidirectional sample channel over a pipe(2).
+class SampleChannel {
+ public:
+  /// Creates the pipe; throws std::system_error on failure.
+  SampleChannel();
+  ~SampleChannel();
+
+  SampleChannel(const SampleChannel&) = delete;
+  SampleChannel& operator=(const SampleChannel&) = delete;
+  SampleChannel(SampleChannel&& other) noexcept;
+  SampleChannel& operator=(SampleChannel&&) = delete;
+
+  /// Write one sample (one write(2) system call — the CF policy's cost).
+  void write_sample(const WireSample& sample);
+
+  /// Write a whole batch with a single write(2) system call — the BF
+  /// policy's amortization.
+  void write_batch(std::span<const WireSample> batch);
+
+  /// Blocking read of one sample; nullopt on EOF.  Short reads are
+  /// completed internally (pipes may split records at any byte).
+  [[nodiscard]] std::optional<WireSample> read_sample();
+
+  /// Blocking read of up to `max` samples in one read(2) call; empty on
+  /// EOF.  Used by the collector to drain batches.
+  [[nodiscard]] std::vector<WireSample> read_some(std::size_t max);
+
+  /// Close the write end (EOF for the reader).  Idempotent.
+  void close_write();
+  /// Close the read end.  Idempotent.
+  void close_read();
+
+  [[nodiscard]] int read_fd() const noexcept { return read_fd_; }
+  [[nodiscard]] int write_fd() const noexcept { return write_fd_; }
+
+ private:
+  void write_all(const void* data, std::size_t len);
+  [[nodiscard]] bool read_all(void* data, std::size_t len);
+
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+  std::vector<unsigned char> rx_partial_;  ///< carry-over for short reads
+};
+
+}  // namespace paradyn::testbed

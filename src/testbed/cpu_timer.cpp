@@ -1,0 +1,17 @@
+#include "testbed/cpu_timer.hpp"
+
+namespace paradyn::testbed {
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+long long monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<long long>(ts.tv_sec) * 1'000'000'000LL + ts.tv_nsec;
+}
+
+}  // namespace paradyn::testbed

@@ -1,0 +1,19 @@
+// Per-thread CPU time measurement for the testbed (Section 5).
+//
+// The paper derives its testing results from AIX trace files that attribute
+// CPU time to the application, Paradyn daemon, and main Paradyn processes.
+// We attribute CPU time with CLOCK_THREAD_CPUTIME_ID instead: each testbed
+// thread reads its own consumed CPU time right before it exits.
+#pragma once
+
+#include <ctime>
+
+namespace paradyn::testbed {
+
+/// CPU seconds consumed by the calling thread so far.
+[[nodiscard]] double thread_cpu_seconds();
+
+/// Monotonic wall-clock nanoseconds (for latency timestamps).
+[[nodiscard]] long long monotonic_ns();
+
+}  // namespace paradyn::testbed

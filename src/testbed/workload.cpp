@@ -1,0 +1,208 @@
+#include "testbed/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace paradyn::testbed {
+namespace {
+
+/// SplitMix64 step (local copy to keep the testbed dependency-free).
+std::uint64_t mix(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double unit_double(std::uint64_t& state) {
+  return static_cast<double>(mix(state) >> 11U) * 0x1.0p-53;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- BtWorkload
+
+BtWorkload::BtWorkload(std::size_t line_length) : n_(line_length), rng_state_(0x42) {
+  if (n_ < 2) throw std::invalid_argument("BtWorkload: line_length must be >= 2");
+  lower_.resize(n_);
+  diag_.resize(n_);
+  upper_.resize(n_);
+  rhs_.resize(n_);
+}
+
+void BtWorkload::block_mul_vec(const Block& m, const Vec5& v, Vec5& out) {
+  for (int r = 0; r < 5; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < 5; ++c) acc += m[static_cast<std::size_t>(r * 5 + c)] * v[static_cast<std::size_t>(c)];
+    out[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void BtWorkload::block_mul(const Block& a, const Block& b, Block& out) {
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      double acc = 0.0;
+      for (int k = 0; k < 5; ++k) {
+        acc += a[static_cast<std::size_t>(r * 5 + k)] * b[static_cast<std::size_t>(k * 5 + c)];
+      }
+      out[static_cast<std::size_t>(r * 5 + c)] = acc;
+    }
+  }
+}
+
+BtWorkload::Block BtWorkload::block_inverse(Block m) {
+  Block inv{};
+  for (int i = 0; i < 5; ++i) inv[static_cast<std::size_t>(i * 5 + i)] = 1.0;
+  for (int col = 0; col < 5; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int r = col + 1; r < 5; ++r) {
+      if (std::fabs(m[static_cast<std::size_t>(r * 5 + col)]) >
+          std::fabs(m[static_cast<std::size_t>(pivot * 5 + col)])) {
+        pivot = r;
+      }
+    }
+    if (pivot != col) {
+      for (int c = 0; c < 5; ++c) {
+        std::swap(m[static_cast<std::size_t>(pivot * 5 + c)], m[static_cast<std::size_t>(col * 5 + c)]);
+        std::swap(inv[static_cast<std::size_t>(pivot * 5 + c)], inv[static_cast<std::size_t>(col * 5 + c)]);
+      }
+    }
+    const double d = m[static_cast<std::size_t>(col * 5 + col)];
+    const double scale = 1.0 / d;
+    for (int c = 0; c < 5; ++c) {
+      m[static_cast<std::size_t>(col * 5 + c)] *= scale;
+      inv[static_cast<std::size_t>(col * 5 + c)] *= scale;
+    }
+    for (int r = 0; r < 5; ++r) {
+      if (r == col) continue;
+      const double f = m[static_cast<std::size_t>(r * 5 + col)];
+      if (f == 0.0) continue;
+      for (int c = 0; c < 5; ++c) {
+        m[static_cast<std::size_t>(r * 5 + c)] -= f * m[static_cast<std::size_t>(col * 5 + c)];
+        inv[static_cast<std::size_t>(r * 5 + c)] -= f * inv[static_cast<std::size_t>(col * 5 + c)];
+      }
+    }
+  }
+  return inv;
+}
+
+void BtWorkload::solve_line() {
+  // Fill a diagonally dominant block-tridiagonal system.
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (int k = 0; k < 25; ++k) {
+      lower_[i][static_cast<std::size_t>(k)] = 0.1 * unit_double(rng_state_);
+      upper_[i][static_cast<std::size_t>(k)] = 0.1 * unit_double(rng_state_);
+      diag_[i][static_cast<std::size_t>(k)] = 0.2 * unit_double(rng_state_);
+    }
+    for (int k = 0; k < 5; ++k) {
+      diag_[i][static_cast<std::size_t>(k * 5 + k)] += 5.0;  // dominance
+      rhs_[i][static_cast<std::size_t>(k)] = unit_double(rng_state_);
+    }
+  }
+  if (check_residual_) {
+    saved_lower_ = lower_;
+    saved_diag_ = diag_;
+    saved_upper_ = upper_;
+    saved_rhs_ = rhs_;
+  }
+
+  // Block Thomas algorithm: forward elimination ...
+  Block inv = block_inverse(diag_[0]);
+  Block tmp{};
+  Vec5 vtmp{};
+  for (std::size_t i = 1; i < n_; ++i) {
+    // diag[i] -= lower[i] * inv(diag[i-1]) * upper[i-1]
+    block_mul(lower_[i], inv, tmp);
+    Block correction{};
+    block_mul(tmp, upper_[i - 1], correction);
+    for (int k = 0; k < 25; ++k) diag_[i][static_cast<std::size_t>(k)] -= correction[static_cast<std::size_t>(k)];
+    // rhs[i] -= lower[i] * inv(diag[i-1]) * rhs[i-1]
+    block_mul_vec(tmp, rhs_[i - 1], vtmp);
+    for (int k = 0; k < 5; ++k) rhs_[i][static_cast<std::size_t>(k)] -= vtmp[static_cast<std::size_t>(k)];
+    inv = block_inverse(diag_[i]);
+  }
+  // ... and back substitution.
+  block_mul_vec(inv, rhs_[n_ - 1], vtmp);
+  rhs_[n_ - 1] = vtmp;
+  for (std::size_t i = n_ - 1; i-- > 0;) {
+    Vec5 uxi{};
+    block_mul_vec(upper_[i], rhs_[i + 1], uxi);
+    for (int k = 0; k < 5; ++k) rhs_[i][static_cast<std::size_t>(k)] -= uxi[static_cast<std::size_t>(k)];
+    const Block di = block_inverse(diag_[i]);
+    block_mul_vec(di, rhs_[i], vtmp);
+    rhs_[i] = vtmp;
+  }
+}
+
+double BtWorkload::run_chunk() {
+  solve_line();
+  if (check_residual_) {
+    // rhs_ now holds the solution x; verify ||A x - b||_inf row by row.
+    double worst = 0.0;
+    Vec5 acc{};
+    Vec5 term{};
+    for (std::size_t i = 0; i < n_; ++i) {
+      block_mul_vec(saved_diag_[i], rhs_[i], acc);
+      if (i > 0) {
+        block_mul_vec(saved_lower_[i], rhs_[i - 1], term);
+        for (int k = 0; k < 5; ++k) acc[static_cast<std::size_t>(k)] += term[static_cast<std::size_t>(k)];
+      }
+      if (i + 1 < n_) {
+        block_mul_vec(saved_upper_[i], rhs_[i + 1], term);
+        for (int k = 0; k < 5; ++k) acc[static_cast<std::size_t>(k)] += term[static_cast<std::size_t>(k)];
+      }
+      for (int k = 0; k < 5; ++k) {
+        worst = std::max(worst, std::fabs(acc[static_cast<std::size_t>(k)] -
+                                          saved_rhs_[i][static_cast<std::size_t>(k)]));
+      }
+    }
+    last_residual_ = worst;
+  }
+  direction_ = (direction_ + 1) % 3;  // x, y, z sweeps of pvmbt
+  ++chunks_;
+  double checksum = 0.0;
+  for (int k = 0; k < 5; ++k) checksum += rhs_[0][static_cast<std::size_t>(k)];
+  return checksum;
+}
+
+// ----------------------------------------------------------------- IsWorkload
+
+IsWorkload::IsWorkload(std::size_t keys_per_chunk, std::int32_t max_key)
+    : num_keys_(keys_per_chunk), max_key_(max_key), rng_state_(0x1517) {
+  if (num_keys_ == 0) throw std::invalid_argument("IsWorkload: keys_per_chunk must be > 0");
+  if (max_key_ <= 0) throw std::invalid_argument("IsWorkload: max_key must be > 0");
+  keys_.resize(num_keys_);
+  counts_.resize(static_cast<std::size_t>(max_key_));
+  ranks_.resize(num_keys_);
+}
+
+double IsWorkload::run_chunk() {
+  // Key generation (NAS IS uses a near-Gaussian distribution; a sum of two
+  // uniforms gives the triangular approximation that exercises the same
+  // counting-sort behavior).
+  for (auto& k : keys_) {
+    const auto a = static_cast<std::int32_t>(mix(rng_state_) % static_cast<std::uint64_t>(max_key_));
+    const auto b = static_cast<std::int32_t>(mix(rng_state_) % static_cast<std::uint64_t>(max_key_));
+    k = (a + b) / 2;
+  }
+  // Counting sort ranking.
+  std::fill(counts_.begin(), counts_.end(), 0);
+  for (const auto k : keys_) ++counts_[static_cast<std::size_t>(k)];
+  for (std::size_t i = 1; i < counts_.size(); ++i) counts_[i] += counts_[i - 1];
+  for (std::size_t i = num_keys_; i-- > 0;) {
+    ranks_[static_cast<std::size_t>(--counts_[static_cast<std::size_t>(keys_[i])])] =
+        static_cast<std::int32_t>(i);
+  }
+  ++chunks_;
+  return static_cast<double>(ranks_[0] + ranks_[num_keys_ / 2]);
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  if (name == "bt") return std::make_unique<BtWorkload>();
+  if (name == "is") return std::make_unique<IsWorkload>();
+  throw std::invalid_argument("make_workload: unknown workload " + name);
+}
+
+}  // namespace paradyn::testbed

@@ -1,0 +1,99 @@
+// Synthetic NAS-like application workloads for the testbed.
+//
+// The paper's testing experiments run two NAS benchmarks under the real IS:
+//   * pvmbt — solves three sets of uncoupled block-tridiagonal systems with
+//     5x5 blocks, sweeping the x, y, and z directions;
+//   * pvmis — an integer sort kernel.
+// BtWorkload and IsWorkload reproduce those benchmarks' dominant inner
+// loops so the testbed exercises the IS under the same two CPU profiles
+// (dense floating-point vs integer/memory traffic).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace paradyn::testbed {
+
+/// A CPU-bound application kernel executed in small chunks so the
+/// instrumentation timer can interleave sampling with computation.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Run one unit of work (roughly 100 us - 1 ms of CPU).  Returns a
+  /// checksum-ish value so the work cannot be optimized away.
+  virtual double run_chunk() = 0;
+
+  /// Chunks completed so far.
+  [[nodiscard]] std::uint64_t chunks_done() const noexcept { return chunks_; }
+
+ protected:
+  std::uint64_t chunks_ = 0;
+};
+
+/// Block-tridiagonal solver (pvmbt-like): per chunk, forward-eliminate and
+/// back-substitute a line of N cells with 5x5 blocks, cycling through the
+/// x, y, and z directions.
+class BtWorkload final : public Workload {
+ public:
+  explicit BtWorkload(std::size_t line_length = 64);
+
+  [[nodiscard]] std::string name() const override { return "bt"; }
+  double run_chunk() override;
+
+  /// Enable residual verification: each chunk also computes
+  /// ||A x - b||_inf against a saved copy of the system (testing hook;
+  /// roughly doubles the memory traffic).
+  void enable_residual_check(bool on) { check_residual_ = on; }
+  /// Residual of the most recent solve (0 until a checked chunk ran).
+  [[nodiscard]] double last_residual() const noexcept { return last_residual_; }
+
+ private:
+  using Block = std::array<double, 25>;   // 5x5, row-major
+  using Vec5 = std::array<double, 5>;
+
+  static void block_mul_vec(const Block& m, const Vec5& v, Vec5& out);
+  static void block_mul(const Block& a, const Block& b, Block& out);
+  /// Invert a 5x5 block by Gauss-Jordan with partial pivoting.
+  static Block block_inverse(Block m);
+
+  void solve_line();
+
+  std::size_t n_;
+  int direction_ = 0;  // cycles x, y, z
+  std::vector<Block> lower_, diag_, upper_;
+  std::vector<Vec5> rhs_;
+  std::uint64_t rng_state_;
+  bool check_residual_ = false;
+  double last_residual_ = 0.0;
+  std::vector<Block> saved_lower_, saved_diag_, saved_upper_;
+  std::vector<Vec5> saved_rhs_;
+};
+
+/// Integer sort (pvmis-like): per chunk, generate keys and rank them with a
+/// counting sort, as in the NAS IS kernel.
+class IsWorkload final : public Workload {
+ public:
+  explicit IsWorkload(std::size_t keys_per_chunk = 1 << 12, std::int32_t max_key = 1 << 11);
+
+  [[nodiscard]] std::string name() const override { return "is"; }
+  double run_chunk() override;
+
+ private:
+  std::size_t num_keys_;
+  std::int32_t max_key_;
+  std::vector<std::int32_t> keys_;
+  std::vector<std::int32_t> counts_;
+  std::vector<std::int32_t> ranks_;
+  std::uint64_t rng_state_;
+};
+
+/// Factory by benchmark name ("bt" or "is"); throws on unknown names.
+[[nodiscard]] std::unique_ptr<Workload> make_workload(const std::string& name);
+
+}  // namespace paradyn::testbed

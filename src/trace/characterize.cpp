@@ -1,0 +1,124 @@
+#include "trace/characterize.hpp"
+
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace paradyn::trace {
+
+std::size_t OccupancyExtract::index(ProcessClass c, ResourceKind r) noexcept {
+  return static_cast<std::size_t>(c) * kNumResourceKinds + static_cast<std::size_t>(r);
+}
+
+OccupancyExtract::OccupancyExtract(const std::vector<TraceRecord>& records) {
+  // Lengths: straight pooling.
+  for (const TraceRecord& rec : records) {
+    lengths_[index(rec.pclass, rec.resource)].push_back(rec.duration_us);
+  }
+  // Inter-arrivals: per (node, pid, resource) stream, then pooled.
+  std::map<std::tuple<std::int32_t, std::int32_t, ResourceKind>, double> last_seen;
+  // Records may be unsorted; sort a copy of (time) indices per stream.
+  std::vector<const TraceRecord*> sorted;
+  sorted.reserve(records.size());
+  for (const TraceRecord& rec : records) sorted.push_back(&rec);
+  std::stable_sort(sorted.begin(), sorted.end(), [](const TraceRecord* a, const TraceRecord* b) {
+    return a->timestamp_us < b->timestamp_us;
+  });
+  for (const TraceRecord* rec : sorted) {
+    const auto key = std::make_tuple(rec->node, rec->pid, rec->resource);
+    const auto it = last_seen.find(key);
+    if (it != last_seen.end()) {
+      interarrivals_[index(rec->pclass, rec->resource)].push_back(rec->timestamp_us - it->second);
+      it->second = rec->timestamp_us;
+    } else {
+      last_seen.emplace(key, rec->timestamp_us);
+    }
+  }
+}
+
+const std::vector<double>& OccupancyExtract::lengths(ProcessClass c, ResourceKind r) const {
+  return lengths_[index(c, r)];
+}
+
+const std::vector<double>& OccupancyExtract::interarrivals(ProcessClass c, ResourceKind r) const {
+  return interarrivals_[index(c, r)];
+}
+
+std::vector<OccupancyStatsRow> occupancy_statistics(const std::vector<TraceRecord>& records) {
+  const OccupancyExtract extract(records);
+  std::vector<OccupancyStatsRow> rows;
+  for (int ci = 0; ci < kNumProcessClasses; ++ci) {
+    const auto pclass = static_cast<ProcessClass>(ci);
+    const auto& cpu = extract.lengths(pclass, ResourceKind::Cpu);
+    const auto& net = extract.lengths(pclass, ResourceKind::Network);
+    if (cpu.empty() && net.empty()) continue;
+    OccupancyStatsRow row;
+    row.pclass = pclass;
+    row.cpu = stats::summarize(cpu);
+    row.network = stats::summarize(net);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+const ClassWorkload& WorkloadModel::at(ProcessClass c) const {
+  const auto it = classes.find(c);
+  if (it == classes.end()) {
+    throw std::out_of_range("WorkloadModel: no workload for class " +
+                            std::string(to_string(c)));
+  }
+  return it->second;
+}
+
+WorkloadModel characterize(const std::vector<TraceRecord>& records) {
+  const OccupancyExtract extract(records);
+  WorkloadModel model;
+  for (int ci = 0; ci < kNumProcessClasses; ++ci) {
+    const auto pclass = static_cast<ProcessClass>(ci);
+    const auto& cpu = extract.lengths(pclass, ResourceKind::Cpu);
+    const auto& net = extract.lengths(pclass, ResourceKind::Network);
+    if (cpu.empty() && net.empty()) continue;
+
+    ClassWorkload w;
+    if (!cpu.empty()) w.cpu_length = stats::fit_best(cpu).distribution;
+    if (!net.empty()) w.net_length = stats::fit_best(net).distribution;
+
+    // The paper approximates inter-arrival times by exponentials; the MLE
+    // for the exponential mean is the sample mean.
+    const auto& cpu_ia = extract.interarrivals(pclass, ResourceKind::Cpu);
+    const auto& net_ia = extract.interarrivals(pclass, ResourceKind::Network);
+    if (!cpu_ia.empty()) w.cpu_interarrival_mean = stats::summarize(cpu_ia).mean();
+    if (!net_ia.empty()) w.net_interarrival_mean = stats::summarize(net_ia).mean();
+
+    model.classes.emplace(pclass, std::move(w));
+  }
+  return model;
+}
+
+WorkloadModel characterize_empirical(const std::vector<TraceRecord>& records) {
+  const OccupancyExtract extract(records);
+  WorkloadModel model;
+  for (int ci = 0; ci < kNumProcessClasses; ++ci) {
+    const auto pclass = static_cast<ProcessClass>(ci);
+    const auto& cpu = extract.lengths(pclass, ResourceKind::Cpu);
+    const auto& net = extract.lengths(pclass, ResourceKind::Network);
+    if (cpu.size() < 2 && net.size() < 2) continue;
+
+    ClassWorkload w;
+    if (cpu.size() >= 2) w.cpu_length = std::make_shared<stats::Empirical>(cpu);
+    if (net.size() >= 2) w.net_length = std::make_shared<stats::Empirical>(net);
+
+    const auto& cpu_ia = extract.interarrivals(pclass, ResourceKind::Cpu);
+    const auto& net_ia = extract.interarrivals(pclass, ResourceKind::Network);
+    if (!cpu_ia.empty()) w.cpu_interarrival_mean = stats::summarize(cpu_ia).mean();
+    if (!net_ia.empty()) w.net_interarrival_mean = stats::summarize(net_ia).mean();
+
+    model.classes.emplace(pclass, std::move(w));
+  }
+  return model;
+}
+
+}  // namespace paradyn::trace

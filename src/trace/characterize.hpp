@@ -1,0 +1,79 @@
+// Workload characterization (Section 2.3).
+//
+// Turns a trace into (1) per-class occupancy statistics — the paper's
+// Table 1 — and (2) fitted occupancy-length / inter-arrival distributions —
+// the paper's Table 2 — packaged as a WorkloadModel that parameterizes the
+// ROCC simulator.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "stats/fitting.hpp"
+#include "stats/summary.hpp"
+#include "trace/record.hpp"
+
+namespace paradyn::trace {
+
+/// Raw occupancy-request lengths and arrival times grouped by
+/// (process class, resource kind).
+class OccupancyExtract {
+ public:
+  explicit OccupancyExtract(const std::vector<TraceRecord>& records);
+
+  /// Occupancy-request lengths for a (class, resource) pair; empty if the
+  /// trace contains no such records.
+  [[nodiscard]] const std::vector<double>& lengths(ProcessClass c, ResourceKind r) const;
+
+  /// Inter-arrival times between successive requests of a (class, resource)
+  /// pair, computed per (node, pid) stream then pooled.
+  [[nodiscard]] const std::vector<double>& interarrivals(ProcessClass c, ResourceKind r) const;
+
+ private:
+  [[nodiscard]] static std::size_t index(ProcessClass c, ResourceKind r) noexcept;
+  std::array<std::vector<double>, kNumProcessClasses * kNumResourceKinds> lengths_;
+  std::array<std::vector<double>, kNumProcessClasses * kNumResourceKinds> interarrivals_;
+};
+
+/// One row of Table 1: summary statistics of CPU and network occupancy.
+struct OccupancyStatsRow {
+  ProcessClass pclass = ProcessClass::Application;
+  stats::SummaryStats cpu;
+  stats::SummaryStats network;
+};
+
+/// Compute the Table 1 rows (classes with no records are omitted).
+[[nodiscard]] std::vector<OccupancyStatsRow> occupancy_statistics(
+    const std::vector<TraceRecord>& records);
+
+/// Fitted workload for one process class (one block of Table 2).
+struct ClassWorkload {
+  stats::DistributionPtr cpu_length;
+  stats::DistributionPtr net_length;
+  std::optional<double> cpu_interarrival_mean;
+  std::optional<double> net_interarrival_mean;
+};
+
+/// Fitted workload for the whole system: the parameterization that drives
+/// the ROCC simulator.
+struct WorkloadModel {
+  std::map<ProcessClass, ClassWorkload> classes;
+
+  [[nodiscard]] bool has(ProcessClass c) const { return classes.count(c) != 0; }
+  [[nodiscard]] const ClassWorkload& at(ProcessClass c) const;
+};
+
+/// Fit a WorkloadModel from a trace: best-likelihood family per
+/// (class, resource) for lengths, exponential mean for inter-arrivals
+/// (the paper approximates all inter-arrival times as exponential).
+[[nodiscard]] WorkloadModel characterize(const std::vector<TraceRecord>& records);
+
+/// Fit-free alternative: drive the model from the interpolated empirical
+/// distributions of the observed lengths (trace replay without committing
+/// to a parametric family).  Classes with fewer than two observations of a
+/// resource get no distribution for it.
+[[nodiscard]] WorkloadModel characterize_empirical(const std::vector<TraceRecord>& records);
+
+}  // namespace paradyn::trace

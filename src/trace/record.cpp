@@ -1,0 +1,49 @@
+#include "trace/record.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace paradyn::trace {
+
+std::string_view to_string(ProcessClass c) noexcept {
+  switch (c) {
+    case ProcessClass::Application:
+      return "application";
+    case ProcessClass::ParadynDaemon:
+      return "paradyn_daemon";
+    case ProcessClass::PvmDaemon:
+      return "pvm_daemon";
+    case ProcessClass::Other:
+      return "other";
+    case ProcessClass::MainParadyn:
+      return "main_paradyn";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ResourceKind r) noexcept {
+  switch (r) {
+    case ResourceKind::Cpu:
+      return "cpu";
+    case ResourceKind::Network:
+      return "network";
+  }
+  return "unknown";
+}
+
+ProcessClass process_class_from_string(std::string_view s) {
+  if (s == "application") return ProcessClass::Application;
+  if (s == "paradyn_daemon") return ProcessClass::ParadynDaemon;
+  if (s == "pvm_daemon") return ProcessClass::PvmDaemon;
+  if (s == "other") return ProcessClass::Other;
+  if (s == "main_paradyn") return ProcessClass::MainParadyn;
+  throw std::invalid_argument("unknown process class: " + std::string(s));
+}
+
+ResourceKind resource_kind_from_string(std::string_view s) {
+  if (s == "cpu") return ResourceKind::Cpu;
+  if (s == "network") return ResourceKind::Network;
+  throw std::invalid_argument("unknown resource kind: " + std::string(s));
+}
+
+}  // namespace paradyn::trace

@@ -1,0 +1,51 @@
+// AIX-style trace records (substitute for the SP-2 tracing facility).
+//
+// The paper's workload characterization consumes kernel traces only as a
+// sequence of resource-occupancy intervals attributed to processes (Section
+// 2.3).  A record therefore carries: when, on which node, by which process
+// (and process class), which resource (CPU or network), and for how long.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace paradyn::trace {
+
+/// The five process classes the paper distinguishes (Table 1).
+enum class ProcessClass : std::uint8_t {
+  Application,    ///< Instrumented application process (e.g. NAS pvmbt).
+  ParadynDaemon,  ///< Local Paradyn daemon (Pd).
+  PvmDaemon,      ///< PVM daemon (pvmd).
+  Other,          ///< Other user/system processes.
+  MainParadyn,    ///< The main (multithreaded) Paradyn process.
+};
+
+inline constexpr int kNumProcessClasses = 5;
+
+/// The two resource classes of the ROCC model (Section 2.2).
+enum class ResourceKind : std::uint8_t {
+  Cpu,
+  Network,
+};
+
+inline constexpr int kNumResourceKinds = 2;
+
+[[nodiscard]] std::string_view to_string(ProcessClass c) noexcept;
+[[nodiscard]] std::string_view to_string(ResourceKind r) noexcept;
+
+/// Parse the strings produced by to_string; throws std::invalid_argument on
+/// unknown input.
+[[nodiscard]] ProcessClass process_class_from_string(std::string_view s);
+[[nodiscard]] ResourceKind resource_kind_from_string(std::string_view s);
+
+/// One resource-occupancy interval observed in a trace.
+struct TraceRecord {
+  double timestamp_us = 0.0;  ///< Start of the occupancy interval.
+  std::int32_t node = 0;      ///< System node the process ran on.
+  std::int32_t pid = 0;       ///< Process id within the trace.
+  ProcessClass pclass = ProcessClass::Application;
+  ResourceKind resource = ResourceKind::Cpu;
+  double duration_us = 0.0;   ///< Length of the occupancy request.
+};
+
+}  // namespace paradyn::trace

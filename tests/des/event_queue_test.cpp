@@ -1,0 +1,106 @@
+#include "des/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace paradyn::des {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.peek_time().has_value());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  (void)q.push(3.0, [&] { order.push_back(3); });
+  (void)q.push(1.0, [&] { order.push_back(1); });
+  (void)q.push(2.0, [&] { order.push_back(2); });
+  while (auto fired = q.pop()) fired->callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    (void)q.push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (auto fired = q.pop()) fired->callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PeekReportsEarliestLiveTime) {
+  EventQueue q;
+  auto h = q.push(1.0, [] {});
+  (void)q.push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(*q.peek_time(), 1.0);
+  q.cancel(h);
+  EXPECT_DOUBLE_EQ(*q.peek_time(), 2.0);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  q.cancel(h);
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeOnDefaultHandle) {
+  EventQueue q;
+  EventHandle empty;
+  q.cancel(empty);  // no-op
+  auto h = q.push(1.0, [] {});
+  q.cancel(h);
+  q.cancel(h);  // second cancel must not corrupt the live count
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, HandleNotPendingAfterFire) {
+  EventQueue q;
+  auto h = q.push(1.0, [] {});
+  auto fired = q.pop();
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, SizeCountsOnlyLiveEvents) {
+  EventQueue q;
+  auto h1 = q.push(1.0, [] {});
+  (void)q.push(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(h1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ManyInterleavedOperations) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(q.push(static_cast<SimTime>(100 - i), [] {}));
+  }
+  // Cancel every other event.
+  for (std::size_t i = 0; i < handles.size(); i += 2) q.cancel(handles[i]);
+  EXPECT_EQ(q.size(), 50u);
+  SimTime last = -1.0;
+  std::size_t popped = 0;
+  while (auto fired = q.pop()) {
+    EXPECT_GE(fired->time, last);
+    last = fired->time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 50u);
+}
+
+}  // namespace
+}  // namespace paradyn::des

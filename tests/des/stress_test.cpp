@@ -1,0 +1,95 @@
+// Stress and property tests of the event engine: large randomized
+// workloads must preserve ordering, conservation, and determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/random.hpp"
+
+namespace paradyn::des {
+namespace {
+
+TEST(EngineStress, HundredThousandRandomEventsFireInOrder) {
+  Engine engine;
+  RngStream rng(42, 1);
+  constexpr int kEvents = 100'000;
+  SimTime last = -1.0;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    (void)engine.schedule_at(rng.next_double() * 1e6, [&, t = engine.now()] {
+      EXPECT_GE(engine.now(), last);
+      last = engine.now();
+      ++fired;
+    });
+  }
+  (void)engine.run();
+  EXPECT_EQ(fired, static_cast<std::uint64_t>(kEvents));
+}
+
+TEST(EngineStress, CascadingSelfSchedulingChains) {
+  // 100 chains, each re-arming itself 1000 times with random delays:
+  // exactly 100'000 events, all executed, clock monotone.
+  Engine engine;
+  constexpr int kChains = 100;
+  constexpr int kHops = 1000;
+  std::vector<int> hops(kChains, 0);
+  std::vector<RngStream> rngs;
+  for (int c = 0; c < kChains; ++c) rngs.emplace_back(7, static_cast<std::uint64_t>(c));
+
+  std::function<void(int)> arm = [&](int chain) {
+    if (++hops[static_cast<std::size_t>(chain)] >= kHops) return;
+    (void)engine.schedule_after(rngs[static_cast<std::size_t>(chain)].next_double() * 100.0,
+                                [&, chain] { arm(chain); });
+  };
+  for (int c = 0; c < kChains; ++c) {
+    (void)engine.schedule_after(1.0, [&, c] { arm(c); });
+  }
+  (void)engine.run();
+  for (const int h : hops) EXPECT_EQ(h, kHops);
+  EXPECT_EQ(engine.events_processed(), static_cast<std::uint64_t>(kChains * kHops));
+}
+
+TEST(EngineStress, RandomCancellationsNeverFire) {
+  Engine engine;
+  RngStream rng(13, 1);
+  constexpr int kEvents = 20'000;
+  std::vector<EventHandle> handles;
+  int fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    handles.push_back(engine.schedule_at(rng.next_double() * 1e5, [&] { ++fired; }));
+  }
+  int cancelled = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (rng.next_double() < 0.5) {
+      engine.cancel(handles[i]);
+      ++cancelled;
+    }
+  }
+  (void)engine.run();
+  EXPECT_EQ(fired, kEvents - cancelled);
+}
+
+TEST(EngineStress, InterleavedRunUntilWindows) {
+  // Advancing in many small windows is equivalent to one big run.
+  const auto run_windows = [](int windows) {
+    Engine engine;
+    RngStream rng(99, 5);
+    double sum = 0.0;
+    for (int i = 0; i < 10'000; ++i) {
+      (void)engine.schedule_at(rng.next_double() * 1e4, [&, i] { sum += i * 0.5; });
+    }
+    if (windows == 1) {
+      (void)engine.run_until(1e4);
+    } else {
+      for (int w = 1; w <= windows; ++w) {
+        (void)engine.run_until(1e4 * w / windows);
+      }
+    }
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run_windows(1), run_windows(97));
+}
+
+}  // namespace
+}  // namespace paradyn::des

@@ -1,0 +1,77 @@
+#include "experiments/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace paradyn::experiments {
+namespace {
+
+TEST(TablePrinter, RendersHeadersAndRows) {
+  TablePrinter t("Demo", {"x", "value"});
+  t.add_row({"1", "10.5"});
+  t.add_row({"2", "20.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("20.25"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TablePrinter, Validation) {
+  EXPECT_THROW(TablePrinter("t", {}), std::invalid_argument);
+  TablePrinter t("t", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, ColumnsWidenToContent) {
+  TablePrinter t("t", {"a"});
+  t.add_row({"a-very-long-cell-value"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("a-very-long-cell-value "), std::string::npos);
+}
+
+TEST(Fmt, FormatsNumbers) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(fmt(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(fmt(std::nan("")), "nan");
+  EXPECT_EQ(fmt_ci(2.5, 0.25, 2), "2.50 +- 0.25");
+}
+
+TEST(PrintSeries, EmitsOneRowPerX) {
+  std::ostringstream os;
+  print_series(os, "Figure X", "nodes", {2.0, 4.0}, {"CF", "BF"},
+               {{1.0, 2.0}, {0.5, 0.75}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Figure X"), std::string::npos);
+  EXPECT_NE(out.find("CF"), std::string::npos);
+  EXPECT_NE(out.find("0.7500"), std::string::npos);
+}
+
+TEST(WriteSeriesCsv, EmitsHeaderAndRows) {
+  std::ostringstream os;
+  write_series_csv(os, "nodes", {2.0, 4.0}, {"CF", "BF"}, {{1.5, 2.5}, {0.5, 0.75}});
+  EXPECT_EQ(os.str(), "nodes,CF,BF\n2,1.5,0.5\n4,2.5,0.75\n");
+}
+
+TEST(WriteSeriesCsv, Validation) {
+  std::ostringstream os;
+  EXPECT_THROW(write_series_csv(os, "x", {1.0}, {"a", "b"}, {{1.0}}), std::invalid_argument);
+  EXPECT_THROW(write_series_csv(os, "x", {1.0, 2.0}, {"a"}, {{1.0}}), std::invalid_argument);
+}
+
+TEST(PrintSeries, Validation) {
+  std::ostringstream os;
+  EXPECT_THROW(print_series(os, "t", "x", {1.0}, {"a", "b"}, {{1.0}}), std::invalid_argument);
+  EXPECT_THROW(print_series(os, "t", "x", {1.0, 2.0}, {"a"}, {{1.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace paradyn::experiments

@@ -1,0 +1,132 @@
+// Cross-module integration tests: the three views of the same system —
+// analytic model, discrete-event simulation, and the characterization
+// pipeline — must agree where their assumptions overlap.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analytic/operational.hpp"
+#include "consultant/consultant.hpp"
+#include "rocc/simulation.hpp"
+#include "trace/characterize.hpp"
+#include "trace/generator.hpp"
+
+namespace paradyn {
+namespace {
+
+TEST(CrossValidation, SimulationMatchesUtilizationLawAtLightLoad) {
+  // At 40 ms sampling with one app per node, every station is far from
+  // saturation, so the operational laws should predict the simulator's
+  // utilizations closely (equations (2), (5)).
+  analytic::Scenario s;
+  s.sampling_period_us = 40'000.0;
+  s.nodes = 4;
+  const auto predicted = analytic::now_metrics(s);
+
+  auto cfg = rocc::SystemConfig::now(4);
+  cfg.duration_us = 30e6;
+  cfg.warmup_us = 2e6;
+  cfg.sampling_period_us = 40'000.0;
+  cfg.main_on_dedicated_host = true;  // keep node 0 comparable to the others
+  const auto sim = rocc::run_simulation(cfg);
+
+  EXPECT_NEAR(sim.pd_cpu_util_pct, 100.0 * predicted.pd_cpu_utilization,
+              0.15 * 100.0 * predicted.pd_cpu_utilization);
+  EXPECT_NEAR(sim.main_cpu_util_pct, 100.0 * predicted.main_cpu_utilization,
+              0.15 * 100.0 * predicted.main_cpu_utilization);
+}
+
+TEST(CrossValidation, SimulationLatencyAboveAnalyticLowerBound) {
+  // The analytic residence time ignores contention with the application's
+  // own bursts (it only sees IS traffic), so it lower-bounds the simulated
+  // monitoring latency.
+  analytic::Scenario s;
+  s.sampling_period_us = 40'000.0;
+  s.nodes = 4;
+  const auto predicted = analytic::now_metrics(s);
+
+  auto cfg = rocc::SystemConfig::now(4);
+  cfg.duration_us = 10e6;
+  cfg.sampling_period_us = 40'000.0;
+  const auto sim = rocc::run_simulation(cfg);
+
+  ASSERT_GT(sim.latency_us.count(), 0u);
+  EXPECT_GT(sim.latency_us.mean(), predicted.monitoring_latency_us);
+}
+
+TEST(CrossValidation, MvaBoundsSimulatedApplicationThroughput) {
+  // The closed-model MVA cycle throughput upper-bounds the simulated
+  // application's cycle rate (the simulation adds IS and background
+  // contention MVA does not see).
+  const auto mva = analytic::application_mva(1);
+
+  auto cfg = rocc::SystemConfig::now(1);
+  cfg.duration_us = 20e6;
+  cfg.background.enabled = false;
+  cfg.main_on_dedicated_host = true;
+  rocc::Simulation sim(cfg);
+  const auto r = sim.run();
+  (void)r;
+  // One app process: cycles/us from the simulation.
+  // Reconstruct the rate from app CPU time / mean demand.
+  const double sim_cycle_rate =
+      r.app_cpu_time_per_node_us / 2'213.0 / cfg.duration_us;  // cycles per us
+  EXPECT_LE(sim_cycle_rate, mva.throughput_per_us * 1.05);
+  // And it should be close at this light-load point.
+  EXPECT_GT(sim_cycle_rate, 0.8 * mva.throughput_per_us);
+}
+
+TEST(CrossValidation, FullPipelineTraceToConsultant) {
+  // measurement -> characterization -> simulation -> bottleneck search:
+  // the complete loop using only public APIs.
+  const auto records =
+      trace::generate_trace(trace::Sp2TraceModel::paper_pvmbt(20e6), 1, 4242);
+  const auto workload = trace::characterize(records);
+  const auto& app = workload.at(trace::ProcessClass::Application);
+
+  auto cfg = rocc::SystemConfig::now(2);
+  cfg.app.cpu_burst = app.cpu_length;
+  cfg.app.net_burst = app.net_length;
+  cfg.duration_us = 10e6;
+  cfg.sampling_period_us = 40'000.0;
+  cfg.main_on_dedicated_host = true;
+
+  rocc::Simulation sim(cfg);
+  consultant::PerformanceConsultant pc;
+  sim.main_process()->set_sample_sink([&pc](const rocc::Sample& s) { pc.observe(s); });
+  const auto r = sim.run();
+
+  EXPECT_GT(r.samples_delivered, 400u);
+  EXPECT_EQ(pc.samples_observed(), r.samples_delivered);
+  // pvmbt's profile is compute-heavy: the consultant must see high CPU
+  // fractions everywhere (and flag CPUBound at its default 0.85 threshold
+  // or at least measure > 0.7).
+  for (const auto node : pc.known_nodes()) {
+    EXPECT_GT(pc.node_mean(consultant::Hypothesis::CpuBound, node), 0.7);
+  }
+}
+
+TEST(CrossValidation, EmpiricalAndParametricModelsAgreeInSimulation) {
+  // Driving the simulator from the fitted parametric model vs the
+  // empirical distribution of the same trace must produce closely similar
+  // application utilization.
+  const auto records =
+      trace::generate_trace(trace::Sp2TraceModel::paper_pvmbt(20e6), 1, 777);
+  const auto parametric = trace::characterize(records);
+  const auto empirical = trace::characterize_empirical(records);
+
+  const auto run_with = [](const trace::ClassWorkload& w) {
+    auto cfg = rocc::SystemConfig::now(1);
+    cfg.app.cpu_burst = w.cpu_length;
+    cfg.app.net_burst = w.net_length;
+    cfg.duration_us = 10e6;
+    cfg.main_on_dedicated_host = true;
+    return rocc::run_simulation(cfg);
+  };
+  const auto rp = run_with(parametric.at(trace::ProcessClass::Application));
+  const auto re = run_with(empirical.at(trace::ProcessClass::Application));
+  EXPECT_NEAR(rp.app_cpu_util_pct, re.app_cpu_util_pct, 3.0);
+}
+
+}  // namespace
+}  // namespace paradyn

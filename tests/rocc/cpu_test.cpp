@@ -1,0 +1,128 @@
+#include "rocc/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/engine.hpp"
+
+namespace paradyn::rocc {
+namespace {
+
+TEST(CpuResource, ValidatesConstruction) {
+  des::Engine e;
+  EXPECT_THROW(CpuResource(e, 0, 10.0), std::invalid_argument);
+  EXPECT_THROW(CpuResource(e, 1, 0.0), std::invalid_argument);
+}
+
+TEST(CpuResource, SingleRequestRunsToCompletion) {
+  des::Engine e;
+  CpuResource cpu(e, 1, 10'000.0);
+  des::SimTime done_at = -1.0;
+  cpu.submit({500.0, ProcessClass::Application, [&] { done_at = e.now(); }});
+  (void)e.run();
+  EXPECT_DOUBLE_EQ(done_at, 500.0);
+  EXPECT_DOUBLE_EQ(cpu.busy_time(ProcessClass::Application), 500.0);
+  EXPECT_DOUBLE_EQ(cpu.busy_time_total(), 500.0);
+}
+
+TEST(CpuResource, FifoOrderWithinQuantum) {
+  des::Engine e;
+  CpuResource cpu(e, 1, 10'000.0);
+  std::vector<int> order;
+  cpu.submit({100.0, ProcessClass::Application, [&] { order.push_back(1); }});
+  cpu.submit({100.0, ProcessClass::ParadynDaemon, [&] { order.push_back(2); }});
+  (void)e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(cpu.busy_time(ProcessClass::Application), 100.0);
+  EXPECT_DOUBLE_EQ(cpu.busy_time(ProcessClass::ParadynDaemon), 100.0);
+}
+
+TEST(CpuResource, RoundRobinPreemptsLongJobs) {
+  // Long job (25ms) with quantum 10ms and a short job (1ms) arriving at t=0:
+  // schedule is long[0,10], short[10,11], long[11,21], long[21,26].
+  des::Engine e;
+  CpuResource cpu(e, 1, 10'000.0);
+  des::SimTime long_done = -1.0;
+  des::SimTime short_done = -1.0;
+  cpu.submit({25'000.0, ProcessClass::Application, [&] { long_done = e.now(); }});
+  cpu.submit({1'000.0, ProcessClass::ParadynDaemon, [&] { short_done = e.now(); }});
+  (void)e.run();
+  EXPECT_DOUBLE_EQ(short_done, 11'000.0);
+  EXPECT_DOUBLE_EQ(long_done, 26'000.0);
+}
+
+TEST(CpuResource, ShortJobNotPreempted) {
+  // A job shorter than the quantum runs in one slice.
+  des::Engine e;
+  CpuResource cpu(e, 1, 10'000.0);
+  des::SimTime done = -1.0;
+  cpu.submit({9'999.0, ProcessClass::Application, [&] { done = e.now(); }});
+  (void)e.run();
+  EXPECT_DOUBLE_EQ(done, 9'999.0);
+}
+
+TEST(CpuResource, MultipleCpusServeInParallel) {
+  des::Engine e;
+  CpuResource cpu(e, 2, 10'000.0);
+  std::vector<des::SimTime> done;
+  for (int i = 0; i < 2; ++i) {
+    cpu.submit({1'000.0, ProcessClass::Application, [&] { done.push_back(e.now()); }});
+  }
+  (void)e.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 1'000.0);
+  EXPECT_DOUBLE_EQ(done[1], 1'000.0);  // concurrent, not serialized
+}
+
+TEST(CpuResource, ZeroLengthRequestCompletesImmediately) {
+  des::Engine e;
+  CpuResource cpu(e, 1, 10'000.0);
+  bool done = false;
+  cpu.submit({0.0, ProcessClass::Application, [&] { done = true; }});
+  (void)e.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(cpu.busy_time_total(), 0.0);
+}
+
+TEST(CpuResource, NegativeDurationThrows) {
+  des::Engine e;
+  CpuResource cpu(e, 1, 10'000.0);
+  EXPECT_THROW(cpu.submit({-1.0, ProcessClass::Application, nullptr}), std::invalid_argument);
+}
+
+TEST(CpuResource, BusyTimeConservation) {
+  // Total busy time equals total demand regardless of preemption pattern.
+  des::Engine e;
+  CpuResource cpu(e, 1, 3'000.0);
+  double total_demand = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    const double d = i * 1'000.0;
+    total_demand += d;
+    cpu.submit({d, ProcessClass::Application, nullptr});
+  }
+  (void)e.run();
+  EXPECT_DOUBLE_EQ(cpu.busy_time_total(), total_demand);
+  EXPECT_DOUBLE_EQ(e.now(), total_demand);  // single CPU, work-conserving
+}
+
+TEST(CpuResource, FireAndForgetRequestsAllowed) {
+  des::Engine e;
+  CpuResource cpu(e, 1, 10'000.0);
+  cpu.submit({100.0, ProcessClass::Other, nullptr});
+  (void)e.run();
+  EXPECT_DOUBLE_EQ(cpu.busy_time(ProcessClass::Other), 100.0);
+}
+
+TEST(CpuResource, BacklogReflectsQueueAndService) {
+  des::Engine e;
+  CpuResource cpu(e, 1, 10'000.0);
+  cpu.submit({100.0, ProcessClass::Application, nullptr});
+  cpu.submit({100.0, ProcessClass::Application, nullptr});
+  EXPECT_EQ(cpu.backlog(), 2u);  // one in service, one waiting
+  (void)e.run();
+  EXPECT_EQ(cpu.backlog(), 0u);
+}
+
+}  // namespace
+}  // namespace paradyn::rocc

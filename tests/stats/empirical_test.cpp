@@ -1,0 +1,98 @@
+#include "stats/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/random.hpp"
+#include "stats/summary.hpp"
+
+namespace paradyn::stats {
+namespace {
+
+TEST(Empirical, Validation) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(Empirical{one}, std::invalid_argument);
+}
+
+TEST(Empirical, MomentsMatchData) {
+  const std::vector<double> data{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Empirical e(data);
+  EXPECT_DOUBLE_EQ(e.mean(), 5.0);
+  EXPECT_NEAR(e.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(e.observations(), 8u);
+  EXPECT_DOUBLE_EQ(e.min(), 2.0);
+  EXPECT_DOUBLE_EQ(e.max(), 9.0);
+}
+
+TEST(Empirical, CdfInterpolatesOrderStatistics) {
+  const std::vector<double> data{0.0, 10.0, 20.0};
+  const Empirical e(data);
+  EXPECT_DOUBLE_EQ(e.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(5.0), 0.25);   // halfway to x_(1) = half of 1/2
+  EXPECT_DOUBLE_EQ(e.cdf(10.0), 0.5);
+  EXPECT_DOUBLE_EQ(e.cdf(15.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.cdf(20.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.cdf(21.0), 1.0);
+}
+
+TEST(Empirical, QuantileInvertsCdf) {
+  const std::vector<double> data{0.0, 10.0, 20.0, 40.0};
+  const Empirical e(data);
+  for (const double p : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_NEAR(e.cdf(e.quantile(p)), p, 1e-12) << "p=" << p;
+  }
+  EXPECT_THROW((void)e.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Empirical, PdfIsPiecewiseDensity) {
+  const std::vector<double> data{0.0, 10.0, 20.0};
+  const Empirical e(data);
+  EXPECT_DOUBLE_EQ(e.pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.pdf(5.0), 0.05);   // (1/2) / 10
+  EXPECT_DOUBLE_EQ(e.pdf(15.0), 0.05);
+  EXPECT_DOUBLE_EQ(e.pdf(25.0), 0.0);
+}
+
+TEST(Empirical, SamplesStayInRangeAndMatchMean) {
+  Exponential truth(223.0);
+  des::RngStream gen(5, 1);
+  std::vector<double> data;
+  for (int i = 0; i < 20'000; ++i) data.push_back(truth.sample(gen));
+  const Empirical e(data);
+
+  des::RngStream rng(6, 2);
+  SummaryStats s;
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = e.sample(rng);
+    ASSERT_GE(x, e.min());
+    ASSERT_LE(x, e.max());
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 223.0, 223.0 * 0.05);
+  EXPECT_NEAR(s.stddev(), 223.0, 223.0 * 0.1);
+}
+
+TEST(Empirical, TiedObservationsSupported) {
+  const std::vector<double> data{5.0, 5.0, 5.0, 10.0};
+  const Empirical e(data);
+  EXPECT_DOUBLE_EQ(e.cdf(5.0), 0.0);  // left edge of support
+  EXPECT_DOUBLE_EQ(e.cdf(7.5), 2.0 / 3.0 + 0.5 / 3.0);
+  des::RngStream rng(7, 3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = e.sample(rng);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LE(x, 10.0);
+  }
+}
+
+TEST(Empirical, DescribeMentionsFamilyAndSize) {
+  const std::vector<double> data{1.0, 2.0};
+  const Empirical e(data);
+  EXPECT_NE(e.describe().find("empirical"), std::string::npos);
+  EXPECT_NE(e.describe().find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paradyn::stats

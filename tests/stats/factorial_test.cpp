@@ -1,0 +1,131 @@
+#include "stats/factorial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace paradyn::stats {
+namespace {
+
+TEST(FactorialDesign, MaskLabels) {
+  EXPECT_EQ(FactorialDesign::mask_label(0), "mean");
+  EXPECT_EQ(FactorialDesign::mask_label(0b0001), "A");
+  EXPECT_EQ(FactorialDesign::mask_label(0b0010), "B");
+  EXPECT_EQ(FactorialDesign::mask_label(0b0011), "AB");
+  EXPECT_EQ(FactorialDesign::mask_label(0b1101), "ACD");
+}
+
+TEST(FactorialDesign, ValidatesConstruction) {
+  EXPECT_THROW(FactorialDesign({}, 1), std::invalid_argument);
+  EXPECT_THROW(FactorialDesign({"A"}, 0), std::invalid_argument);
+}
+
+TEST(FactorialDesign, CompletionTracking) {
+  FactorialDesign d({"A", "B"}, 2);
+  EXPECT_FALSE(d.complete());
+  EXPECT_THROW((void)d.analyze(), std::logic_error);
+  for (unsigned cell = 0; cell < 4; ++cell) {
+    for (std::size_t rep = 0; rep < 2; ++rep) d.set_response(cell, rep, 1.0);
+  }
+  EXPECT_TRUE(d.complete());
+  EXPECT_THROW(d.set_response(4, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(d.set_response(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(FactorialDesign, TextbookTwoFactorExample) {
+  // Jain ch.17: memory (A: 4MB/16MB) x cache (B: 1KB/2KB), responses
+  // 15, 45, 25, 75.  q0=40, qA=20, qB=10, qAB=5.
+  // Variations: A: 1600/2100 ~ 76%, B: 400/2100 ~ 19%, AB: 100/2100 ~ 5%.
+  FactorialDesign d({"memory", "cache"}, 1);
+  d.set_response(0b00, 0, 15.0);
+  d.set_response(0b01, 0, 45.0);  // A high
+  d.set_response(0b10, 0, 25.0);  // B high
+  d.set_response(0b11, 0, 75.0);
+  const auto a = d.analyze();
+  EXPECT_DOUBLE_EQ(a.grand_mean, 40.0);
+  EXPECT_DOUBLE_EQ(a.effect("A").effect, 20.0);
+  EXPECT_DOUBLE_EQ(a.effect("B").effect, 10.0);
+  EXPECT_DOUBLE_EQ(a.effect("AB").effect, 5.0);
+  EXPECT_NEAR(a.effect("A").variation_fraction, 1600.0 / 2100.0, 1e-12);
+  EXPECT_NEAR(a.effect("B").variation_fraction, 400.0 / 2100.0, 1e-12);
+  EXPECT_NEAR(a.effect("AB").variation_fraction, 100.0 / 2100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.sse, 0.0);
+  // Sorted by descending variation: A first.
+  EXPECT_EQ(a.effects.front().label, "A");
+}
+
+TEST(FactorialDesign, ReplicatedDesignAllocatesError) {
+  // Jain ch.18 example (2^2 with r=3):
+  // (1): 15,18,12  a: 45,48,51  b: 25,28,19  ab: 75,75,81
+  FactorialDesign d({"A", "B"}, 3);
+  const double y00[] = {15, 18, 12};
+  const double y01[] = {45, 48, 51};
+  const double y10[] = {25, 28, 19};
+  const double y11[] = {75, 75, 81};
+  for (int r = 0; r < 3; ++r) {
+    d.set_response(0b00, static_cast<std::size_t>(r), y00[r]);
+    d.set_response(0b01, static_cast<std::size_t>(r), y01[r]);
+    d.set_response(0b10, static_cast<std::size_t>(r), y10[r]);
+    d.set_response(0b11, static_cast<std::size_t>(r), y11[r]);
+  }
+  const auto a = d.analyze();
+  // Jain's results: q0=41, qA=21.5, qB=9.5, qAB=5, SSE=102.
+  EXPECT_NEAR(a.grand_mean, 41.0, 1e-12);
+  EXPECT_NEAR(a.effect("A").effect, 21.5, 1e-12);
+  EXPECT_NEAR(a.effect("B").effect, 9.5, 1e-12);
+  EXPECT_NEAR(a.effect("AB").effect, 5.0, 1e-12);
+  EXPECT_NEAR(a.sse, 102.0, 1e-9);
+  // SST = SSA+SSB+SSAB+SSE = 5547+1083+300+102 = 7032.
+  EXPECT_NEAR(a.sst, 7032.0, 1e-9);
+  EXPECT_NEAR(a.effect("A").variation_fraction, 5547.0 / 7032.0, 1e-12);
+  EXPECT_NEAR(a.error_fraction, 102.0 / 7032.0, 1e-12);
+}
+
+TEST(FactorialDesign, PureNoiseGoesToError) {
+  // Identical cell means, within-cell noise only: all variation is SSE.
+  FactorialDesign d({"A", "B", "C"}, 2);
+  for (unsigned cell = 0; cell < 8; ++cell) {
+    d.set_response(cell, 0, 10.0 - 1.0);
+    d.set_response(cell, 1, 10.0 + 1.0);
+  }
+  const auto a = d.analyze();
+  EXPECT_NEAR(a.error_fraction, 1.0, 1e-12);
+  for (const auto& e : a.effects) EXPECT_NEAR(e.variation_fraction, 0.0, 1e-12);
+}
+
+TEST(FactorialDesign, SingleFactorSignConvention) {
+  // Low level 10, high level 30: effect = +10 (half the difference).
+  FactorialDesign d({"A"}, 1);
+  d.set_response(0, 0, 10.0);
+  d.set_response(1, 0, 30.0);
+  const auto a = d.analyze();
+  EXPECT_DOUBLE_EQ(a.grand_mean, 20.0);
+  EXPECT_DOUBLE_EQ(a.effect("A").effect, 10.0);
+  EXPECT_NEAR(a.effect("A").variation_fraction, 1.0, 1e-12);
+}
+
+TEST(FactorialDesign, FourFactorsSixteenEffects) {
+  FactorialDesign d({"A", "B", "C", "D"}, 1);
+  for (unsigned cell = 0; cell < 16; ++cell) {
+    d.set_response(cell, 0, static_cast<double>(cell));
+  }
+  const auto a = d.analyze();
+  EXPECT_EQ(a.effects.size(), 15u);  // 2^4 - 1 (mean excluded)
+  double total = a.error_fraction;
+  for (const auto& e : a.effects) total += e.variation_fraction;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Response = 8*D + 4*C + 2*B + A with cell-bit weights: main effects only.
+  EXPECT_NEAR(a.effect("D").variation_fraction, 64.0 / 85.0, 1e-9);
+  EXPECT_NEAR(a.effect("AB").variation_fraction, 0.0, 1e-12);
+}
+
+TEST(FactorialAnalysis, UnknownLabelThrows) {
+  FactorialDesign d({"A"}, 1);
+  d.set_response(0, 0, 1.0);
+  d.set_response(1, 0, 2.0);
+  const auto a = d.analyze();
+  EXPECT_THROW((void)a.effect("Z"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace paradyn::stats

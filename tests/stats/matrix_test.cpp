@@ -1,0 +1,144 @@
+#include "stats/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace paradyn::stats {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m.at(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  const auto eye = Matrix::identity(3);
+  Matrix m(3, 3);
+  int v = 1;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  const auto lhs = eye.multiply(m);
+  const auto rhs = m.multiply(eye);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(lhs(r, c), m(r, c));
+      EXPECT_DOUBLE_EQ(rhs(r, c), m(r, c));
+    }
+  }
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7;  b(0, 1) = 8;
+  b(1, 0) = 9;  b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const auto p = a.multiply(b);
+  EXPECT_DOUBLE_EQ(p(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 154.0);
+  EXPECT_THROW((void)b.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m(2, 3);
+  m(0, 1) = 5.0;
+  m(1, 2) = -2.0;
+  const auto t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), -2.0);
+  const auto back = t.transpose();
+  EXPECT_DOUBLE_EQ(back(0, 1), 5.0);
+}
+
+TEST(Matrix, SymmetryCheck) {
+  Matrix s(2, 2);
+  s(0, 1) = 3.0;
+  s(1, 0) = 3.0;
+  EXPECT_TRUE(s.is_symmetric());
+  s(1, 0) = 3.1;
+  EXPECT_FALSE(s.is_symmetric(1e-3));
+  Matrix rect(2, 3);
+  EXPECT_FALSE(rect.is_symmetric());
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  Matrix d(3, 3);
+  d(0, 0) = 1.0;
+  d(1, 1) = 5.0;
+  d(2, 2) = 3.0;
+  const auto eig = jacobi_eigen(d);
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/sqrt2,
+  // (1,-1)/sqrt2.
+  Matrix m(2, 2);
+  m(0, 0) = 2.0; m(0, 1) = 1.0;
+  m(1, 0) = 1.0; m(1, 1) = 2.0;
+  const auto eig = jacobi_eigen(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::fabs(eig.vectors(0, 0)), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::fabs(eig.vectors(1, 0)), std::sqrt(0.5), 1e-8);
+}
+
+TEST(JacobiEigen, ReconstructsMatrix) {
+  // A = V diag(L) V^T must reproduce the input.
+  Matrix m(4, 4);
+  const double vals[4][4] = {{4, 1, 0.5, 0.2},
+                             {1, 3, 0.3, 0.1},
+                             {0.5, 0.3, 2, 0.4},
+                             {0.2, 0.1, 0.4, 1}};
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) m(r, c) = vals[r][c];
+  }
+  const auto eig = jacobi_eigen(m);
+  Matrix diag(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) diag(i, i) = eig.values[i];
+  const auto rebuilt = eig.vectors.multiply(diag).multiply(eig.vectors.transpose());
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_NEAR(rebuilt(r, c), m(r, c), 1e-8);
+  }
+}
+
+TEST(JacobiEigen, EigenvectorsOrthonormal) {
+  Matrix m(3, 3);
+  m(0, 0) = 2; m(0, 1) = 1; m(0, 2) = 0;
+  m(1, 0) = 1; m(1, 1) = 2; m(1, 2) = 1;
+  m(2, 0) = 0; m(2, 1) = 1; m(2, 2) = 2;
+  const auto eig = jacobi_eigen(m);
+  const auto gram = eig.vectors.transpose().multiply(eig.vectors);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(gram(r, c), r == c ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigen, RejectsNonSymmetric) {
+  Matrix m(2, 2);
+  m(0, 1) = 1.0;
+  EXPECT_THROW((void)jacobi_eigen(m), std::invalid_argument);
+  Matrix rect(2, 3);
+  EXPECT_THROW((void)jacobi_eigen(rect), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace paradyn::stats

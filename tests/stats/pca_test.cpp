@@ -1,0 +1,93 @@
+#include "stats/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "des/random.hpp"
+
+namespace paradyn::stats {
+namespace {
+
+TEST(Pca, PerfectlyCorrelatedVariables) {
+  // y = 2x: one principal component should explain everything.
+  Matrix data(100, 2);
+  des::RngStream rng(1, 1);
+  for (std::size_t r = 0; r < 100; ++r) {
+    const double x = rng.next_double() * 10.0;
+    data(r, 0) = x;
+    data(r, 1) = 2.0 * x;
+  }
+  const auto result = pca(data, /*standardize=*/true);
+  EXPECT_NEAR(result.explained_fraction[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.explained_fraction[1], 0.0, 1e-9);
+  // Standardized loading vector of PC1 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(result.components(0, 0)), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::fabs(result.components(1, 0)), std::sqrt(0.5), 1e-8);
+}
+
+TEST(Pca, IndependentVariablesSplitEvenly) {
+  Matrix data(5000, 2);
+  des::RngStream rng(2, 2);
+  for (std::size_t r = 0; r < 5000; ++r) {
+    data(r, 0) = rng.next_double();
+    data(r, 1) = rng.next_double();
+  }
+  const auto result = pca(data, /*standardize=*/true);
+  EXPECT_NEAR(result.explained_fraction[0], 0.5, 0.05);
+  EXPECT_NEAR(result.explained_fraction[1], 0.5, 0.05);
+}
+
+TEST(Pca, ExplainedFractionsSumToOne) {
+  Matrix data(200, 4);
+  des::RngStream rng(3, 3);
+  for (std::size_t r = 0; r < 200; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) data(r, c) = rng.next_double() * (c + 1.0);
+  }
+  const auto result = pca(data, /*standardize=*/false);
+  double sum = 0.0;
+  for (const double f : result.explained_fraction) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Eigenvalues descending.
+  for (std::size_t i = 1; i < result.eigenvalues.size(); ++i) {
+    EXPECT_GE(result.eigenvalues[i - 1], result.eigenvalues[i] - 1e-12);
+  }
+}
+
+TEST(Pca, CovarianceModeCapturesDominantVariance) {
+  // Column 1 has 100x the variance of column 0: un-standardized PCA puts
+  // PC1 almost entirely on column 1.
+  Matrix data(2000, 2);
+  des::RngStream rng(4, 4);
+  for (std::size_t r = 0; r < 2000; ++r) {
+    data(r, 0) = rng.next_double();
+    data(r, 1) = rng.next_double() * 100.0;
+  }
+  const auto result = pca(data, /*standardize=*/false);
+  EXPECT_GT(result.explained_fraction[0], 0.99);
+  EXPECT_GT(std::fabs(result.components(1, 0)), 0.99);
+}
+
+TEST(PcaProject, CentersAndProjects) {
+  Matrix data(50, 2);
+  for (std::size_t r = 0; r < 50; ++r) {
+    data(r, 0) = static_cast<double>(r);
+    data(r, 1) = static_cast<double>(r) * 3.0 + 5.0;
+  }
+  const auto model = pca(data, /*standardize=*/false);
+  // The mean observation projects to the origin.
+  const auto at_mean = pca_project(model, {model.column_means[0], model.column_means[1]}, 2);
+  EXPECT_NEAR(at_mean[0], 0.0, 1e-9);
+  EXPECT_NEAR(at_mean[1], 0.0, 1e-9);
+  EXPECT_THROW((void)pca_project(model, {1.0}, 1), std::invalid_argument);
+}
+
+TEST(Pca, Validation) {
+  Matrix tiny(1, 2);
+  EXPECT_THROW((void)pca(tiny), std::invalid_argument);
+  Matrix empty_cols(10, 0);
+  EXPECT_THROW((void)pca(empty_cols), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace paradyn::stats

@@ -1,0 +1,113 @@
+#include "testbed/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace paradyn::testbed {
+namespace {
+
+WireSample make(int id, double value) {
+  WireSample s;
+  s.generated_ns = 123456789;
+  s.app_id = id;
+  s.metric_id = id * 2;
+  s.value = value;
+  return s;
+}
+
+TEST(SampleChannel, SingleSampleRoundTrip) {
+  SampleChannel ch;
+  ch.write_sample(make(7, 3.25));
+  const auto got = ch.read_sample();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->app_id, 7);
+  EXPECT_EQ(got->metric_id, 14);
+  EXPECT_DOUBLE_EQ(got->value, 3.25);
+  EXPECT_EQ(got->generated_ns, 123456789);
+}
+
+TEST(SampleChannel, BatchRoundTrip) {
+  SampleChannel ch;
+  std::vector<WireSample> batch;
+  for (int i = 0; i < 20; ++i) batch.push_back(make(i, i * 0.5));
+  ch.write_batch(batch);
+  for (int i = 0; i < 20; ++i) {
+    const auto got = ch.read_sample();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->app_id, i);
+    EXPECT_DOUBLE_EQ(got->value, i * 0.5);
+  }
+}
+
+TEST(SampleChannel, ReadSomeDrainsInBulk) {
+  SampleChannel ch;
+  std::vector<WireSample> batch;
+  for (int i = 0; i < 10; ++i) batch.push_back(make(i, i));
+  ch.write_batch(batch);
+  const auto first = ch.read_some(6);
+  ASSERT_EQ(first.size(), 6u);
+  const auto rest = ch.read_some(64);
+  ASSERT_EQ(rest.size(), 4u);
+  EXPECT_EQ(rest[0].app_id, 6);
+  EXPECT_EQ(rest[3].app_id, 9);
+}
+
+TEST(SampleChannel, EofAfterCloseWrite) {
+  SampleChannel ch;
+  ch.write_sample(make(1, 1.0));
+  ch.close_write();
+  EXPECT_TRUE(ch.read_sample().has_value());
+  EXPECT_FALSE(ch.read_sample().has_value());       // EOF
+  EXPECT_TRUE(ch.read_some(16).empty());            // still EOF
+}
+
+TEST(SampleChannel, EmptyBatchIsNoop) {
+  SampleChannel ch;
+  ch.write_batch({});
+  ch.close_write();
+  EXPECT_FALSE(ch.read_sample().has_value());
+}
+
+TEST(SampleChannel, CrossThreadTransfer) {
+  SampleChannel ch;
+  constexpr int kCount = 20000;  // > pipe capacity: exercises backpressure
+  std::thread writer([&] {
+    for (int i = 0; i < kCount; ++i) ch.write_sample(make(i & 0xFFFF, i));
+    ch.close_write();
+  });
+  int received = 0;
+  long long last_value = -1;
+  while (true) {
+    const auto samples = ch.read_some(128);
+    if (samples.empty()) break;
+    for (const auto& s : samples) {
+      EXPECT_EQ(static_cast<long long>(s.value), last_value + 1);
+      last_value = static_cast<long long>(s.value);
+      ++received;
+    }
+  }
+  writer.join();
+  EXPECT_EQ(received, kCount);
+}
+
+TEST(SampleChannel, MoveTransfersOwnership) {
+  SampleChannel a;
+  a.write_sample(make(5, 5.0));
+  SampleChannel b(std::move(a));
+  const auto got = b.read_sample();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->app_id, 5);
+}
+
+TEST(SampleChannel, CloseIsIdempotent) {
+  SampleChannel ch;
+  ch.close_write();
+  ch.close_write();
+  ch.close_read();
+  ch.close_read();
+}
+
+}  // namespace
+}  // namespace paradyn::testbed

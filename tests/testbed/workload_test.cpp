@@ -1,0 +1,80 @@
+#include "testbed/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+namespace paradyn::testbed {
+namespace {
+
+TEST(BtWorkload, SolvesSystemAccurately) {
+  BtWorkload bt(32);
+  bt.enable_residual_check(true);
+  for (int i = 0; i < 5; ++i) {
+    const double checksum = bt.run_chunk();
+    EXPECT_TRUE(std::isfinite(checksum));
+    // A block-Thomas solve of a well-conditioned system should be accurate
+    // to near machine precision.
+    EXPECT_LT(bt.last_residual(), 1e-9) << "chunk " << i;
+  }
+  EXPECT_EQ(bt.chunks_done(), 5u);
+}
+
+TEST(BtWorkload, ChunksProgressAndDiffer) {
+  BtWorkload bt;
+  const double a = bt.run_chunk();
+  const double b = bt.run_chunk();
+  EXPECT_NE(a, b);  // fresh random system each chunk
+  EXPECT_EQ(bt.chunks_done(), 2u);
+  EXPECT_EQ(bt.name(), "bt");
+}
+
+TEST(BtWorkload, RejectsDegenerateLine) {
+  EXPECT_THROW(BtWorkload(1), std::invalid_argument);
+}
+
+TEST(IsWorkload, RanksAreAPermutation) {
+  // Reach into behavior indirectly: the checksum combines ranks; across
+  // many chunks it must stay within [0, 2*(n-1)] and vary.
+  IsWorkload is(1024, 256);
+  bool varied = false;
+  double first = is.run_chunk();
+  for (int i = 0; i < 10; ++i) {
+    const double c = is.run_chunk();
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 2.0 * 1024.0);
+    if (c != first) varied = true;
+  }
+  EXPECT_TRUE(varied);
+  EXPECT_EQ(is.chunks_done(), 11u);
+  EXPECT_EQ(is.name(), "is");
+}
+
+TEST(IsWorkload, Validation) {
+  EXPECT_THROW(IsWorkload(0, 16), std::invalid_argument);
+  EXPECT_THROW(IsWorkload(16, 0), std::invalid_argument);
+}
+
+TEST(MakeWorkload, FactoryByName) {
+  EXPECT_EQ(make_workload("bt")->name(), "bt");
+  EXPECT_EQ(make_workload("is")->name(), "is");
+  EXPECT_THROW((void)make_workload("lu"), std::invalid_argument);
+}
+
+TEST(Workloads, ChunksAreFastEnoughForSampling) {
+  // A chunk must be well under the 10 ms sampling period so the
+  // instrumentation timer fires on schedule.
+  for (const char* name : {"bt", "is"}) {
+    auto w = make_workload(name);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 10; ++i) (void)w->run_chunk();
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    const double ms_per_chunk =
+        std::chrono::duration<double, std::milli>(dt).count() / 10.0;
+    EXPECT_LT(ms_per_chunk, 5.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace paradyn::testbed

@@ -1,0 +1,69 @@
+#include "cli_args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paradyn::tools {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv_list,
+              std::set<std::string> known = {"alpha", "beta", "flag"}) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), argv_list.begin(), argv_list.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), std::move(known));
+}
+
+TEST(CliArgs, SpaceSeparatedValues) {
+  const auto args = parse({"--alpha", "42", "--beta", "hello"});
+  EXPECT_EQ(args.get_long("alpha", 0), 42);
+  EXPECT_EQ(args.get_string("beta", ""), "hello");
+}
+
+TEST(CliArgs, EqualsSeparatedValues) {
+  const auto args = parse({"--alpha=3.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 3.5);
+}
+
+TEST(CliArgs, BareSwitchIsTrue) {
+  const auto args = parse({"--flag"});
+  EXPECT_TRUE(args.get_bool("flag"));
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_FALSE(args.has("alpha"));
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get_long("alpha", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 2.5), 2.5);
+  EXPECT_EQ(args.get_string("beta", "dflt"), "dflt");
+  EXPECT_FALSE(args.get_bool("flag", false));
+  EXPECT_TRUE(args.get_bool("flag", true));
+}
+
+TEST(CliArgs, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--flag=yes"}).get_bool("flag"));
+  EXPECT_TRUE(parse({"--flag=1"}).get_bool("flag"));
+  EXPECT_FALSE(parse({"--flag=no"}).get_bool("flag"));
+  EXPECT_FALSE(parse({"--flag=false"}).get_bool("flag"));
+  EXPECT_THROW((void)parse({"--flag=maybe"}).get_bool("flag"), std::invalid_argument);
+}
+
+TEST(CliArgs, RejectsUnknownFlagAndPositionals) {
+  EXPECT_THROW(parse({"--bogus", "1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"stray"}), std::invalid_argument);
+}
+
+TEST(CliArgs, RejectsMalformedNumbers) {
+  const auto args = parse({"--alpha", "12abc"});
+  EXPECT_THROW((void)args.get_long("alpha", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("alpha", 0.0), std::invalid_argument);
+}
+
+TEST(CliArgs, NegativeValuesViaEquals) {
+  // A negative space-separated value would look like a flag; the = form
+  // carries it through.
+  const auto args = parse({"--alpha=-5"});
+  EXPECT_EQ(args.get_long("alpha", 0), -5);
+}
+
+}  // namespace
+}  // namespace paradyn::tools

@@ -1,0 +1,135 @@
+#include "trace/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "des/random.hpp"
+#include "stats/empirical.hpp"
+#include "trace/generator.hpp"
+
+namespace paradyn::trace {
+namespace {
+
+std::vector<TraceRecord> paper_trace(double duration_us = 30e6) {
+  return generate_trace(Sp2TraceModel::paper_pvmbt(duration_us), 1, 77);
+}
+
+TEST(OccupancyExtract, GroupsByClassAndResource) {
+  const std::vector<TraceRecord> records{
+      {0.0, 0, 1, ProcessClass::Application, ResourceKind::Cpu, 10.0},
+      {5.0, 0, 1, ProcessClass::Application, ResourceKind::Cpu, 20.0},
+      {7.0, 0, 2, ProcessClass::ParadynDaemon, ResourceKind::Network, 30.0},
+  };
+  const OccupancyExtract ex(records);
+  EXPECT_EQ(ex.lengths(ProcessClass::Application, ResourceKind::Cpu).size(), 2u);
+  EXPECT_EQ(ex.lengths(ProcessClass::ParadynDaemon, ResourceKind::Network).size(), 1u);
+  EXPECT_TRUE(ex.lengths(ProcessClass::Other, ResourceKind::Cpu).empty());
+}
+
+TEST(OccupancyExtract, InterarrivalsPerStream) {
+  // Two pids interleaved: inter-arrivals must be computed per pid.
+  const std::vector<TraceRecord> records{
+      {0.0, 0, 1, ProcessClass::PvmDaemon, ResourceKind::Cpu, 1.0},
+      {10.0, 0, 2, ProcessClass::PvmDaemon, ResourceKind::Cpu, 1.0},
+      {30.0, 0, 1, ProcessClass::PvmDaemon, ResourceKind::Cpu, 1.0},
+      {50.0, 0, 2, ProcessClass::PvmDaemon, ResourceKind::Cpu, 1.0},
+  };
+  const OccupancyExtract ex(records);
+  const auto& ia = ex.interarrivals(ProcessClass::PvmDaemon, ResourceKind::Cpu);
+  ASSERT_EQ(ia.size(), 2u);
+  EXPECT_DOUBLE_EQ(ia[0], 30.0);  // pid 1: 30 - 0
+  EXPECT_DOUBLE_EQ(ia[1], 40.0);  // pid 2: 50 - 10
+}
+
+TEST(OccupancyStatistics, ReproducesTable1Shape) {
+  const auto rows = occupancy_statistics(paper_trace());
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(kNumProcessClasses));
+
+  // Find the application row and check it against Table 1.
+  const OccupancyStatsRow* app = nullptr;
+  const OccupancyStatsRow* pd = nullptr;
+  for (const auto& r : rows) {
+    if (r.pclass == ProcessClass::Application) app = &r;
+    if (r.pclass == ProcessClass::ParadynDaemon) pd = &r;
+  }
+  ASSERT_NE(app, nullptr);
+  ASSERT_NE(pd, nullptr);
+  EXPECT_NEAR(app->cpu.mean(), 2213.0, 2213.0 * 0.1);
+  EXPECT_NEAR(app->cpu.stddev(), 3034.0, 3034.0 * 0.25);
+  EXPECT_NEAR(app->network.mean(), 223.0, 223.0 * 0.1);
+  EXPECT_NEAR(pd->cpu.mean(), 267.0, 267.0 * 0.15);
+  EXPECT_NEAR(pd->network.mean(), 71.0, 71.0 * 0.15);
+}
+
+TEST(Characterize, SelectsPaperFamilies) {
+  const auto model = characterize(paper_trace());
+  ASSERT_TRUE(model.has(ProcessClass::Application));
+  const auto& app = model.at(ProcessClass::Application);
+  ASSERT_TRUE(app.cpu_length);
+  ASSERT_TRUE(app.net_length);
+  // Lognormal wins for application CPU (Figure 8a).
+  EXPECT_EQ(app.cpu_length->name(), "lognormal");
+  EXPECT_NEAR(app.cpu_length->mean(), 2213.0, 2213.0 * 0.1);
+  // Exponential-shaped for application network (Figure 8b) — accept the
+  // nested Weibull with shape ~1.
+  EXPECT_NEAR(app.net_length->mean(), 223.0, 223.0 * 0.1);
+}
+
+TEST(Characterize, InterarrivalMeansRecovered) {
+  const auto model = characterize(paper_trace());
+  ASSERT_TRUE(model.has(ProcessClass::PvmDaemon));
+  const auto& pvmd = model.at(ProcessClass::PvmDaemon);
+  ASSERT_TRUE(pvmd.cpu_interarrival_mean.has_value());
+  EXPECT_NEAR(*pvmd.cpu_interarrival_mean, 6485.0, 6485.0 * 0.15);
+
+  ASSERT_TRUE(model.has(ProcessClass::Other));
+  const auto& other = model.at(ProcessClass::Other);
+  ASSERT_TRUE(other.cpu_interarrival_mean.has_value());
+  EXPECT_NEAR(*other.cpu_interarrival_mean, 31485.0, 31485.0 * 0.15);
+}
+
+TEST(CharacterizeEmpirical, ReplaysObservedRange) {
+  const auto records = paper_trace(10e6);
+  const auto model = characterize_empirical(records);
+  ASSERT_TRUE(model.has(ProcessClass::Application));
+  const auto& app = model.at(ProcessClass::Application);
+  ASSERT_TRUE(app.cpu_length);
+  EXPECT_EQ(app.cpu_length->name(), "empirical");
+  EXPECT_NEAR(app.cpu_length->mean(), 2213.0, 2213.0 * 0.15);
+  // Samples never leave the observed support.
+  const auto& emp = dynamic_cast<const stats::Empirical&>(*app.cpu_length);
+  des::RngStream rng(3, 3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = app.cpu_length->sample(rng);
+    EXPECT_GE(x, emp.min());
+    EXPECT_LE(x, emp.max());
+  }
+}
+
+TEST(CharacterizeEmpirical, SkipsSparseClasses) {
+  const std::vector<TraceRecord> records{
+      {0.0, 0, 1, ProcessClass::Application, ResourceKind::Cpu, 10.0},
+  };
+  const auto model = characterize_empirical(records);
+  EXPECT_FALSE(model.has(ProcessClass::Application));  // only one observation
+}
+
+TEST(Characterize, MissingClassThrows) {
+  const std::vector<TraceRecord> records{
+      {0.0, 0, 1, ProcessClass::Application, ResourceKind::Cpu, 10.0},
+      {5.0, 0, 1, ProcessClass::Application, ResourceKind::Cpu, 12.0},
+  };
+  const auto model = characterize(records);
+  EXPECT_TRUE(model.has(ProcessClass::Application));
+  EXPECT_FALSE(model.has(ProcessClass::PvmDaemon));
+  EXPECT_THROW((void)model.at(ProcessClass::PvmDaemon), std::out_of_range);
+}
+
+TEST(Characterize, EmptyTraceYieldsEmptyModel) {
+  const auto model = characterize({});
+  for (int i = 0; i < kNumProcessClasses; ++i) {
+    EXPECT_FALSE(model.has(static_cast<ProcessClass>(i)));
+  }
+}
+
+}  // namespace
+}  // namespace paradyn::trace

@@ -1,0 +1,92 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace paradyn::trace {
+namespace {
+
+std::vector<TraceRecord> sample_records() {
+  return {
+      {0.0, 0, 1, ProcessClass::Application, ResourceKind::Cpu, 2213.5},
+      {100.25, 1, 2, ProcessClass::ParadynDaemon, ResourceKind::Network, 71.0},
+      {250.0, 0, 3, ProcessClass::MainParadyn, ResourceKind::Cpu, 3208.0},
+  };
+}
+
+TEST(TraceIo, StreamRoundTrip) {
+  const auto in = sample_records();
+  std::stringstream ss;
+  write_csv(ss, in);
+  const auto out = read_csv(ss);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].timestamp_us, in[i].timestamp_us);
+    EXPECT_EQ(out[i].node, in[i].node);
+    EXPECT_EQ(out[i].pid, in[i].pid);
+    EXPECT_EQ(out[i].pclass, in[i].pclass);
+    EXPECT_EQ(out[i].resource, in[i].resource);
+    EXPECT_DOUBLE_EQ(out[i].duration_us, in[i].duration_us);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrip) {
+  std::stringstream ss;
+  write_csv(ss, {});
+  EXPECT_TRUE(read_csv(ss).empty());
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream ss("1,2,3\n");
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  std::stringstream ss;
+  ss << "timestamp_us,node,pid,process_class,resource,duration_us\n";
+  ss << "1.0,0,1,application,cpu\n";  // five fields
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadNumericField) {
+  std::stringstream ss;
+  ss << "timestamp_us,node,pid,process_class,resource,duration_us\n";
+  ss << "abc,0,1,application,cpu,5.0\n";
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownClass) {
+  std::stringstream ss;
+  ss << "timestamp_us,node,pid,process_class,resource,duration_us\n";
+  ss << "1.0,0,1,martian,cpu,5.0\n";
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream ss;
+  ss << "timestamp_us,node,pid,process_class,resource,duration_us\n";
+  ss << "1.0,0,1,application,cpu,5.0\n\n";
+  EXPECT_EQ(read_csv(ss).size(), 1u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "paradyn_trace_io_test.csv";
+  const auto model = Sp2TraceModel::paper_pvmbt(0.5e6);
+  const auto in = generate_trace(model, 2, 3);
+  write_csv_file(path.string(), in);
+  const auto out = read_csv_file(path.string());
+  EXPECT_EQ(out.size(), in.size());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/definitely/missing.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace paradyn::trace

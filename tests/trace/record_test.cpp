@@ -1,0 +1,35 @@
+#include "trace/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paradyn::trace {
+namespace {
+
+TEST(ProcessClass, StringRoundTrip) {
+  for (int i = 0; i < kNumProcessClasses; ++i) {
+    const auto c = static_cast<ProcessClass>(i);
+    EXPECT_EQ(process_class_from_string(to_string(c)), c);
+  }
+}
+
+TEST(ProcessClass, RejectsUnknownString) {
+  EXPECT_THROW((void)process_class_from_string("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)process_class_from_string(""), std::invalid_argument);
+}
+
+TEST(ResourceKind, StringRoundTrip) {
+  EXPECT_EQ(resource_kind_from_string(to_string(ResourceKind::Cpu)), ResourceKind::Cpu);
+  EXPECT_EQ(resource_kind_from_string(to_string(ResourceKind::Network)), ResourceKind::Network);
+  EXPECT_THROW((void)resource_kind_from_string("disk"), std::invalid_argument);
+}
+
+TEST(ProcessClass, NamesMatchPaperTerminology) {
+  EXPECT_EQ(to_string(ProcessClass::Application), "application");
+  EXPECT_EQ(to_string(ProcessClass::ParadynDaemon), "paradyn_daemon");
+  EXPECT_EQ(to_string(ProcessClass::PvmDaemon), "pvm_daemon");
+  EXPECT_EQ(to_string(ProcessClass::Other), "other");
+  EXPECT_EQ(to_string(ProcessClass::MainParadyn), "main_paradyn");
+}
+
+}  // namespace
+}  // namespace paradyn::trace

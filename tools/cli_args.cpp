@@ -1,0 +1,64 @@
+#include "cli_args.hpp"
+
+#include <cstdlib>
+
+namespace paradyn::tools {
+
+CliArgs::CliArgs(int argc, const char* const argv[], std::set<std::string> known_flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value = "true";  // bare switch
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    if (known_flags.count(arg) == 0) {
+      throw std::invalid_argument("unknown flag: --" + arg);
+    }
+    values_[arg] = value;
+  }
+}
+
+std::string CliArgs::get_string(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + ": not a number: " + it->second);
+  }
+  return v;
+}
+
+long CliArgs::get_long(const std::string& name, long fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + it->second);
+  }
+  return v;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1" || it->second == "yes") return true;
+  if (it->second == "false" || it->second == "0" || it->second == "no") return false;
+  throw std::invalid_argument("flag --" + name + ": not a boolean: " + it->second);
+}
+
+}  // namespace paradyn::tools

@@ -1,0 +1,34 @@
+// Minimal command-line flag parser shared by the CLI tools.
+//
+// Supports --name value and --name=value forms, plus boolean switches.
+// Unknown flags are an error; every tool prints its own --help.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace paradyn::tools {
+
+class CliArgs {
+ public:
+  /// Parse argv.  `known_flags` lists the accepted --names (without the
+  /// leading dashes); anything else throws std::invalid_argument.
+  CliArgs(int argc, const char* const argv[], std::set<std::string> known_flags);
+
+  [[nodiscard]] bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] long get_long(const std::string& name, long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback = false) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace paradyn::tools

@@ -1,0 +1,133 @@
+// roccsim — run a ROCC instrumentation-system simulation from the shell.
+//
+//   roccsim --arch now --nodes 8 --sampling-ms 40 --batch 32 --seconds 10
+//   roccsim --arch smp --nodes 16 --apps 32 --daemons 2 --batch 1
+//   roccsim --arch mpp --nodes 256 --topology tree --batch 32
+//
+// Prints the paper's metrics for the configuration; --reps N adds 90%
+// confidence intervals over seed-varied replications.
+#include <cstdio>
+#include <exception>
+
+#include "cli_args.hpp"
+#include "experiments/runner.hpp"
+#include "experiments/table.hpp"
+#include "rocc/config.hpp"
+
+namespace {
+
+void print_help() {
+  std::puts(
+      "roccsim — Paradyn IS / ROCC model simulator\n"
+      "\n"
+      "  --arch now|smp|mpp      architecture (default now)\n"
+      "  --nodes N               nodes (NOW/MPP) or CPUs (SMP); default 8\n"
+      "  --apps N                app processes per node (SMP: total); default 1\n"
+      "  --daemons N             Paradyn daemons (SMP only); default 1\n"
+      "  --sampling-ms X         sampling period in ms; default 40\n"
+      "  --batch N               batch size (1 = CF); default 1\n"
+      "  --topology direct|tree  MPP forwarding configuration; default direct\n"
+      "  --barrier-ms X          application barrier period in ms; default off\n"
+      "  --pipe N                pipe capacity in samples; default 64\n"
+      "  --seconds X             simulated seconds; default 10\n"
+      "  --warmup X              warm-up seconds excluded from metrics; default 0\n"
+      "  --adaptive-budget X     enable the dynamic cost model with an IS overhead\n"
+      "                          budget of X%% of CPU capacity; default off\n"
+      "  --seed N                RNG seed; default 1\n"
+      "  --reps N                replications with 90% CIs; default 1\n"
+      "  --uninstrumented        disable the IS (baseline run)\n"
+      "  --dedicated-main        host main Paradyn on its own workstation\n"
+      "  --help                  this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace paradyn;
+  try {
+    const tools::CliArgs args(
+        argc, argv,
+        {"arch", "nodes", "apps", "daemons", "sampling-ms", "batch", "topology", "barrier-ms",
+         "pipe", "seconds", "warmup", "seed", "reps", "uninstrumented", "dedicated-main",
+         "adaptive-budget", "help"});
+    if (args.get_bool("help")) {
+      print_help();
+      return 0;
+    }
+
+    const std::string arch = args.get_string("arch", "now");
+    const auto nodes = static_cast<std::int32_t>(args.get_long("nodes", 8));
+    const auto apps = static_cast<std::int32_t>(args.get_long("apps", arch == "smp" ? nodes : 1));
+    const auto daemons = static_cast<std::int32_t>(args.get_long("daemons", 1));
+    const std::string topology = args.get_string("topology", "direct");
+
+    rocc::SystemConfig cfg = [&] {
+      if (arch == "now") return rocc::SystemConfig::now(nodes);
+      if (arch == "smp") return rocc::SystemConfig::smp(nodes, apps, daemons);
+      if (arch == "mpp") {
+        return rocc::SystemConfig::mpp(nodes, topology == "tree"
+                                                  ? rocc::ForwardingTopology::BinaryTree
+                                                  : rocc::ForwardingTopology::Direct);
+      }
+      throw std::invalid_argument("unknown --arch: " + arch);
+    }();
+    if (arch != "smp") cfg.app_processes_per_node = apps;
+    cfg.sampling_period_us = args.get_double("sampling-ms", 40.0) * 1'000.0;
+    cfg.batch_size = static_cast<std::int32_t>(args.get_long("batch", 1));
+    cfg.barrier_period_us = args.get_double("barrier-ms", 0.0) * 1'000.0;
+    cfg.pipe_capacity = static_cast<std::int32_t>(args.get_long("pipe", 64));
+    cfg.duration_us = args.get_double("seconds", 10.0) * 1e6;
+    cfg.warmup_us = args.get_double("warmup", 0.0) * 1e6;
+    if (args.has("adaptive-budget")) {
+      cfg.adaptive.enabled = true;
+      cfg.adaptive.overhead_budget_pct = args.get_double("adaptive-budget", 1.0);
+    }
+    cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+    cfg.instrumentation_enabled = !args.get_bool("uninstrumented");
+    cfg.main_on_dedicated_host = args.get_bool("dedicated-main");
+    cfg.validate();
+
+    const auto reps = static_cast<std::size_t>(args.get_long("reps", 1));
+    std::printf("roccsim: %s, %d node(s), SP=%.1f ms, %s(batch %d), %.1f s simulated, %zu rep(s)\n\n",
+                rocc::to_string(cfg.arch), cfg.nodes, cfg.sampling_period_us / 1e3,
+                rocc::to_string(cfg.policy()), cfg.batch_size, cfg.duration_us / 1e6, reps);
+
+    // One replication set reused across metrics when reps >= 2.
+    if (reps >= 2) {
+      const experiments::ReplicationSet rs(cfg, reps);
+      const auto row = [&](const char* label, const experiments::MetricFn& fn, int digits) {
+        const auto ci = rs.metric(fn);
+        std::printf("  %-36s %s\n", label,
+                    experiments::fmt_ci(ci.mean, ci.half_width, digits).c_str());
+      };
+      row("Pd CPU time/node (s)", experiments::pd_cpu_time_sec, 4);
+      row("Pd CPU utilization/node (%)",
+          [](const rocc::SimulationResult& r) { return r.pd_cpu_util_pct; }, 3);
+      row("main Paradyn CPU utilization (%)",
+          [](const rocc::SimulationResult& r) { return r.main_cpu_util_pct; }, 3);
+      row("application CPU utilization/node (%)",
+          [](const rocc::SimulationResult& r) { return r.app_cpu_util_pct; }, 3);
+      row("monitoring latency/sample (ms)", experiments::latency_ms, 3);
+      row("throughput (samples/s)", experiments::throughput, 1);
+    } else {
+      const auto r = rocc::run_simulation(cfg);
+      std::printf("  %-36s %.4f\n", "Pd CPU time/node (s)", r.pd_cpu_time_sec());
+      std::printf("  %-36s %.3f\n", "Pd CPU utilization/node (%)", r.pd_cpu_util_pct);
+      std::printf("  %-36s %.3f\n", "main Paradyn CPU utilization (%)", r.main_cpu_util_pct);
+      std::printf("  %-36s %.3f\n", "application CPU utilization/node (%)", r.app_cpu_util_pct);
+      std::printf("  %-36s %.3f\n", "monitoring latency/sample (ms)", r.latency_sec() * 1e3);
+      std::printf("  %-36s %.1f\n", "throughput (samples/s)", r.throughput_samples_per_sec);
+      std::printf("  %-36s %llu / %llu\n", "samples delivered / generated",
+                  static_cast<unsigned long long>(r.samples_delivered),
+                  static_cast<unsigned long long>(r.samples_generated));
+      if (cfg.adaptive.enabled) {
+        std::printf("  %-36s %.2f\n", "final sampling period (ms)",
+                    r.final_sampling_period_us / 1e3);
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "roccsim: %s\n(try --help)\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,133 @@
+// roccsweep — sweep one ROCC parameter and emit figure-ready CSV.
+//
+//   roccsweep --axis sampling-ms --values 1,2,5,10,20,40 --arch now --nodes 8
+//   roccsweep --axis batch --values 1,2,4,8,16,32,64,128 --sampling-ms 1
+//   roccsweep --axis nodes --values 2,4,8,16,32 --batch 32 --reps 3 > fig.csv
+//
+// Columns: the axis, then pd_util, main_util, app_util, latency_ms,
+// throughput (means over --reps seed-varied replications).
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <sstream>
+
+#include "cli_args.hpp"
+#include "experiments/runner.hpp"
+#include "experiments/table.hpp"
+#include "rocc/config.hpp"
+
+namespace {
+
+void print_help() {
+  std::puts(
+      "roccsweep — one-axis parameter sweep, CSV on stdout\n"
+      "\n"
+      "  --axis NAME        sampling-ms | batch | nodes | apps | daemons | pipe |\n"
+      "                     barrier-ms\n"
+      "  --values a,b,c     sweep points (required)\n"
+      "  --arch now|smp|mpp --nodes N --apps N --daemons N --sampling-ms X\n"
+      "  --batch N --topology direct|tree --seconds X --reps N --seed N\n"
+      "  --help             this text\n");
+}
+
+std::vector<double> parse_values(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stod(item));
+  }
+  if (out.empty()) throw std::invalid_argument("--values: no sweep points");
+  return out;
+}
+
+void apply_axis(paradyn::rocc::SystemConfig& cfg, const std::string& axis, double value) {
+  using paradyn::rocc::Architecture;
+  if (axis == "sampling-ms") {
+    cfg.sampling_period_us = value * 1'000.0;
+  } else if (axis == "batch") {
+    cfg.batch_size = static_cast<std::int32_t>(value);
+  } else if (axis == "nodes") {
+    if (cfg.arch == Architecture::Smp) {
+      cfg.cpus_per_node = static_cast<std::int32_t>(value);
+    } else {
+      cfg.nodes = static_cast<std::int32_t>(value);
+    }
+  } else if (axis == "apps") {
+    cfg.app_processes_per_node = static_cast<std::int32_t>(value);
+  } else if (axis == "daemons") {
+    cfg.daemons = static_cast<std::int32_t>(value);
+  } else if (axis == "pipe") {
+    cfg.pipe_capacity = static_cast<std::int32_t>(value);
+  } else if (axis == "barrier-ms") {
+    cfg.barrier_period_us = value * 1'000.0;
+  } else {
+    throw std::invalid_argument("unknown --axis: " + axis);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace paradyn;
+  try {
+    const tools::CliArgs args(
+        argc, argv,
+        {"axis", "values", "arch", "nodes", "apps", "daemons", "sampling-ms", "batch",
+         "topology", "seconds", "reps", "seed", "help"});
+    if (args.get_bool("help") || !args.has("axis") || !args.has("values")) {
+      print_help();
+      return args.get_bool("help") ? 0 : 1;
+    }
+
+    const std::string axis = args.get_string("axis", "");
+    const auto values = parse_values(args.get_string("values", ""));
+    const std::string arch = args.get_string("arch", "now");
+    const auto nodes = static_cast<std::int32_t>(args.get_long("nodes", 8));
+    const auto apps = static_cast<std::int32_t>(args.get_long("apps", arch == "smp" ? nodes : 1));
+    const auto daemons = static_cast<std::int32_t>(args.get_long("daemons", 1));
+    const auto reps = static_cast<std::size_t>(args.get_long("reps", 1));
+
+    rocc::SystemConfig base = [&] {
+      if (arch == "now") return rocc::SystemConfig::now(nodes);
+      if (arch == "smp") return rocc::SystemConfig::smp(nodes, apps, daemons);
+      if (arch == "mpp") {
+        return rocc::SystemConfig::mpp(
+            nodes, args.get_string("topology", "direct") == "tree"
+                       ? rocc::ForwardingTopology::BinaryTree
+                       : rocc::ForwardingTopology::Direct);
+      }
+      throw std::invalid_argument("unknown --arch: " + arch);
+    }();
+    if (arch != "smp") base.app_processes_per_node = apps;
+    base.sampling_period_us = args.get_double("sampling-ms", 40.0) * 1'000.0;
+    base.batch_size = static_cast<std::int32_t>(args.get_long("batch", 1));
+    base.duration_us = args.get_double("seconds", 5.0) * 1e6;
+    base.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+
+    std::vector<std::vector<double>> series(5);
+    for (const double v : values) {
+      rocc::SystemConfig cfg = base;
+      apply_axis(cfg, axis, v);
+      cfg.validate();
+      const experiments::ReplicationSet rs(cfg, reps);
+      series[0].push_back(rs.mean([](const rocc::SimulationResult& r) { return r.pd_cpu_util_pct; }));
+      series[1].push_back(
+          rs.mean([](const rocc::SimulationResult& r) { return r.main_cpu_util_pct; }));
+      series[2].push_back(
+          rs.mean([](const rocc::SimulationResult& r) { return r.app_cpu_util_pct; }));
+      series[3].push_back(rs.mean(experiments::latency_ms));
+      series[4].push_back(rs.mean(experiments::throughput));
+    }
+
+    experiments::write_series_csv(
+        std::cout, axis, values,
+        {"pd_util_pct", "main_util_pct", "app_util_pct", "latency_ms", "throughput_per_s"},
+        series);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "roccsweep: %s\n(try --help)\n", e.what());
+    return 1;
+  }
+}
