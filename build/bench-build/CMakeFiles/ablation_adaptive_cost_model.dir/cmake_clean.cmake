@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adaptive_cost_model"
+  "../bench/ablation_adaptive_cost_model.pdb"
+  "CMakeFiles/ablation_adaptive_cost_model.dir/ablation_adaptive_cost_model.cpp.o"
+  "CMakeFiles/ablation_adaptive_cost_model.dir/ablation_adaptive_cost_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cpu_quantum"
+  "../bench/ablation_cpu_quantum.pdb"
+  "CMakeFiles/ablation_cpu_quantum.dir/ablation_cpu_quantum.cpp.o"
+  "CMakeFiles/ablation_cpu_quantum.dir/ablation_cpu_quantum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpu_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

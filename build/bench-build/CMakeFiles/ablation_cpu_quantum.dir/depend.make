@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_cpu_quantum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fault_recovery"
+  "../bench/ablation_fault_recovery.pdb"
+  "CMakeFiles/ablation_fault_recovery.dir/ablation_fault_recovery.cpp.o"
+  "CMakeFiles/ablation_fault_recovery.dir/ablation_fault_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_merge_cost"
+  "../bench/ablation_merge_cost.pdb"
+  "CMakeFiles/ablation_merge_cost.dir/ablation_merge_cost.cpp.o"
+  "CMakeFiles/ablation_merge_cost.dir/ablation_merge_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_network_contention"
+  "../bench/ablation_network_contention.pdb"
+  "CMakeFiles/ablation_network_contention.dir/ablation_network_contention.cpp.o"
+  "CMakeFiles/ablation_network_contention.dir/ablation_network_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_network_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pipe_capacity"
+  "../bench/ablation_pipe_capacity.pdb"
+  "CMakeFiles/ablation_pipe_capacity.dir/ablation_pipe_capacity.cpp.o"
+  "CMakeFiles/ablation_pipe_capacity.dir/ablation_pipe_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipe_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tracing_vs_sampling"
+  "../bench/ablation_tracing_vs_sampling.pdb"
+  "CMakeFiles/ablation_tracing_vs_sampling.dir/ablation_tracing_vs_sampling.cpp.o"
+  "CMakeFiles/ablation_tracing_vs_sampling.dir/ablation_tracing_vs_sampling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tracing_vs_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_tracing_vs_sampling.
+# This may be replaced when dependencies are built.

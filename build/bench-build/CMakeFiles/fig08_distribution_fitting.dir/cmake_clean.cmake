@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_distribution_fitting"
+  "../bench/fig08_distribution_fitting.pdb"
+  "CMakeFiles/fig08_distribution_fitting.dir/fig08_distribution_fitting.cpp.o"
+  "CMakeFiles/fig08_distribution_fitting.dir/fig08_distribution_fitting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_distribution_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

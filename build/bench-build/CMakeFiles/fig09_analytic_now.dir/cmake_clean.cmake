@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_analytic_now"
+  "../bench/fig09_analytic_now.pdb"
+  "CMakeFiles/fig09_analytic_now.dir/fig09_analytic_now.cpp.o"
+  "CMakeFiles/fig09_analytic_now.dir/fig09_analytic_now.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_analytic_now.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_analytic_now_batch"
+  "../bench/fig10_analytic_now_batch.pdb"
+  "CMakeFiles/fig10_analytic_now_batch.dir/fig10_analytic_now_batch.cpp.o"
+  "CMakeFiles/fig10_analytic_now_batch.dir/fig10_analytic_now_batch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_analytic_now_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_analytic_now_batch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_analytic_smp_sampling"
+  "../bench/fig12_analytic_smp_sampling.pdb"
+  "CMakeFiles/fig12_analytic_smp_sampling.dir/fig12_analytic_smp_sampling.cpp.o"
+  "CMakeFiles/fig12_analytic_smp_sampling.dir/fig12_analytic_smp_sampling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_analytic_smp_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

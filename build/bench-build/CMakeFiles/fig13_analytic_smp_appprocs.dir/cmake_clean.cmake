@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_analytic_smp_appprocs"
+  "../bench/fig13_analytic_smp_appprocs.pdb"
+  "CMakeFiles/fig13_analytic_smp_appprocs.dir/fig13_analytic_smp_appprocs.cpp.o"
+  "CMakeFiles/fig13_analytic_smp_appprocs.dir/fig13_analytic_smp_appprocs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_analytic_smp_appprocs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

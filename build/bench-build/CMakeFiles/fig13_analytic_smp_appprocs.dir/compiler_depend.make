@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_analytic_smp_appprocs.
+# This may be replaced when dependencies are built.

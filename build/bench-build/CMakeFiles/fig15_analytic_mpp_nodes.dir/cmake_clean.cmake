@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_analytic_mpp_nodes"
+  "../bench/fig15_analytic_mpp_nodes.pdb"
+  "CMakeFiles/fig15_analytic_mpp_nodes.dir/fig15_analytic_mpp_nodes.cpp.o"
+  "CMakeFiles/fig15_analytic_mpp_nodes.dir/fig15_analytic_mpp_nodes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_analytic_mpp_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

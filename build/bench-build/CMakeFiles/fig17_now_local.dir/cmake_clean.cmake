@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_now_local"
+  "../bench/fig17_now_local.pdb"
+  "CMakeFiles/fig17_now_local.dir/fig17_now_local.cpp.o"
+  "CMakeFiles/fig17_now_local.dir/fig17_now_local.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_now_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_now_global"
+  "../bench/fig18_now_global.pdb"
+  "CMakeFiles/fig18_now_global.dir/fig18_now_global.cpp.o"
+  "CMakeFiles/fig18_now_global.dir/fig18_now_global.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_now_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_now_global.
+# This may be replaced when dependencies are built.

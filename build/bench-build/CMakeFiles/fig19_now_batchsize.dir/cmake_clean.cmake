@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_now_batchsize"
+  "../bench/fig19_now_batchsize.pdb"
+  "CMakeFiles/fig19_now_batchsize.dir/fig19_now_batchsize.cpp.o"
+  "CMakeFiles/fig19_now_batchsize.dir/fig19_now_batchsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_now_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

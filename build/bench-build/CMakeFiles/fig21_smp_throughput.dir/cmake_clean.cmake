@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_smp_throughput"
+  "../bench/fig21_smp_throughput.pdb"
+  "CMakeFiles/fig21_smp_throughput.dir/fig21_smp_throughput.cpp.o"
+  "CMakeFiles/fig21_smp_throughput.dir/fig21_smp_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_smp_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

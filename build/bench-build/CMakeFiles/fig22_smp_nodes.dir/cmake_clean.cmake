@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_smp_nodes"
+  "../bench/fig22_smp_nodes.pdb"
+  "CMakeFiles/fig22_smp_nodes.dir/fig22_smp_nodes.cpp.o"
+  "CMakeFiles/fig22_smp_nodes.dir/fig22_smp_nodes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_smp_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

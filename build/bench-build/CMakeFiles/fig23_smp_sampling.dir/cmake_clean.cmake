@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig23_smp_sampling"
+  "../bench/fig23_smp_sampling.pdb"
+  "CMakeFiles/fig23_smp_sampling.dir/fig23_smp_sampling.cpp.o"
+  "CMakeFiles/fig23_smp_sampling.dir/fig23_smp_sampling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_smp_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig24_smp_appprocs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig26_mpp_sampling"
+  "../bench/fig26_mpp_sampling.pdb"
+  "CMakeFiles/fig26_mpp_sampling.dir/fig26_mpp_sampling.cpp.o"
+  "CMakeFiles/fig26_mpp_sampling.dir/fig26_mpp_sampling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_mpp_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig27_mpp_nodes"
+  "../bench/fig27_mpp_nodes.pdb"
+  "CMakeFiles/fig27_mpp_nodes.dir/fig27_mpp_nodes.cpp.o"
+  "CMakeFiles/fig27_mpp_nodes.dir/fig27_mpp_nodes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_mpp_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

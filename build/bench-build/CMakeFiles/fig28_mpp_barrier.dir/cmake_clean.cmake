@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig28_mpp_barrier"
+  "../bench/fig28_mpp_barrier.pdb"
+  "CMakeFiles/fig28_mpp_barrier.dir/fig28_mpp_barrier.cpp.o"
+  "CMakeFiles/fig28_mpp_barrier.dir/fig28_mpp_barrier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig28_mpp_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig28_mpp_barrier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig30_table7_testbed_policy"
+  "../bench/fig30_table7_testbed_policy.pdb"
+  "CMakeFiles/fig30_table7_testbed_policy.dir/fig30_table7_testbed_policy.cpp.o"
+  "CMakeFiles/fig30_table7_testbed_policy.dir/fig30_table7_testbed_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig30_table7_testbed_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig30_table7_testbed_policy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig31_table8_testbed_apps.cpp" "bench-build/CMakeFiles/fig31_table8_testbed_apps.dir/fig31_table8_testbed_apps.cpp.o" "gcc" "bench-build/CMakeFiles/fig31_table8_testbed_apps.dir/fig31_table8_testbed_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/paradyn_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/paradyn_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/paradyn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/paradyn_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/rocc/CMakeFiles/paradyn_rocc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/paradyn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/paradyn_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

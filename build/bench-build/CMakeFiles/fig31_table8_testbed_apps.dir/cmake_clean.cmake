@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig31_table8_testbed_apps"
+  "../bench/fig31_table8_testbed_apps.pdb"
+  "CMakeFiles/fig31_table8_testbed_apps.dir/fig31_table8_testbed_apps.cpp.o"
+  "CMakeFiles/fig31_table8_testbed_apps.dir/fig31_table8_testbed_apps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig31_table8_testbed_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig31_table8_testbed_apps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig31_table8_testbed_apps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table01_workload_stats"
+  "../bench/table01_workload_stats.pdb"
+  "CMakeFiles/table01_workload_stats.dir/table01_workload_stats.cpp.o"
+  "CMakeFiles/table01_workload_stats.dir/table01_workload_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_workload_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

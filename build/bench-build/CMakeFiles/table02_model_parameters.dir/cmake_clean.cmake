@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table02_model_parameters"
+  "../bench/table02_model_parameters.pdb"
+  "CMakeFiles/table02_model_parameters.dir/table02_model_parameters.cpp.o"
+  "CMakeFiles/table02_model_parameters.dir/table02_model_parameters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_model_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table03_validation"
+  "../bench/table03_validation.pdb"
+  "CMakeFiles/table03_validation.dir/table03_validation.cpp.o"
+  "CMakeFiles/table03_validation.dir/table03_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table04_fig16_now_factorial"
+  "../bench/table04_fig16_now_factorial.pdb"
+  "CMakeFiles/table04_fig16_now_factorial.dir/table04_fig16_now_factorial.cpp.o"
+  "CMakeFiles/table04_fig16_now_factorial.dir/table04_fig16_now_factorial.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_fig16_now_factorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

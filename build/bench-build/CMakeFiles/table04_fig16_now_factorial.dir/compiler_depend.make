@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table04_fig16_now_factorial.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table05_fig20_smp_factorial"
+  "../bench/table05_fig20_smp_factorial.pdb"
+  "CMakeFiles/table05_fig20_smp_factorial.dir/table05_fig20_smp_factorial.cpp.o"
+  "CMakeFiles/table05_fig20_smp_factorial.dir/table05_fig20_smp_factorial.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_fig20_smp_factorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

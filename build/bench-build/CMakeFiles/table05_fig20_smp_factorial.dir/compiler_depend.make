@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table05_fig20_smp_factorial.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table06_fig25_mpp_factorial"
+  "../bench/table06_fig25_mpp_factorial.pdb"
+  "CMakeFiles/table06_fig25_mpp_factorial.dir/table06_fig25_mpp_factorial.cpp.o"
+  "CMakeFiles/table06_fig25_mpp_factorial.dir/table06_fig25_mpp_factorial.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_fig25_mpp_factorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/adaptive_batch"
+  "../examples/adaptive_batch.pdb"
+  "CMakeFiles/adaptive_batch.dir/adaptive_batch.cpp.o"
+  "CMakeFiles/adaptive_batch.dir/adaptive_batch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

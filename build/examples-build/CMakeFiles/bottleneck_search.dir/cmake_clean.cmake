@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/bottleneck_search"
+  "../examples/bottleneck_search.pdb"
+  "CMakeFiles/bottleneck_search.dir/bottleneck_search.cpp.o"
+  "CMakeFiles/bottleneck_search.dir/bottleneck_search.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

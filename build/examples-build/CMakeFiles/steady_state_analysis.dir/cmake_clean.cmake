@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/steady_state_analysis"
+  "../examples/steady_state_analysis.pdb"
+  "CMakeFiles/steady_state_analysis.dir/steady_state_analysis.cpp.o"
+  "CMakeFiles/steady_state_analysis.dir/steady_state_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steady_state_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

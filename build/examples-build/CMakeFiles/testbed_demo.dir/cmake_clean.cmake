@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/testbed_demo"
+  "../examples/testbed_demo.pdb"
+  "CMakeFiles/testbed_demo.dir/testbed_demo.cpp.o"
+  "CMakeFiles/testbed_demo.dir/testbed_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

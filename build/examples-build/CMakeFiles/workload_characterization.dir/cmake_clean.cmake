@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/workload_characterization"
+  "../examples/workload_characterization.pdb"
+  "CMakeFiles/workload_characterization.dir/workload_characterization.cpp.o"
+  "CMakeFiles/workload_characterization.dir/workload_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

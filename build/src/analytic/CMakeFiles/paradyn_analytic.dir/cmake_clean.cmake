@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_analytic.dir/operational.cpp.o"
+  "CMakeFiles/paradyn_analytic.dir/operational.cpp.o.d"
+  "libparadyn_analytic.a"
+  "libparadyn_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

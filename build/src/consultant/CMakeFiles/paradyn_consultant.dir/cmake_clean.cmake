@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_consultant.dir/consultant.cpp.o"
+  "CMakeFiles/paradyn_consultant.dir/consultant.cpp.o.d"
+  "libparadyn_consultant.a"
+  "libparadyn_consultant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_consultant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparadyn_consultant.a"
+)

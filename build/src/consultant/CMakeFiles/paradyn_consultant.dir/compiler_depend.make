@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for paradyn_consultant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_des.dir/engine.cpp.o"
+  "CMakeFiles/paradyn_des.dir/engine.cpp.o.d"
+  "CMakeFiles/paradyn_des.dir/event_queue.cpp.o"
+  "CMakeFiles/paradyn_des.dir/event_queue.cpp.o.d"
+  "CMakeFiles/paradyn_des.dir/random.cpp.o"
+  "CMakeFiles/paradyn_des.dir/random.cpp.o.d"
+  "libparadyn_des.a"
+  "libparadyn_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_experiments.dir/runner.cpp.o"
+  "CMakeFiles/paradyn_experiments.dir/runner.cpp.o.d"
+  "CMakeFiles/paradyn_experiments.dir/table.cpp.o"
+  "CMakeFiles/paradyn_experiments.dir/table.cpp.o.d"
+  "libparadyn_experiments.a"
+  "libparadyn_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

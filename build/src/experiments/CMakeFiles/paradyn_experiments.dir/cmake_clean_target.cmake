@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparadyn_experiments.a"
+)

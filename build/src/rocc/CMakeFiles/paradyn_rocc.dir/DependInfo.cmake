@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rocc/app_process.cpp" "src/rocc/CMakeFiles/paradyn_rocc.dir/app_process.cpp.o" "gcc" "src/rocc/CMakeFiles/paradyn_rocc.dir/app_process.cpp.o.d"
+  "/root/repo/src/rocc/background.cpp" "src/rocc/CMakeFiles/paradyn_rocc.dir/background.cpp.o" "gcc" "src/rocc/CMakeFiles/paradyn_rocc.dir/background.cpp.o.d"
+  "/root/repo/src/rocc/barrier.cpp" "src/rocc/CMakeFiles/paradyn_rocc.dir/barrier.cpp.o" "gcc" "src/rocc/CMakeFiles/paradyn_rocc.dir/barrier.cpp.o.d"
+  "/root/repo/src/rocc/config.cpp" "src/rocc/CMakeFiles/paradyn_rocc.dir/config.cpp.o" "gcc" "src/rocc/CMakeFiles/paradyn_rocc.dir/config.cpp.o.d"
+  "/root/repo/src/rocc/cost_model.cpp" "src/rocc/CMakeFiles/paradyn_rocc.dir/cost_model.cpp.o" "gcc" "src/rocc/CMakeFiles/paradyn_rocc.dir/cost_model.cpp.o.d"
+  "/root/repo/src/rocc/cpu.cpp" "src/rocc/CMakeFiles/paradyn_rocc.dir/cpu.cpp.o" "gcc" "src/rocc/CMakeFiles/paradyn_rocc.dir/cpu.cpp.o.d"
+  "/root/repo/src/rocc/daemon.cpp" "src/rocc/CMakeFiles/paradyn_rocc.dir/daemon.cpp.o" "gcc" "src/rocc/CMakeFiles/paradyn_rocc.dir/daemon.cpp.o.d"
+  "/root/repo/src/rocc/main_paradyn.cpp" "src/rocc/CMakeFiles/paradyn_rocc.dir/main_paradyn.cpp.o" "gcc" "src/rocc/CMakeFiles/paradyn_rocc.dir/main_paradyn.cpp.o.d"
+  "/root/repo/src/rocc/network.cpp" "src/rocc/CMakeFiles/paradyn_rocc.dir/network.cpp.o" "gcc" "src/rocc/CMakeFiles/paradyn_rocc.dir/network.cpp.o.d"
+  "/root/repo/src/rocc/pipe.cpp" "src/rocc/CMakeFiles/paradyn_rocc.dir/pipe.cpp.o" "gcc" "src/rocc/CMakeFiles/paradyn_rocc.dir/pipe.cpp.o.d"
+  "/root/repo/src/rocc/simulation.cpp" "src/rocc/CMakeFiles/paradyn_rocc.dir/simulation.cpp.o" "gcc" "src/rocc/CMakeFiles/paradyn_rocc.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/paradyn_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/paradyn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/paradyn_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_rocc.dir/app_process.cpp.o"
+  "CMakeFiles/paradyn_rocc.dir/app_process.cpp.o.d"
+  "CMakeFiles/paradyn_rocc.dir/background.cpp.o"
+  "CMakeFiles/paradyn_rocc.dir/background.cpp.o.d"
+  "CMakeFiles/paradyn_rocc.dir/barrier.cpp.o"
+  "CMakeFiles/paradyn_rocc.dir/barrier.cpp.o.d"
+  "CMakeFiles/paradyn_rocc.dir/config.cpp.o"
+  "CMakeFiles/paradyn_rocc.dir/config.cpp.o.d"
+  "CMakeFiles/paradyn_rocc.dir/cost_model.cpp.o"
+  "CMakeFiles/paradyn_rocc.dir/cost_model.cpp.o.d"
+  "CMakeFiles/paradyn_rocc.dir/cpu.cpp.o"
+  "CMakeFiles/paradyn_rocc.dir/cpu.cpp.o.d"
+  "CMakeFiles/paradyn_rocc.dir/daemon.cpp.o"
+  "CMakeFiles/paradyn_rocc.dir/daemon.cpp.o.d"
+  "CMakeFiles/paradyn_rocc.dir/main_paradyn.cpp.o"
+  "CMakeFiles/paradyn_rocc.dir/main_paradyn.cpp.o.d"
+  "CMakeFiles/paradyn_rocc.dir/network.cpp.o"
+  "CMakeFiles/paradyn_rocc.dir/network.cpp.o.d"
+  "CMakeFiles/paradyn_rocc.dir/pipe.cpp.o"
+  "CMakeFiles/paradyn_rocc.dir/pipe.cpp.o.d"
+  "CMakeFiles/paradyn_rocc.dir/simulation.cpp.o"
+  "CMakeFiles/paradyn_rocc.dir/simulation.cpp.o.d"
+  "libparadyn_rocc.a"
+  "libparadyn_rocc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_rocc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/paradyn_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/paradyn_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/paradyn_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/paradyn_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/empirical.cpp" "src/stats/CMakeFiles/paradyn_stats.dir/empirical.cpp.o" "gcc" "src/stats/CMakeFiles/paradyn_stats.dir/empirical.cpp.o.d"
+  "/root/repo/src/stats/factorial.cpp" "src/stats/CMakeFiles/paradyn_stats.dir/factorial.cpp.o" "gcc" "src/stats/CMakeFiles/paradyn_stats.dir/factorial.cpp.o.d"
+  "/root/repo/src/stats/fitting.cpp" "src/stats/CMakeFiles/paradyn_stats.dir/fitting.cpp.o" "gcc" "src/stats/CMakeFiles/paradyn_stats.dir/fitting.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/paradyn_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/paradyn_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/pca.cpp" "src/stats/CMakeFiles/paradyn_stats.dir/pca.cpp.o" "gcc" "src/stats/CMakeFiles/paradyn_stats.dir/pca.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/paradyn_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/paradyn_stats.dir/special_functions.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/paradyn_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/paradyn_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/paradyn_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/paradyn_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/paradyn_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

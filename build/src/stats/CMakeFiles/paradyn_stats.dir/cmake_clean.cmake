@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_stats.dir/confidence.cpp.o"
+  "CMakeFiles/paradyn_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/paradyn_stats.dir/distributions.cpp.o"
+  "CMakeFiles/paradyn_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/paradyn_stats.dir/empirical.cpp.o"
+  "CMakeFiles/paradyn_stats.dir/empirical.cpp.o.d"
+  "CMakeFiles/paradyn_stats.dir/factorial.cpp.o"
+  "CMakeFiles/paradyn_stats.dir/factorial.cpp.o.d"
+  "CMakeFiles/paradyn_stats.dir/fitting.cpp.o"
+  "CMakeFiles/paradyn_stats.dir/fitting.cpp.o.d"
+  "CMakeFiles/paradyn_stats.dir/matrix.cpp.o"
+  "CMakeFiles/paradyn_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/paradyn_stats.dir/pca.cpp.o"
+  "CMakeFiles/paradyn_stats.dir/pca.cpp.o.d"
+  "CMakeFiles/paradyn_stats.dir/special_functions.cpp.o"
+  "CMakeFiles/paradyn_stats.dir/special_functions.cpp.o.d"
+  "CMakeFiles/paradyn_stats.dir/summary.cpp.o"
+  "CMakeFiles/paradyn_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/paradyn_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/paradyn_stats.dir/timeseries.cpp.o.d"
+  "libparadyn_stats.a"
+  "libparadyn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

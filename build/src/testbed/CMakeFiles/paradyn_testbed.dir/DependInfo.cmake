@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/channel.cpp" "src/testbed/CMakeFiles/paradyn_testbed.dir/channel.cpp.o" "gcc" "src/testbed/CMakeFiles/paradyn_testbed.dir/channel.cpp.o.d"
+  "/root/repo/src/testbed/cpu_timer.cpp" "src/testbed/CMakeFiles/paradyn_testbed.dir/cpu_timer.cpp.o" "gcc" "src/testbed/CMakeFiles/paradyn_testbed.dir/cpu_timer.cpp.o.d"
+  "/root/repo/src/testbed/experiment.cpp" "src/testbed/CMakeFiles/paradyn_testbed.dir/experiment.cpp.o" "gcc" "src/testbed/CMakeFiles/paradyn_testbed.dir/experiment.cpp.o.d"
+  "/root/repo/src/testbed/workload.cpp" "src/testbed/CMakeFiles/paradyn_testbed.dir/workload.cpp.o" "gcc" "src/testbed/CMakeFiles/paradyn_testbed.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/paradyn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/paradyn_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

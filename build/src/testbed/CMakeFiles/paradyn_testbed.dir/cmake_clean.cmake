@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_testbed.dir/channel.cpp.o"
+  "CMakeFiles/paradyn_testbed.dir/channel.cpp.o.d"
+  "CMakeFiles/paradyn_testbed.dir/cpu_timer.cpp.o"
+  "CMakeFiles/paradyn_testbed.dir/cpu_timer.cpp.o.d"
+  "CMakeFiles/paradyn_testbed.dir/experiment.cpp.o"
+  "CMakeFiles/paradyn_testbed.dir/experiment.cpp.o.d"
+  "CMakeFiles/paradyn_testbed.dir/workload.cpp.o"
+  "CMakeFiles/paradyn_testbed.dir/workload.cpp.o.d"
+  "libparadyn_testbed.a"
+  "libparadyn_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/characterize.cpp" "src/trace/CMakeFiles/paradyn_trace.dir/characterize.cpp.o" "gcc" "src/trace/CMakeFiles/paradyn_trace.dir/characterize.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/paradyn_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/paradyn_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/paradyn_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/paradyn_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/paradyn_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/paradyn_trace.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/paradyn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/paradyn_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

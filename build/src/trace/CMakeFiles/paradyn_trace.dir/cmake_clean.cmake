@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_trace.dir/characterize.cpp.o"
+  "CMakeFiles/paradyn_trace.dir/characterize.cpp.o.d"
+  "CMakeFiles/paradyn_trace.dir/generator.cpp.o"
+  "CMakeFiles/paradyn_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/paradyn_trace.dir/io.cpp.o"
+  "CMakeFiles/paradyn_trace.dir/io.cpp.o.d"
+  "CMakeFiles/paradyn_trace.dir/record.cpp.o"
+  "CMakeFiles/paradyn_trace.dir/record.cpp.o.d"
+  "libparadyn_trace.a"
+  "libparadyn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

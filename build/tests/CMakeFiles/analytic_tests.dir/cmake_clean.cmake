@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_tests.dir/analytic/operational_test.cpp.o"
+  "CMakeFiles/analytic_tests.dir/analytic/operational_test.cpp.o.d"
+  "analytic_tests"
+  "analytic_tests.pdb"
+  "analytic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consultant_tests.dir/consultant/consultant_test.cpp.o"
+  "CMakeFiles/consultant_tests.dir/consultant/consultant_test.cpp.o.d"
+  "consultant_tests"
+  "consultant_tests.pdb"
+  "consultant_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consultant_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

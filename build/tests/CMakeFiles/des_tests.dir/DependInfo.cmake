@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/des/engine_test.cpp" "tests/CMakeFiles/des_tests.dir/des/engine_test.cpp.o" "gcc" "tests/CMakeFiles/des_tests.dir/des/engine_test.cpp.o.d"
+  "/root/repo/tests/des/event_queue_test.cpp" "tests/CMakeFiles/des_tests.dir/des/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/des_tests.dir/des/event_queue_test.cpp.o.d"
+  "/root/repo/tests/des/random_test.cpp" "tests/CMakeFiles/des_tests.dir/des/random_test.cpp.o" "gcc" "tests/CMakeFiles/des_tests.dir/des/random_test.cpp.o.d"
+  "/root/repo/tests/des/stress_test.cpp" "tests/CMakeFiles/des_tests.dir/des/stress_test.cpp.o" "gcc" "tests/CMakeFiles/des_tests.dir/des/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/paradyn_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_tests.dir/des/engine_test.cpp.o"
+  "CMakeFiles/des_tests.dir/des/engine_test.cpp.o.d"
+  "CMakeFiles/des_tests.dir/des/event_queue_test.cpp.o"
+  "CMakeFiles/des_tests.dir/des/event_queue_test.cpp.o.d"
+  "CMakeFiles/des_tests.dir/des/random_test.cpp.o"
+  "CMakeFiles/des_tests.dir/des/random_test.cpp.o.d"
+  "CMakeFiles/des_tests.dir/des/stress_test.cpp.o"
+  "CMakeFiles/des_tests.dir/des/stress_test.cpp.o.d"
+  "des_tests"
+  "des_tests.pdb"
+  "des_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

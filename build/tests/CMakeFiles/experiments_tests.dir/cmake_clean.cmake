@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_tests.dir/experiments/runner_test.cpp.o"
+  "CMakeFiles/experiments_tests.dir/experiments/runner_test.cpp.o.d"
+  "CMakeFiles/experiments_tests.dir/experiments/table_test.cpp.o"
+  "CMakeFiles/experiments_tests.dir/experiments/table_test.cpp.o.d"
+  "experiments_tests"
+  "experiments_tests.pdb"
+  "experiments_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

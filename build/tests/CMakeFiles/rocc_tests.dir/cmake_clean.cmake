@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocc_tests.dir/rocc/barrier_test.cpp.o"
+  "CMakeFiles/rocc_tests.dir/rocc/barrier_test.cpp.o.d"
+  "CMakeFiles/rocc_tests.dir/rocc/config_test.cpp.o"
+  "CMakeFiles/rocc_tests.dir/rocc/config_test.cpp.o.d"
+  "CMakeFiles/rocc_tests.dir/rocc/cost_model_test.cpp.o"
+  "CMakeFiles/rocc_tests.dir/rocc/cost_model_test.cpp.o.d"
+  "CMakeFiles/rocc_tests.dir/rocc/cpu_test.cpp.o"
+  "CMakeFiles/rocc_tests.dir/rocc/cpu_test.cpp.o.d"
+  "CMakeFiles/rocc_tests.dir/rocc/daemon_test.cpp.o"
+  "CMakeFiles/rocc_tests.dir/rocc/daemon_test.cpp.o.d"
+  "CMakeFiles/rocc_tests.dir/rocc/network_test.cpp.o"
+  "CMakeFiles/rocc_tests.dir/rocc/network_test.cpp.o.d"
+  "CMakeFiles/rocc_tests.dir/rocc/pipe_test.cpp.o"
+  "CMakeFiles/rocc_tests.dir/rocc/pipe_test.cpp.o.d"
+  "CMakeFiles/rocc_tests.dir/rocc/simulation_test.cpp.o"
+  "CMakeFiles/rocc_tests.dir/rocc/simulation_test.cpp.o.d"
+  "rocc_tests"
+  "rocc_tests.pdb"
+  "rocc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

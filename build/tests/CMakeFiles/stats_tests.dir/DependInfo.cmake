@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/confidence_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o.d"
+  "/root/repo/tests/stats/distributions_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/distributions_test.cpp.o.d"
+  "/root/repo/tests/stats/empirical_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/empirical_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/empirical_test.cpp.o.d"
+  "/root/repo/tests/stats/factorial_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/factorial_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/factorial_test.cpp.o.d"
+  "/root/repo/tests/stats/fitting_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/fitting_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/fitting_test.cpp.o.d"
+  "/root/repo/tests/stats/matrix_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/matrix_test.cpp.o.d"
+  "/root/repo/tests/stats/pca_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/pca_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/pca_test.cpp.o.d"
+  "/root/repo/tests/stats/special_functions_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/special_functions_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/special_functions_test.cpp.o.d"
+  "/root/repo/tests/stats/summary_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/summary_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/summary_test.cpp.o.d"
+  "/root/repo/tests/stats/timeseries_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/timeseries_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/paradyn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/paradyn_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/distributions_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/distributions_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/empirical_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/empirical_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/factorial_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/factorial_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/fitting_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/fitting_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/matrix_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/matrix_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/pca_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/pca_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/special_functions_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/special_functions_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/summary_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/summary_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/timeseries_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/timeseries_test.cpp.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+  "stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

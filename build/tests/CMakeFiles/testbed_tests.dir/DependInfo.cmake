@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/testbed/channel_test.cpp" "tests/CMakeFiles/testbed_tests.dir/testbed/channel_test.cpp.o" "gcc" "tests/CMakeFiles/testbed_tests.dir/testbed/channel_test.cpp.o.d"
+  "/root/repo/tests/testbed/experiment_test.cpp" "tests/CMakeFiles/testbed_tests.dir/testbed/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/testbed_tests.dir/testbed/experiment_test.cpp.o.d"
+  "/root/repo/tests/testbed/workload_test.cpp" "tests/CMakeFiles/testbed_tests.dir/testbed/workload_test.cpp.o" "gcc" "tests/CMakeFiles/testbed_tests.dir/testbed/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/paradyn_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/paradyn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/paradyn_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

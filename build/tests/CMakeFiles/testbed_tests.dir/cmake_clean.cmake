@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_tests.dir/testbed/channel_test.cpp.o"
+  "CMakeFiles/testbed_tests.dir/testbed/channel_test.cpp.o.d"
+  "CMakeFiles/testbed_tests.dir/testbed/experiment_test.cpp.o"
+  "CMakeFiles/testbed_tests.dir/testbed/experiment_test.cpp.o.d"
+  "CMakeFiles/testbed_tests.dir/testbed/workload_test.cpp.o"
+  "CMakeFiles/testbed_tests.dir/testbed/workload_test.cpp.o.d"
+  "testbed_tests"
+  "testbed_tests.pdb"
+  "testbed_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/characterize_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/characterize_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/characterize_test.cpp.o.d"
+  "/root/repo/tests/trace/generator_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/generator_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/generator_test.cpp.o.d"
+  "/root/repo/tests/trace/io_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/io_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/io_test.cpp.o.d"
+  "/root/repo/tests/trace/record_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/record_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/record_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/paradyn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/paradyn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/paradyn_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

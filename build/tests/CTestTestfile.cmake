@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/des_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/rocc_tests[1]_include.cmake")
+include("/root/repo/build/tests/analytic_tests[1]_include.cmake")
+include("/root/repo/build/tests/testbed_tests[1]_include.cmake")
+include("/root/repo/build/tests/experiments_tests[1]_include.cmake")
+include("/root/repo/build/tests/consultant_tests[1]_include.cmake")
+include("/root/repo/build/tests/tools_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

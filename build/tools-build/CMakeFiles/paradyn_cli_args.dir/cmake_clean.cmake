@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_cli_args.dir/cli_args.cpp.o"
+  "CMakeFiles/paradyn_cli_args.dir/cli_args.cpp.o.d"
+  "libparadyn_cli_args.a"
+  "libparadyn_cli_args.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_cli_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

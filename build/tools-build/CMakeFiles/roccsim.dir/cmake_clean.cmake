@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/roccsim"
+  "../tools/roccsim.pdb"
+  "CMakeFiles/roccsim.dir/roccsim.cpp.o"
+  "CMakeFiles/roccsim.dir/roccsim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/roccsweep"
+  "../tools/roccsweep.pdb"
+  "CMakeFiles/roccsweep.dir/roccsweep.cpp.o"
+  "CMakeFiles/roccsweep.dir/roccsweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

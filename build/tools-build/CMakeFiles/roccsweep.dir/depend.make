@@ -1,0 +1,2 @@
+# Empty dependencies file for roccsweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/tracegen"
+  "../tools/tracegen.pdb"
+  "CMakeFiles/tracegen.dir/tracegen.cpp.o"
+  "CMakeFiles/tracegen.dir/tracegen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
