@@ -8,6 +8,7 @@
 
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
+#include "jobs_common.hpp"
 
 namespace paradyn::bench {
 

@@ -5,8 +5,9 @@
 // effect discussed in Section 4.3.3.
 #include "smp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace paradyn;
+  bench::init_jobs(argc, argv);
   const std::vector<double> cpus{2, 4, 8, 16, 32};
   bench::smp_daemon_sweep(
       "Figure 22", cpus, "nodes (CPUs)",

@@ -5,8 +5,9 @@
 // 4.3.3's pipe discussion).
 #include "smp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace paradyn;
+  bench::init_jobs(argc, argv);
   const std::vector<double> periods_ms{1, 2, 5, 10, 20, 40, 64};
   bench::smp_daemon_sweep(
       "Figure 23", periods_ms, "sampling period (ms)",

@@ -3,8 +3,9 @@
 // 40 ms, 16 nodes (CPUs).
 #include "smp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace paradyn;
+  bench::init_jobs(argc, argv);
   const std::vector<double> apps{4, 8, 16, 32, 64};
   bench::smp_daemon_sweep(
       "Figure 24", apps, "application processes",

@@ -1,0 +1,33 @@
+// Shared --jobs handling for the bench/experiment binaries.
+//
+// The figure/table harnesses take no other flags, so a full CLI parser is
+// overkill: scan argv for --jobs N / --jobs=N (ROCC_JOBS env is the
+// fallback) and install the result as the experiments-layer default, which
+// ReplicationSet / FactorialExperiment pick up.  Results are bit-identical
+// for every job count, so parallel-by-default is safe.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "experiments/parallel.hpp"
+
+namespace paradyn::bench {
+
+inline void init_jobs(int argc, char** argv) {
+  std::size_t jobs = 0;  // 0 = one job per hardware thread
+  if (const char* env = std::getenv("ROCC_JOBS")) {
+    jobs = std::strtoul(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::strtoul(arg.c_str() + 7, nullptr, 10);
+    }
+  }
+  experiments::set_default_jobs(jobs);
+}
+
+}  // namespace paradyn::bench

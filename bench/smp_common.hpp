@@ -10,6 +10,7 @@
 
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
+#include "jobs_common.hpp"
 #include "rocc/config.hpp"
 
 namespace paradyn::bench {

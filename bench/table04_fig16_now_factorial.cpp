@@ -12,8 +12,9 @@
 #include "factorial_common.hpp"
 #include "rocc/config.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace paradyn;
+  bench::init_jobs(argc, argv);
   using experiments::Factor;
 
   auto base = rocc::SystemConfig::now(2);

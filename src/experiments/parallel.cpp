@@ -1,0 +1,150 @@
+#include "experiments/parallel.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <exception>
+#include <future>
+#include <ostream>
+#include <utility>
+
+#include "experiments/thread_pool.hpp"
+
+namespace paradyn::experiments {
+
+namespace {
+
+std::atomic<std::size_t> g_default_jobs{0};  // 0 = hardware concurrency
+
+double now_sec() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double cpu_sec() { return static_cast<double>(std::clock()) / CLOCKS_PER_SEC; }
+
+}  // namespace
+
+void set_default_jobs(std::size_t jobs) noexcept { g_default_jobs.store(jobs); }
+
+std::size_t default_jobs() noexcept {
+  const std::size_t jobs = g_default_jobs.load();
+  return jobs == 0 ? ThreadPool::hardware_jobs() : jobs;
+}
+
+double RunReport::speedup_estimate() const noexcept {
+  if (!(wall_sec > 0.0)) return 1.0;
+  return serial_estimate_sec / wall_sec;
+}
+
+RunReport& RunReport::operator+=(const RunReport& other) {
+  jobs = other.jobs;  // sweeps run every set with the same job count
+  runs += other.runs;
+  wall_sec += other.wall_sec;
+  cpu_sec += other.cpu_sec;
+  serial_estimate_sec += other.serial_estimate_sec;
+  return *this;
+}
+
+void RunReport::print(std::ostream& os, std::string_view label) const {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "[%.*s] jobs=%zu runs=%zu wall=%.2fs cpu=%.2fs serial-est=%.2fs speedup=%.2fx\n",
+                static_cast<int>(label.size()), label.data(), jobs, runs, wall_sec, cpu_sec,
+                serial_estimate_sec, speedup_estimate());
+  os << line;
+  if (cells.size() > 1) {
+    os << '[' << label << "] per-cell wall (s):";
+    for (const auto& c : cells) {
+      std::snprintf(line, sizeof(line), " %03x=%.2f", c.mask, c.wall_sec);
+      os << line;
+    }
+    os << '\n';
+  }
+}
+
+ParallelRunner::ParallelRunner(std::size_t jobs) : jobs_(jobs == 0 ? default_jobs() : jobs) {}
+
+std::vector<rocc::SimulationResult> ParallelRunner::replications(const rocc::SystemConfig& config,
+                                                                 std::size_t n) {
+  auto grid = run_grid({config}, config.seed, n);
+  return std::move(grid.front());
+}
+
+std::vector<std::vector<rocc::SimulationResult>> ParallelRunner::cells(
+    const std::vector<rocc::SystemConfig>& cell_configs, std::uint64_t base_seed,
+    std::size_t replications) {
+  return run_grid(cell_configs, base_seed, replications);
+}
+
+std::vector<std::vector<rocc::SimulationResult>> ParallelRunner::run_grid(
+    const std::vector<rocc::SystemConfig>& cell_configs, std::uint64_t base_seed,
+    std::size_t replications) {
+  const std::size_t num_cells = cell_configs.size();
+  report_ = RunReport{};
+  report_.jobs = jobs_;
+  report_.runs = num_cells * replications;
+  report_.cells.resize(num_cells);
+  for (std::size_t i = 0; i < num_cells; ++i) {
+    report_.cells[i].mask = static_cast<unsigned>(i);
+    report_.cells[i].replications = replications;
+  }
+
+  std::vector<std::vector<rocc::SimulationResult>> results(num_cells);
+  for (auto& cell : results) cell.resize(replications);
+  // Per-run wall times, written lock-free: each run owns one slot.
+  std::vector<double> run_wall(num_cells * replications, 0.0);
+
+  const double wall0 = now_sec();
+  const double cpu0 = cpu_sec();
+
+  const auto run_one = [&](std::size_t cell, std::size_t rep) {
+    rocc::SystemConfig c = cell_configs[cell];
+    c.seed = base_seed + rep;  // common random numbers across cells
+    const double t0 = now_sec();
+    results[cell][rep] = rocc::run_simulation(c);
+    run_wall[cell * replications + rep] = now_sec() - t0;
+  };
+
+  if (jobs_ <= 1) {
+    // Legacy serial path: same iteration order as the pre-parallel code.
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+      for (std::size_t rep = 0; rep < replications; ++rep) run_one(cell, rep);
+    }
+  } else {
+    ThreadPool pool(jobs_);
+    std::vector<std::future<void>> futures;
+    futures.reserve(num_cells * replications);
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+      for (std::size_t rep = 0; rep < replications; ++rep) {
+        futures.push_back(pool.submit([&run_one, cell, rep] { run_one(cell, rep); }));
+      }
+    }
+    // Wait for every run, then rethrow the first failure (in run order) on
+    // the caller thread so parallel and serial error behavior agree.
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  report_.wall_sec = now_sec() - wall0;
+  report_.cpu_sec = cpu_sec() - cpu0;
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    double cell_wall = 0.0;
+    for (std::size_t rep = 0; rep < replications; ++rep) {
+      cell_wall += run_wall[cell * replications + rep];
+    }
+    report_.cells[cell].wall_sec = cell_wall;
+    report_.serial_estimate_sec += cell_wall;
+  }
+  return results;
+}
+
+}  // namespace paradyn::experiments

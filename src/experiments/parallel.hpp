@@ -1,0 +1,88 @@
+// Parallel execution of replicated ROCC simulations.
+//
+// ParallelRunner fans the independent simulation runs of a replication set
+// or a 2^k r factorial out over a ThreadPool.  Every run is seeded exactly
+// as the serial path seeds it (seed = base seed + replication index, the
+// paper's common-random-numbers pairing), each result lands in a
+// preallocated slot keyed by its run index, and worker exceptions are
+// rethrown on the caller thread — so results are bit-identical to a serial
+// run for any job count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "rocc/simulation.hpp"
+
+namespace paradyn::experiments {
+
+/// Wall/CPU accounting for one parallel run, emitted to stderr by the CLI
+/// tools.  `serial_estimate_sec` sums the per-run wall times, i.e. what a
+/// one-job run of the same work would roughly have cost.
+struct RunReport {
+  struct Cell {
+    unsigned mask = 0;          ///< Factorial cell index (bit i = factor i high).
+    std::size_t replications = 0;
+    double wall_sec = 0.0;      ///< Sum of this cell's per-run wall times.
+  };
+
+  std::size_t jobs = 1;
+  std::size_t runs = 0;              ///< Total simulations executed.
+  double wall_sec = 0.0;             ///< Caller-side elapsed time.
+  double cpu_sec = 0.0;              ///< Process CPU time consumed.
+  double serial_estimate_sec = 0.0;  ///< Sum of per-run wall times.
+  std::vector<Cell> cells;
+
+  /// serial_estimate_sec / wall_sec (1.0 when wall time is ~0).
+  [[nodiscard]] double speedup_estimate() const noexcept;
+
+  /// Accumulate another report's totals (used by sweeps that run many
+  /// sets); per-cell detail is not merged.
+  RunReport& operator+=(const RunReport& other);
+
+  /// Two-part human-readable summary: totals line + per-cell walls.
+  void print(std::ostream& os, std::string_view label) const;
+};
+
+/// Process-wide default job count used when a runner (or ReplicationSet /
+/// FactorialExperiment) is constructed with jobs = 0.  Setting 0 restores
+/// the initial default of one job per hardware thread.
+void set_default_jobs(std::size_t jobs) noexcept;
+[[nodiscard]] std::size_t default_jobs() noexcept;
+
+class ParallelRunner {
+ public:
+  /// jobs = 0 picks up default_jobs(); jobs = 1 is the legacy serial path
+  /// (runs inline on the caller thread, no pool).
+  explicit ParallelRunner(std::size_t jobs = 0);
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+  /// `n` replications of one configuration, seeds config.seed + 0..n-1.
+  /// Identical to rocc::run_replications for every job count.
+  [[nodiscard]] std::vector<rocc::SimulationResult> replications(const rocc::SystemConfig& config,
+                                                                 std::size_t n);
+
+  /// All cells x replications of a factorial: run r of cell i executes
+  /// cell_configs[i] with seed = base_seed + r.  Returns one result vector
+  /// per cell, in cell order.
+  [[nodiscard]] std::vector<std::vector<rocc::SimulationResult>> cells(
+      const std::vector<rocc::SystemConfig>& cell_configs, std::uint64_t base_seed,
+      std::size_t replications);
+
+  /// Accounting for the most recent replications()/cells() call.
+  [[nodiscard]] const RunReport& report() const noexcept { return report_; }
+
+ private:
+  std::vector<std::vector<rocc::SimulationResult>> run_grid(
+      const std::vector<rocc::SystemConfig>& cell_configs, std::uint64_t base_seed,
+      std::size_t replications);
+
+  std::size_t jobs_;
+  RunReport report_;
+};
+
+}  // namespace paradyn::experiments

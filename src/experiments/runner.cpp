@@ -1,17 +1,34 @@
 #include "experiments/runner.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "experiments/parallel.hpp"
 
 namespace paradyn::experiments {
 
-ReplicationSet::ReplicationSet(const rocc::SystemConfig& config, std::size_t replications)
-    : results_(rocc::run_replications(config, replications)) {
+ReplicationSet::ReplicationSet(const rocc::SystemConfig& config, std::size_t replications,
+                               std::size_t jobs) {
+  // Validate before any simulation runs (the old member-initializer form
+  // ran the replications before this guard could fire).
   if (replications == 0) throw std::invalid_argument("ReplicationSet: replications must be > 0");
+  ParallelRunner runner(jobs);
+  results_ = runner.replications(config, replications);
+  report_ = runner.report();
 }
 
 stats::ConfidenceInterval ReplicationSet::metric(const MetricFn& fn, double level) const {
   stats::SummaryStats s;
   for (const auto& r : results_) s.add(fn(r));
+  if (s.count() < 2) {
+    // Degenerate interval for r = 1 (roccsweep's default): the single
+    // observation is the mean and no dispersion estimate exists.
+    stats::ConfidenceInterval ci;
+    ci.mean = s.mean();
+    ci.half_width = 0.0;
+    ci.level = level;
+    return ci;
+  }
   return stats::mean_confidence_interval(s, level);
 }
 
@@ -28,7 +45,7 @@ double FactorialCell::mean(const MetricFn& fn) const {
 }
 
 FactorialExperiment::FactorialExperiment(rocc::SystemConfig base, std::vector<Factor> factors,
-                                         std::size_t replications)
+                                         std::size_t replications, std::size_t jobs)
     : factors_(std::move(factors)), replications_(replications) {
   if (factors_.empty()) throw std::invalid_argument("FactorialExperiment: need factors");
   if (factors_.size() > 8) throw std::invalid_argument("FactorialExperiment: too many factors");
@@ -38,6 +55,8 @@ FactorialExperiment::FactorialExperiment(rocc::SystemConfig base, std::vector<Fa
 
   const unsigned num_cells = 1U << factors_.size();
   cells_.reserve(num_cells);
+  std::vector<rocc::SystemConfig> cell_configs;
+  cell_configs.reserve(num_cells);
   for (unsigned mask = 0; mask < num_cells; ++mask) {
     FactorialCell cell;
     cell.mask = mask;
@@ -45,14 +64,14 @@ FactorialExperiment::FactorialExperiment(rocc::SystemConfig base, std::vector<Fa
     for (std::size_t f = 0; f < factors_.size(); ++f) {
       factors_[f].apply(cell.config, (mask >> f) & 1U);
     }
-    cell.runs.reserve(replications_);
-    for (std::size_t rep = 0; rep < replications_; ++rep) {
-      rocc::SystemConfig c = cell.config;
-      c.seed = base.seed + rep;  // common random numbers across cells
-      cell.runs.push_back(rocc::run_simulation(c));
-    }
+    cell_configs.push_back(cell.config);
     cells_.push_back(std::move(cell));
   }
+
+  ParallelRunner runner(jobs);
+  auto runs = runner.cells(cell_configs, base.seed, replications_);
+  for (unsigned mask = 0; mask < num_cells; ++mask) cells_[mask].runs = std::move(runs[mask]);
+  report_ = runner.report();
 }
 
 stats::FactorialAnalysis FactorialExperiment::analyze(const MetricFn& fn) const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "experiments/parallel.hpp"
 #include "rocc/simulation.hpp"
 #include "stats/confidence.hpp"
 #include "stats/factorial.hpp"
@@ -18,11 +19,16 @@ using MetricFn = std::function<double(const rocc::SimulationResult&)>;
 /// A set of independent replications of one configuration.
 class ReplicationSet {
  public:
-  /// Run `replications` simulations (seeds seed, seed+1, ...).
-  ReplicationSet(const rocc::SystemConfig& config, std::size_t replications);
+  /// Run `replications` simulations (seeds seed, seed+1, ...) across `jobs`
+  /// worker threads (0 = the process-wide default_jobs(), 1 = serial).
+  /// Results are bit-identical for every job count.
+  ReplicationSet(const rocc::SystemConfig& config, std::size_t replications,
+                 std::size_t jobs = 0);
 
   /// Confidence interval of a metric over the replications (the paper uses
-  /// 90% intervals).
+  /// 90% intervals).  With a single replication there is no dispersion
+  /// estimate, so the interval degenerates to half_width = 0 around the one
+  /// observation.
   [[nodiscard]] stats::ConfidenceInterval metric(const MetricFn& fn, double level = 0.90) const;
 
   /// Plain mean of a metric.
@@ -32,8 +38,12 @@ class ReplicationSet {
     return results_;
   }
 
+  /// Wall/CPU accounting for the runs (for the tools' stderr report).
+  [[nodiscard]] const RunReport& report() const noexcept { return report_; }
+
  private:
   std::vector<rocc::SimulationResult> results_;
+  RunReport report_;
 };
 
 /// One two-level factor of a factorial experiment: a name plus a mutator
@@ -57,10 +67,12 @@ struct FactorialCell {
 /// Complete 2^k r factorial experiment over the simulator.
 class FactorialExperiment {
  public:
-  /// Runs all 2^k cells with `replications` runs each.  Every cell rep uses
-  /// seed base.seed + rep so paired comparisons share random streams.
+  /// Runs all 2^k cells with `replications` runs each, fanned out over
+  /// `jobs` worker threads (0 = default_jobs(), 1 = serial).  Every cell
+  /// rep uses seed base.seed + rep so paired comparisons share random
+  /// streams; results are bit-identical for every job count.
   FactorialExperiment(rocc::SystemConfig base, std::vector<Factor> factors,
-                      std::size_t replications);
+                      std::size_t replications, std::size_t jobs = 0);
 
   [[nodiscard]] const std::vector<FactorialCell>& cells() const noexcept { return cells_; }
   [[nodiscard]] const std::vector<Factor>& factors() const noexcept { return factors_; }
@@ -70,10 +82,14 @@ class FactorialExperiment {
   /// paper's "principal component analysis" of Figures 16/20/25.
   [[nodiscard]] stats::FactorialAnalysis analyze(const MetricFn& fn) const;
 
+  /// Wall/CPU accounting for the runs (for the tools' stderr report).
+  [[nodiscard]] const RunReport& report() const noexcept { return report_; }
+
  private:
   std::vector<Factor> factors_;
   std::size_t replications_;
   std::vector<FactorialCell> cells_;
+  RunReport report_;
 };
 
 // Commonly used metric extractors.

@@ -1,0 +1,66 @@
+// Fixed-size worker pool for the parallel experiment engine.
+//
+// Deliberately minimal: a fixed worker count, one FIFO task queue, and
+// std::future-based exception propagation.  No work stealing, no task
+// priorities — replication workloads are coarse (whole simulations), so a
+// single shared queue keeps every worker busy until the queue drains.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace paradyn::experiments {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue (pending tasks still run), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a callable; the returned future yields its result or rethrows
+  /// the exception it threw on the worker thread.
+  template <typename F>
+  auto submit(F f) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> future = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0 when unknown).
+  [[nodiscard]] static std::size_t hardware_jobs() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace paradyn::experiments

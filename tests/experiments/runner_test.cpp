@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace paradyn::experiments {
 namespace {
 
@@ -20,6 +22,30 @@ TEST(ReplicationSet, ComputesConfidenceIntervals) {
   EXPECT_GE(ci.half_width, 0.0);
   EXPECT_DOUBLE_EQ(ci.level, 0.90);
   EXPECT_NEAR(reps.mean(pd_cpu_time_sec), ci.mean, 1e-12);
+}
+
+TEST(ReplicationSet, SingleReplicationDegenerateInterval) {
+  // roccsweep defaults to --reps 1; metric() must not throw but return a
+  // zero-width interval around the single observation.
+  const ReplicationSet reps(tiny_config(), 1);
+  const auto ci = reps.metric(pd_cpu_time_sec, 0.90);
+  EXPECT_GT(ci.mean, 0.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(ci.level, 0.90);
+  EXPECT_DOUBLE_EQ(ci.mean, reps.mean(pd_cpu_time_sec));
+}
+
+TEST(ReplicationSet, ZeroReplicationsThrowsBeforeRunning) {
+  // Validation must fire before any simulation work; an invalid config and
+  // zero replications still reports the replication error.
+  auto bad = tiny_config();
+  bad.sampling_period_us = -1.0;
+  try {
+    const ReplicationSet reps(bad, 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("replications"), std::string::npos);
+  }
 }
 
 TEST(ReplicationSet, ReplicationsDiffer) {

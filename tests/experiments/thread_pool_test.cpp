@@ -1,0 +1,67 @@
+#include "experiments/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+namespace paradyn::experiments {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ReturnsTaskValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(
+      {
+        try {
+          f.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The pool stays usable after a task threw.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&ran] { ++ran; });
+    // No explicit wait: the destructor must run all queued tasks.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, HardwareJobsAtLeastOne) { EXPECT_GE(ThreadPool::hardware_jobs(), 1u); }
+
+}  // namespace
+}  // namespace paradyn::experiments

@@ -8,6 +8,7 @@
 // confidence intervals over seed-varied replications.
 #include <cstdio>
 #include <exception>
+#include <iostream>
 
 #include "cli_args.hpp"
 #include "experiments/runner.hpp"
@@ -35,6 +36,8 @@ void print_help() {
       "                          budget of X%% of CPU capacity; default off\n"
       "  --seed N                RNG seed; default 1\n"
       "  --reps N                replications with 90% CIs; default 1\n"
+      "  --jobs N                worker threads for the replications; default: all\n"
+      "                          hardware threads, 1 = serial (results identical)\n"
       "  --uninstrumented        disable the IS (baseline run)\n"
       "  --dedicated-main        host main Paradyn on its own workstation\n"
       "  --help                  this text\n");
@@ -48,7 +51,7 @@ int main(int argc, char** argv) {
     const tools::CliArgs args(
         argc, argv,
         {"arch", "nodes", "apps", "daemons", "sampling-ms", "batch", "topology", "barrier-ms",
-         "pipe", "seconds", "warmup", "seed", "reps", "uninstrumented", "dedicated-main",
+         "pipe", "seconds", "warmup", "seed", "reps", "jobs", "uninstrumented", "dedicated-main",
          "adaptive-budget", "help"});
     if (args.get_bool("help")) {
       print_help();
@@ -88,13 +91,14 @@ int main(int argc, char** argv) {
     cfg.validate();
 
     const auto reps = static_cast<std::size_t>(args.get_long("reps", 1));
+    const auto jobs = static_cast<std::size_t>(args.get_long("jobs", 0));  // 0 = all hw threads
     std::printf("roccsim: %s, %d node(s), SP=%.1f ms, %s(batch %d), %.1f s simulated, %zu rep(s)\n\n",
                 rocc::to_string(cfg.arch), cfg.nodes, cfg.sampling_period_us / 1e3,
                 rocc::to_string(cfg.policy()), cfg.batch_size, cfg.duration_us / 1e6, reps);
 
     // One replication set reused across metrics when reps >= 2.
     if (reps >= 2) {
-      const experiments::ReplicationSet rs(cfg, reps);
+      const experiments::ReplicationSet rs(cfg, reps, jobs);
       const auto row = [&](const char* label, const experiments::MetricFn& fn, int digits) {
         const auto ci = rs.metric(fn);
         std::printf("  %-36s %s\n", label,
@@ -109,6 +113,7 @@ int main(int argc, char** argv) {
           [](const rocc::SimulationResult& r) { return r.app_cpu_util_pct; }, 3);
       row("monitoring latency/sample (ms)", experiments::latency_ms, 3);
       row("throughput (samples/s)", experiments::throughput, 1);
+      rs.report().print(std::cerr, "roccsim");
     } else {
       const auto r = rocc::run_simulation(cfg);
       std::printf("  %-36s %.4f\n", "Pd CPU time/node (s)", r.pd_cpu_time_sec());

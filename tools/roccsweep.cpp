@@ -24,9 +24,13 @@ void print_help() {
       "\n"
       "  --axis NAME        sampling-ms | batch | nodes | apps | daemons | pipe |\n"
       "                     barrier-ms\n"
+      "                     (--axis nodes sweeps node count on NOW/MPP; on SMP it\n"
+      "                     sweeps cpus_per_node, the machine's CPU count)\n"
       "  --values a,b,c     sweep points (required)\n"
       "  --arch now|smp|mpp --nodes N --apps N --daemons N --sampling-ms X\n"
       "  --batch N --topology direct|tree --seconds X --reps N --seed N\n"
+      "  --jobs N           worker threads per replication set; default: all\n"
+      "                     hardware threads, 1 = serial (results identical)\n"
       "  --help             this text\n");
 }
 
@@ -75,7 +79,7 @@ int main(int argc, char** argv) {
     const tools::CliArgs args(
         argc, argv,
         {"axis", "values", "arch", "nodes", "apps", "daemons", "sampling-ms", "batch",
-         "topology", "seconds", "reps", "seed", "help"});
+         "topology", "seconds", "reps", "seed", "jobs", "help"});
     if (args.get_bool("help") || !args.has("axis") || !args.has("values")) {
       print_help();
       return args.get_bool("help") ? 0 : 1;
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
     const auto apps = static_cast<std::int32_t>(args.get_long("apps", arch == "smp" ? nodes : 1));
     const auto daemons = static_cast<std::int32_t>(args.get_long("daemons", 1));
     const auto reps = static_cast<std::size_t>(args.get_long("reps", 1));
+    const auto jobs = static_cast<std::size_t>(args.get_long("jobs", 0));  // 0 = all hw threads
 
     rocc::SystemConfig base = [&] {
       if (arch == "now") return rocc::SystemConfig::now(nodes);
@@ -107,11 +112,13 @@ int main(int argc, char** argv) {
     base.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
 
     std::vector<std::vector<double>> series(5);
+    experiments::RunReport sweep_report;
     for (const double v : values) {
       rocc::SystemConfig cfg = base;
       apply_axis(cfg, axis, v);
       cfg.validate();
-      const experiments::ReplicationSet rs(cfg, reps);
+      const experiments::ReplicationSet rs(cfg, reps, jobs);
+      sweep_report += rs.report();
       series[0].push_back(rs.mean([](const rocc::SimulationResult& r) { return r.pd_cpu_util_pct; }));
       series[1].push_back(
           rs.mean([](const rocc::SimulationResult& r) { return r.main_cpu_util_pct; }));
@@ -125,6 +132,7 @@ int main(int argc, char** argv) {
         std::cout, axis, values,
         {"pd_util_pct", "main_util_pct", "app_util_pct", "latency_ms", "throughput_per_s"},
         series);
+    sweep_report.print(std::cerr, "roccsweep");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "roccsweep: %s\n(try --help)\n", e.what());
