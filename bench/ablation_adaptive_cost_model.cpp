@@ -12,8 +12,10 @@
 
 #include "experiments/table.hpp"
 #include "rocc/simulation.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("ablation_adaptive_cost_model");
   using namespace paradyn;
   using experiments::fmt;
 

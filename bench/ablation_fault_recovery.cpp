@@ -11,8 +11,10 @@
 
 #include "experiments/table.hpp"
 #include "rocc/simulation.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("ablation_fault_recovery");
   using namespace paradyn;
 
   const std::vector<double> stall_ms{0, 100, 250, 500, 1000};

@@ -11,8 +11,10 @@
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
 #include "rocc/config.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("ablation_network_contention");
   using namespace paradyn;
   constexpr std::size_t kReps = 2;
 

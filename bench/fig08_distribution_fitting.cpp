@@ -14,6 +14,7 @@
 #include "stats/summary.hpp"
 #include "trace/characterize.hpp"
 #include "trace/generator.hpp"
+#include "repro_common.hpp"
 
 namespace {
 
@@ -68,6 +69,7 @@ void analyze(const std::vector<double>& data, const char* what, double hist_hi,
 }  // namespace
 
 int main() {
+  paradyn::bench::print_stamp("fig08_distribution_fitting");
   using namespace paradyn;
 
   const auto records =

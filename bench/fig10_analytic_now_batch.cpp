@@ -5,8 +5,10 @@
 
 #include "analytic/operational.hpp"
 #include "experiments/table.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("fig10_analytic_now_batch");
   using namespace paradyn;
   using analytic::Scenario;
 

@@ -6,8 +6,10 @@
 
 #include "analytic/operational.hpp"
 #include "experiments/table.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("fig12_analytic_smp_sampling");
   using namespace paradyn;
   using analytic::Scenario;
 

@@ -8,6 +8,7 @@
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
 #include "rocc/config.hpp"
+#include "repro_common.hpp"
 
 namespace {
 
@@ -21,6 +22,7 @@ paradyn::rocc::SystemConfig base_config() {
 }  // namespace
 
 int main() {
+  paradyn::bench::print_stamp("fig17_now_local");
   using namespace paradyn;
   constexpr std::size_t kReps = 3;
 

@@ -9,6 +9,7 @@
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
 #include "rocc/config.hpp"
+#include "repro_common.hpp"
 
 namespace {
 
@@ -52,6 +53,7 @@ void sweep(const std::vector<double>& xs, const char* x_label, const char* title
 }  // namespace
 
 int main() {
+  paradyn::bench::print_stamp("fig18_now_global");
   using namespace paradyn;
   constexpr std::size_t kReps = 3;
 

@@ -8,8 +8,10 @@
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
 #include "rocc/config.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("fig19_now_batchsize");
   using namespace paradyn;
   constexpr std::size_t kReps = 3;
 

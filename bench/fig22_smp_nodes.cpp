@@ -4,10 +4,12 @@
 // large CPU counts, depressing both application and IS CPU time — the
 // effect discussed in Section 4.3.3.
 #include "smp_common.hpp"
+#include "repro_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace paradyn;
   bench::init_jobs(argc, argv);
+  paradyn::bench::print_stamp("fig22_smp_nodes");
   const std::vector<double> cpus{2, 4, 8, 16, 32};
   bench::smp_daemon_sweep(
       "Figure 22", cpus, "nodes (CPUs)",

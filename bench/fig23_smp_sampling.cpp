@@ -4,10 +4,12 @@
 // application — the effect is strongest with a single daemon (Section
 // 4.3.3's pipe discussion).
 #include "smp_common.hpp"
+#include "repro_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace paradyn;
   bench::init_jobs(argc, argv);
+  paradyn::bench::print_stamp("fig23_smp_sampling");
   const std::vector<double> periods_ms{1, 2, 5, 10, 20, 40, 64};
   bench::smp_daemon_sweep(
       "Figure 23", periods_ms, "sampling period (ms)",

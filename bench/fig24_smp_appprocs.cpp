@@ -2,10 +2,12 @@
 // application processes on the SMP system.  Paper setup: sampling period
 // 40 ms, 16 nodes (CPUs).
 #include "smp_common.hpp"
+#include "repro_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace paradyn;
   bench::init_jobs(argc, argv);
+  paradyn::bench::print_stamp("fig24_smp_appprocs");
   const std::vector<double> apps{4, 8, 16, 32, 64};
   bench::smp_daemon_sweep(
       "Figure 24", apps, "application processes",

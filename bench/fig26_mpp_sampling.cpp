@@ -9,8 +9,10 @@
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
 #include "rocc/config.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("fig26_mpp_sampling");
   using namespace paradyn;
   constexpr std::size_t kReps = 2;
   constexpr std::int32_t kNodes = 64;

@@ -7,8 +7,10 @@
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
 #include "rocc/config.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("fig27_mpp_nodes");
   using namespace paradyn;
   constexpr std::size_t kReps = 2;
 

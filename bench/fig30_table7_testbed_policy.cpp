@@ -12,8 +12,10 @@
 #include "experiments/table.hpp"
 #include "stats/factorial.hpp"
 #include "testbed/experiment.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("fig30_table7_testbed_policy");
   using namespace paradyn;
   using experiments::fmt;
 

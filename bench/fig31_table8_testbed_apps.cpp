@@ -9,8 +9,10 @@
 #include "experiments/table.hpp"
 #include "stats/factorial.hpp"
 #include "testbed/experiment.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("fig31_table8_testbed_apps");
   using namespace paradyn;
   using experiments::fmt;
 

@@ -1,0 +1,23 @@
+// Reproducibility stamp shared by the bench/experiment harnesses.
+//
+// Each harness prints the stamp first, so a captured table or figure CSV
+// always records which binary, revision, and worker-thread count produced
+// it.  Lines are '#'-prefixed, so CSV/plot consumers skip them untouched.
+#pragma once
+
+#include <iostream>
+
+#include "experiments/parallel.hpp"
+#include "obs/repro.hpp"
+
+namespace paradyn::bench {
+
+inline void print_stamp(const char* tool) {
+  obs::ReproStamp stamp;
+  stamp.tool = tool;
+  stamp.jobs = experiments::default_jobs();
+  stamp.write(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace paradyn::bench

@@ -10,6 +10,7 @@
 #include "experiments/table.hpp"
 #include "trace/characterize.hpp"
 #include "trace/generator.hpp"
+#include "repro_common.hpp"
 
 namespace {
 
@@ -21,6 +22,7 @@ struct PaperRow {
 }  // namespace
 
 int main() {
+  paradyn::bench::print_stamp("table01_workload_stats");
   using namespace paradyn;
   using experiments::fmt;
 

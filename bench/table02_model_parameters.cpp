@@ -10,8 +10,10 @@
 #include "rocc/config.hpp"
 #include "trace/characterize.hpp"
 #include "trace/generator.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("table02_model_parameters");
   using namespace paradyn;
   using experiments::fmt;
 

@@ -14,8 +14,10 @@
 #include "rocc/simulation.hpp"
 #include "trace/characterize.hpp"
 #include "trace/generator.hpp"
+#include "repro_common.hpp"
 
 int main() {
+  paradyn::bench::print_stamp("table03_validation");
   using namespace paradyn;
   using experiments::fmt;
 

@@ -11,10 +11,12 @@
 
 #include "factorial_common.hpp"
 #include "rocc/config.hpp"
+#include "repro_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace paradyn;
   bench::init_jobs(argc, argv);
+  paradyn::bench::print_stamp("table04_fig16_now_factorial");
   using experiments::Factor;
 
   auto base = rocc::SystemConfig::now(2);

@@ -6,10 +6,12 @@
 
 #include "factorial_common.hpp"
 #include "rocc/config.hpp"
+#include "repro_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace paradyn;
   bench::init_jobs(argc, argv);
+  paradyn::bench::print_stamp("table05_fig20_smp_factorial");
   using experiments::Factor;
 
   auto base = rocc::SystemConfig::smp(4, 4, 1);

@@ -5,10 +5,12 @@
 
 #include "factorial_common.hpp"
 #include "rocc/config.hpp"
+#include "repro_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace paradyn;
   bench::init_jobs(argc, argv);
+  paradyn::bench::print_stamp("table06_fig25_mpp_factorial");
   using experiments::Factor;
 
   auto base = rocc::SystemConfig::mpp(2);

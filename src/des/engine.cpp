@@ -1,5 +1,7 @@
 #include "des/engine.hpp"
 
+#include "obs/trace.hpp"
+
 namespace paradyn::des {
 
 std::uint64_t Engine::run() {
@@ -9,10 +11,12 @@ std::uint64_t Engine::run() {
     auto fired = queue_.pop();
     if (!fired) break;
     now_ = fired->time;
+    if (tracer_ != nullptr) trace_event_executed();
     fired->callback();
     ++executed;
     ++processed_;
   }
+  if (tracer_ != nullptr) trace_flush();
   return executed;
 }
 
@@ -24,12 +28,35 @@ std::uint64_t Engine::run_until(SimTime t_end) {
     if (!next || *next > t_end) break;
     auto fired = queue_.pop();
     now_ = fired->time;
+    if (tracer_ != nullptr) trace_event_executed();
     fired->callback();
     ++executed;
     ++processed_;
   }
   if (!stopping_ && now_ < t_end) now_ = t_end;
+  if (tracer_ != nullptr) trace_flush();
   return executed;
+}
+
+void Engine::trace_event_executed() {
+  // Each executed event owns the engine track until the next one fires, so
+  // the spans tile the timeline and their density shows where simulated
+  // time is spent dispatching.
+  if (span_open_) {
+    tracer_->complete("des", "event", obs::kEngineTrack, span_start_, now_ - span_start_,
+                      "pending", static_cast<double>(queue_.size()));
+  }
+  span_open_ = true;
+  span_start_ = now_;
+}
+
+void Engine::trace_flush() {
+  if (span_open_) {
+    tracer_->complete("des", "event", obs::kEngineTrack, span_start_,
+                      now_ > span_start_ ? now_ - span_start_ : 0.0, "pending",
+                      static_cast<double>(queue_.size()));
+    span_open_ = false;
+  }
 }
 
 }  // namespace paradyn::des

@@ -13,6 +13,10 @@
 #include "des/event_queue.hpp"
 #include "des/time.hpp"
 
+namespace paradyn::obs {
+class Tracer;
+}
+
 namespace paradyn::des {
 
 class Engine {
@@ -57,11 +61,24 @@ class Engine {
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
 
+  /// Attach (or detach, with nullptr) a trace sink.  When attached, the
+  /// engine records one span per executed event on obs::kEngineTrack; the
+  /// span extends to the next event's execution time, so the spans tile the
+  /// simulated timeline.  Disabled tracing costs one branch per event.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
+  void trace_event_executed();
+  void trace_flush();
+
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t processed_ = 0;
   bool stopping_ = false;
+  obs::Tracer* tracer_ = nullptr;
+  SimTime span_start_ = 0.0;
+  bool span_open_ = false;
 };
 
 }  // namespace paradyn::des

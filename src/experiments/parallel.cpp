@@ -6,16 +6,19 @@
 #include <ctime>
 #include <exception>
 #include <future>
+#include <optional>
 #include <ostream>
 #include <utility>
 
 #include "experiments/thread_pool.hpp"
+#include "obs/progress.hpp"
 
 namespace paradyn::experiments {
 
 namespace {
 
 std::atomic<std::size_t> g_default_jobs{0};  // 0 = hardware concurrency
+std::atomic<std::ostream*> g_progress{nullptr};
 
 double now_sec() {
   return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
@@ -33,6 +36,10 @@ std::size_t default_jobs() noexcept {
   return jobs == 0 ? ThreadPool::hardware_jobs() : jobs;
 }
 
+void set_progress_stream(std::ostream* os) noexcept { g_progress.store(os); }
+
+std::ostream* progress_stream() noexcept { return g_progress.load(); }
+
 double RunReport::speedup_estimate() const noexcept {
   if (!(wall_sec > 0.0)) return 1.0;
   return serial_estimate_sec / wall_sec;
@@ -44,15 +51,19 @@ RunReport& RunReport::operator+=(const RunReport& other) {
   wall_sec += other.wall_sec;
   cpu_sec += other.cpu_sec;
   serial_estimate_sec += other.serial_estimate_sec;
+  events += other.events;
   return *this;
 }
 
 void RunReport::print(std::ostream& os, std::string_view label) const {
   char line[256];
   std::snprintf(line, sizeof(line),
-                "[%.*s] jobs=%zu runs=%zu wall=%.2fs cpu=%.2fs serial-est=%.2fs speedup=%.2fx\n",
+                "[%.*s] jobs=%zu runs=%zu wall=%.2fs cpu=%.2fs serial-est=%.2fs speedup=%.2fx"
+                " events=%llu (%.2fM ev/s)\n",
                 static_cast<int>(label.size()), label.data(), jobs, runs, wall_sec, cpu_sec,
-                serial_estimate_sec, speedup_estimate());
+                serial_estimate_sec, speedup_estimate(),
+                static_cast<unsigned long long>(events),
+                wall_sec > 0.0 ? static_cast<double>(events) / wall_sec / 1e6 : 0.0);
   os << line;
   if (cells.size() > 1) {
     os << '[' << label << "] per-cell wall (s):";
@@ -99,12 +110,20 @@ std::vector<std::vector<rocc::SimulationResult>> ParallelRunner::run_grid(
   const double wall0 = now_sec();
   const double cpu0 = cpu_sec();
 
+  std::optional<obs::ProgressMeter> meter;
+  if (std::ostream* ps = progress_stream()) {
+    meter.emplace(*ps, "sweep", report_.runs);
+  }
+
   const auto run_one = [&](std::size_t cell, std::size_t rep) {
     rocc::SystemConfig c = cell_configs[cell];
     c.seed = base_seed + rep;  // common random numbers across cells
     const double t0 = now_sec();
-    results[cell][rep] = rocc::run_simulation(c);
+    rocc::Simulation sim(std::move(c));
+    if (hook_) hook_(sim, cell, rep);
+    results[cell][rep] = sim.run();
     run_wall[cell * replications + rep] = now_sec() - t0;
+    if (meter) meter->run_completed(results[cell][rep].events_processed);
   };
 
   if (jobs_ <= 1) {
@@ -134,12 +153,14 @@ std::vector<std::vector<rocc::SimulationResult>> ParallelRunner::run_grid(
     if (first_error) std::rethrow_exception(first_error);
   }
 
+  if (meter) meter->finish();
   report_.wall_sec = now_sec() - wall0;
   report_.cpu_sec = cpu_sec() - cpu0;
   for (std::size_t cell = 0; cell < num_cells; ++cell) {
     double cell_wall = 0.0;
     for (std::size_t rep = 0; rep < replications; ++rep) {
       cell_wall += run_wall[cell * replications + rep];
+      report_.events += results[cell][rep].events_processed;
     }
     report_.cells[cell].wall_sec = cell_wall;
     report_.serial_estimate_sec += cell_wall;

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string_view>
 #include <vector>
@@ -34,6 +35,7 @@ struct RunReport {
   double wall_sec = 0.0;             ///< Caller-side elapsed time.
   double cpu_sec = 0.0;              ///< Process CPU time consumed.
   double serial_estimate_sec = 0.0;  ///< Sum of per-run wall times.
+  std::uint64_t events = 0;          ///< Discrete events executed, all runs.
   std::vector<Cell> cells;
 
   /// serial_estimate_sec / wall_sec (1.0 when wall time is ~0).
@@ -52,6 +54,19 @@ struct RunReport {
 /// the initial default of one job per hardware thread.
 void set_default_jobs(std::size_t jobs) noexcept;
 [[nodiscard]] std::size_t default_jobs() noexcept;
+
+/// Process-wide progress/heartbeat stream (typically &std::cerr, enabled by
+/// the tools' --progress flag).  While set, every ParallelRunner grid run
+/// emits throttled "[sweep] N/M runs ... ev/s ... eta" lines as runs finish.
+/// nullptr (the default) disables reporting.
+void set_progress_stream(std::ostream* os) noexcept;
+[[nodiscard]] std::ostream* progress_stream() noexcept;
+
+/// Per-run customization hook, applied to each Simulation after
+/// construction and before run() — the observability path: attach tracers
+/// and metrics probes to chosen runs of a sweep.  Called on worker threads;
+/// implementations must be thread-safe across concurrent (cell, rep) pairs.
+using RunHook = std::function<void(rocc::Simulation& sim, std::size_t cell, std::size_t rep)>;
 
 class ParallelRunner {
  public:
@@ -76,6 +91,9 @@ class ParallelRunner {
   /// Accounting for the most recent replications()/cells() call.
   [[nodiscard]] const RunReport& report() const noexcept { return report_; }
 
+  /// Install (or clear, with an empty function) the per-run hook.
+  void set_run_hook(RunHook hook) { hook_ = std::move(hook); }
+
  private:
   std::vector<std::vector<rocc::SimulationResult>> run_grid(
       const std::vector<rocc::SystemConfig>& cell_configs, std::uint64_t base_seed,
@@ -83,6 +101,7 @@ class ParallelRunner {
 
   std::size_t jobs_;
   RunReport report_;
+  RunHook hook_;
 };
 
 }  // namespace paradyn::experiments

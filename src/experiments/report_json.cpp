@@ -1,0 +1,220 @@
+#include "experiments/report_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace paradyn::experiments {
+namespace {
+
+/// Shortest round-trip-safe representation; non-finite values (possible in
+/// degenerate configs) become null so the document stays valid JSON.
+void number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  if (parsed == v) {
+    // Try progressively shorter forms for readability.
+    for (int prec = 6; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &parsed);
+      if (parsed == v) {
+        os << shorter;
+        return;
+      }
+    }
+  }
+  os << buf;
+}
+
+void quoted(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+struct Obj {
+  std::ostream& os;
+  std::string pad;
+  bool first = true;
+
+  Obj(std::ostream& s, int indent) : os(s), pad(static_cast<std::size_t>(indent), ' ') {
+    os << "{";
+  }
+  std::ostream& key(const char* name) {
+    os << (first ? "\n" : ",\n") << pad << "  \"" << name << "\": ";
+    first = false;
+    return os;
+  }
+  void close() { os << '\n' << pad << '}'; }
+};
+
+void summary_json(std::ostream& os, const stats::SummaryStats& s, int indent) {
+  Obj o(os, indent);
+  o.key("count") << s.count();
+  o.key("mean");
+  number(os, s.mean());
+  o.key("stddev");
+  number(os, s.stddev());
+  o.key("min");
+  number(os, s.min());
+  o.key("max");
+  number(os, s.max());
+  o.close();
+}
+
+}  // namespace
+
+void write_result_json(std::ostream& os, const rocc::SimulationResult& r, int indent) {
+  Obj o(os, indent);
+  o.key("duration_us");
+  number(os, r.duration_us);
+  o.key("nodes") << r.nodes;
+  o.key("cpus_per_node") << r.cpus_per_node;
+
+  o.key("app_cpu_time_per_node_us");
+  number(os, r.app_cpu_time_per_node_us);
+  o.key("pd_cpu_time_per_node_us");
+  number(os, r.pd_cpu_time_per_node_us);
+  o.key("pvmd_cpu_time_per_node_us");
+  number(os, r.pvmd_cpu_time_per_node_us);
+  o.key("other_cpu_time_per_node_us");
+  number(os, r.other_cpu_time_per_node_us);
+  o.key("main_cpu_time_us");
+  number(os, r.main_cpu_time_us);
+
+  o.key("app_cpu_util_pct");
+  number(os, r.app_cpu_util_pct);
+  o.key("pd_cpu_util_pct");
+  number(os, r.pd_cpu_util_pct);
+  o.key("main_cpu_util_pct");
+  number(os, r.main_cpu_util_pct);
+  o.key("is_cpu_util_pct");
+  number(os, r.is_cpu_util_pct);
+  o.key("pd_busy_share_pct");
+  number(os, r.pd_busy_share_pct);
+  o.key("network_util_pct");
+  number(os, r.network_util_pct);
+
+  o.key("latency_us");
+  summary_json(os, r.latency_us, indent + 2);
+
+  o.key("samples_generated") << r.samples_generated;
+  o.key("samples_delivered") << r.samples_delivered;
+  o.key("batches_delivered") << r.batches_delivered;
+  o.key("throughput_samples_per_sec");
+  number(os, r.throughput_samples_per_sec);
+  o.key("events_processed") << r.events_processed;
+
+  o.key("barrier_rounds") << r.barrier_rounds;
+  o.key("barrier_wait_us");
+  number(os, r.barrier_wait_us);
+  o.key("final_sampling_period_us");
+  number(os, r.final_sampling_period_us);
+
+  o.key("per_node") << '[';
+  for (std::size_t n = 0; n < r.per_node.size(); ++n) {
+    const auto& nb = r.per_node[n];
+    if (n != 0) os << ", ";
+    os << "{\"node\": " << nb.node << ", \"app_cpu_us\": ";
+    number(os, nb.app_cpu_us);
+    os << ", \"pd_cpu_us\": ";
+    number(os, nb.pd_cpu_us);
+    os << ", \"pvmd_cpu_us\": ";
+    number(os, nb.pvmd_cpu_us);
+    os << ", \"other_cpu_us\": ";
+    number(os, nb.other_cpu_us);
+    os << ", \"main_cpu_us\": ";
+    number(os, nb.main_cpu_us);
+    os << '}';
+  }
+  os << ']';
+  o.close();
+}
+
+void write_report_json(std::ostream& os, const obs::ReproStamp& stamp,
+                       const std::vector<rocc::SimulationResult>& results,
+                       const RunReport* report) {
+  Obj doc(os, 0);
+
+  doc.key("stamp");
+  {
+    Obj s(os, 2);
+    s.key("tool");
+    quoted(os, stamp.tool);
+    if (!stamp.config.empty()) {
+      s.key("config");
+      quoted(os, stamp.config);
+    }
+    if (stamp.has_seed) s.key("seed") << stamp.seed;
+    if (stamp.jobs != 0) s.key("jobs") << stamp.jobs;
+    if (!stamp.extra.empty()) {
+      s.key("extra");
+      quoted(os, stamp.extra);
+    }
+    s.key("git");
+    quoted(os, obs::git_describe());
+    s.close();
+  }
+
+  doc.key("results") << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << "    ";
+    write_result_json(os, results[i], 4);
+    if (i + 1 < results.size()) os << ',';
+    os << '\n';
+  }
+  os << "  ]";
+
+  if (report != nullptr) {
+    doc.key("parallel");
+    Obj p(os, 2);
+    p.key("jobs") << report->jobs;
+    p.key("runs") << report->runs;
+    p.key("wall_sec");
+    number(os, report->wall_sec);
+    p.key("cpu_sec");
+    number(os, report->cpu_sec);
+    p.key("serial_estimate_sec");
+    number(os, report->serial_estimate_sec);
+    p.key("speedup_estimate");
+    number(os, report->speedup_estimate());
+    p.key("events") << report->events;
+    p.close();
+  }
+
+  doc.close();
+  os << '\n';
+}
+
+}  // namespace paradyn::experiments

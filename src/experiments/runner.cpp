@@ -8,11 +8,12 @@
 namespace paradyn::experiments {
 
 ReplicationSet::ReplicationSet(const rocc::SystemConfig& config, std::size_t replications,
-                               std::size_t jobs) {
+                               std::size_t jobs, RunHook hook) {
   // Validate before any simulation runs (the old member-initializer form
   // ran the replications before this guard could fire).
   if (replications == 0) throw std::invalid_argument("ReplicationSet: replications must be > 0");
   ParallelRunner runner(jobs);
+  runner.set_run_hook(std::move(hook));
   results_ = runner.replications(config, replications);
   report_ = runner.report();
 }
@@ -45,7 +46,8 @@ double FactorialCell::mean(const MetricFn& fn) const {
 }
 
 FactorialExperiment::FactorialExperiment(rocc::SystemConfig base, std::vector<Factor> factors,
-                                         std::size_t replications, std::size_t jobs)
+                                         std::size_t replications, std::size_t jobs,
+                                         RunHook hook)
     : factors_(std::move(factors)), replications_(replications) {
   if (factors_.empty()) throw std::invalid_argument("FactorialExperiment: need factors");
   if (factors_.size() > 8) throw std::invalid_argument("FactorialExperiment: too many factors");
@@ -69,6 +71,7 @@ FactorialExperiment::FactorialExperiment(rocc::SystemConfig base, std::vector<Fa
   }
 
   ParallelRunner runner(jobs);
+  runner.set_run_hook(std::move(hook));
   auto runs = runner.cells(cell_configs, base.seed, replications_);
   for (unsigned mask = 0; mask < num_cells; ++mask) cells_[mask].runs = std::move(runs[mask]);
   report_ = runner.report();

@@ -21,9 +21,11 @@ class ReplicationSet {
  public:
   /// Run `replications` simulations (seeds seed, seed+1, ...) across `jobs`
   /// worker threads (0 = the process-wide default_jobs(), 1 = serial).
-  /// Results are bit-identical for every job count.
+  /// Results are bit-identical for every job count.  `hook` (optional) is
+  /// applied to every Simulation before it runs — the observability path
+  /// for attaching tracers/metrics; it must be thread-safe for jobs > 1.
   ReplicationSet(const rocc::SystemConfig& config, std::size_t replications,
-                 std::size_t jobs = 0);
+                 std::size_t jobs = 0, RunHook hook = {});
 
   /// Confidence interval of a metric over the replications (the paper uses
   /// 90% intervals).  With a single replication there is no dispersion
@@ -70,9 +72,11 @@ class FactorialExperiment {
   /// Runs all 2^k cells with `replications` runs each, fanned out over
   /// `jobs` worker threads (0 = default_jobs(), 1 = serial).  Every cell
   /// rep uses seed base.seed + rep so paired comparisons share random
-  /// streams; results are bit-identical for every job count.
+  /// streams; results are bit-identical for every job count.  `hook`
+  /// (optional) is applied to every Simulation before it runs; it must be
+  /// thread-safe for jobs > 1.
   FactorialExperiment(rocc::SystemConfig base, std::vector<Factor> factors,
-                      std::size_t replications, std::size_t jobs = 0);
+                      std::size_t replications, std::size_t jobs = 0, RunHook hook = {});
 
   [[nodiscard]] const std::vector<FactorialCell>& cells() const noexcept { return cells_; }
   [[nodiscard]] const std::vector<Factor>& factors() const noexcept { return factors_; }

@@ -1,0 +1,113 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+namespace paradyn::obs {
+
+void Histogram::observe(double v) noexcept {
+  if (!(v >= 0.0) || !std::isfinite(v)) v = 0.0;  // clamp NaN/negatives
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  int exp = 0;
+  if (v >= 1.0) {
+    (void)std::frexp(v, &exp);  // v in [2^(exp-1), 2^exp)
+    if (exp >= kBuckets) exp = kBuckets - 1;
+  }
+  ++buckets_[exp];
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 1.0) return max_;
+  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Geometric midpoint of [2^(i-1), 2^i); bucket 0 holds [0, 1).
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+      const double hi = std::ldexp(1.0, i);
+      double mid = i == 0 ? 0.5 : lo * std::sqrt(2.0);
+      if (mid > hi) mid = hi;
+      if (mid < min_) mid = min_;
+      if (mid > max_) mid = max_;
+      return mid;
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    Counter* c = it->second.get();
+    column_readers_.push_back({name, [c] { return static_cast<double>(c->value()); }});
+    columns_.push_back(name);
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+    Gauge* g = it->second.get();
+    column_readers_.push_back({name, [g] { return g->value(); }});
+    columns_.push_back(name);
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+    histogram_order_.emplace_back(name, it->second.get());
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::add_probe(std::string name, std::function<double()> probe) {
+  column_readers_.push_back({name, std::move(probe)});
+  columns_.push_back(std::move(name));
+}
+
+void MetricsRegistry::sample(double t_us) {
+  std::vector<double> row;
+  row.reserve(column_readers_.size());
+  for (const auto& col : column_readers_) row.push_back(col.read());
+  row_times_.push_back(t_us);
+  rows_.push_back(std::move(row));
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  char buf[64];
+  for (const auto& [name, h] : histogram_order_) {
+    std::snprintf(buf, sizeof(buf),
+                  "count=%llu mean=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+                  static_cast<unsigned long long>(h->count()), h->mean(), h->min(),
+                  h->percentile(0.50), h->percentile(0.90), h->percentile(0.99), h->max());
+    os << "# histogram " << name << ": " << buf << '\n';
+  }
+  os << "time_us";
+  for (const auto& name : columns_) os << ',' << name;
+  os << '\n';
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.3f", row_times_[i]);
+    os << buf;
+    for (const double v : rows_[i]) {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      os << ',' << buf;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace paradyn::obs

@@ -1,0 +1,121 @@
+// Metrics registry: named counters, gauges, and histograms plus periodic
+// time-series probes sampled on a simulated-time tick.
+//
+// The registry is the numeric companion to the trace recorder: where the
+// trace answers "what happened when", the probe time series answers "how
+// did queue depths / busy fractions evolve" at a fixed cadence that is
+// cheap enough to leave on for long sweeps.  rocc::Simulation wires the
+// standard probes (event-queue depth, pipe occupancy, per-class CPU busy
+// fraction) via enable_metrics(); anything else can register its own.
+//
+// Not thread-safe: one registry belongs to one (single-threaded)
+// simulation, mirroring the Tracer ownership model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace paradyn::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) noexcept { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written point-in-time value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Streaming histogram over positive values with power-of-two buckets
+/// (bucket i holds values in [2^(i-1), 2^i)); O(1) memory, percentile
+/// estimates good to a factor of ~1.4 plus exact min/max/mean.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  /// Estimated p-quantile (p in [0, 1]): geometric midpoint of the bucket
+  /// holding the p-th observation, clamped to the observed min/max.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Insertion-ordered collection of named metrics + the probe time series.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create.  References stay valid for the registry's lifetime.
+  /// Counters and gauges are automatically included as time-series columns.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Register a callback probe evaluated at every sample() tick.
+  void add_probe(std::string name, std::function<double()> probe);
+
+  /// Record one time-series row at simulated time `t_us`: every probe,
+  /// counter, and gauge in registration order.
+  void sample(double t_us);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& column_names() const noexcept { return columns_; }
+  /// Row `i` as (time, values aligned with column_names()).
+  [[nodiscard]] std::pair<double, const std::vector<double>*> row(std::size_t i) const {
+    return {row_times_.at(i), &rows_.at(i)};
+  }
+
+  /// The probe time series as CSV: "time_us,<col>,..." then one row per
+  /// tick.  Lines starting with '#' carry the histogram/counter summaries.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  struct Column {
+    std::string name;
+    std::function<double()> read;
+  };
+
+  // std::map for deterministic name lookup; deques/uniques for stable refs.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<std::pair<std::string, const Histogram*>> histogram_order_;
+  std::vector<Column> column_readers_;
+  std::vector<std::string> columns_;
+  std::vector<double> row_times_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace paradyn::obs

@@ -1,0 +1,82 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+namespace paradyn::obs {
+
+namespace {
+
+double wall_sec() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// "1234567" -> "1.23M" style human scaling.
+void format_rate(char* buf, std::size_t n, double per_sec) {
+  if (per_sec >= 1e6) {
+    std::snprintf(buf, n, "%.2fM", per_sec / 1e6);
+  } else if (per_sec >= 1e3) {
+    std::snprintf(buf, n, "%.1fk", per_sec / 1e3);
+  } else {
+    std::snprintf(buf, n, "%.0f", per_sec);
+  }
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::ostream& os, std::string label, std::size_t total_runs,
+                             double min_interval_sec)
+    : os_(os),
+      label_(std::move(label)),
+      total_(total_runs),
+      min_interval_sec_(min_interval_sec),
+      start_sec_(wall_sec()),
+      last_print_sec_(start_sec_) {}
+
+void ProgressMeter::run_completed(std::uint64_t events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++completed_;
+  events_ += events;
+  const double now = wall_sec();
+  if (completed_ >= total_ || now - last_print_sec_ >= min_interval_sec_) {
+    last_print_sec_ = now;
+    print_line(false);
+    if (completed_ >= total_) printed_final_ = true;
+  }
+}
+
+void ProgressMeter::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  if (!printed_final_) print_line(true);
+}
+
+void ProgressMeter::print_line(bool final_line) {
+  const double elapsed = wall_sec() - start_sec_;
+  const double pct = total_ > 0 ? 100.0 * static_cast<double>(completed_) /
+                                      static_cast<double>(total_)
+                                : 100.0;
+  char rate[32];
+  format_rate(rate, sizeof(rate),
+              elapsed > 0.0 ? static_cast<double>(events_) / elapsed : 0.0);
+  char line[192];
+  if (final_line || completed_ >= total_) {
+    std::snprintf(line, sizeof(line), "[%s] %zu/%zu runs (100%%) | %s ev/s | wall %.2fs\n",
+                  label_.c_str(), completed_, total_, rate, elapsed);
+  } else {
+    const double eta = completed_ > 0
+                           ? elapsed * static_cast<double>(total_ - completed_) /
+                                 static_cast<double>(completed_)
+                           : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "[%s] %zu/%zu runs (%.0f%%) | %s ev/s | elapsed %.1fs | eta %.1fs\n",
+                  label_.c_str(), completed_, total_, pct, rate, elapsed, eta);
+  }
+  os_ << line;
+  os_.flush();
+}
+
+}  // namespace paradyn::obs

@@ -1,0 +1,53 @@
+// Heartbeat/progress reporting for long parallel runs.
+//
+// ParallelRunner calls run_completed() from its worker threads as each
+// simulation finishes; the meter throttles output so a sweep of hundreds of
+// runs prints a handful of lines, each with runs done/total, aggregate
+// simulation events/sec, elapsed wall time, and an ETA.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace paradyn::obs {
+
+class ProgressMeter {
+ public:
+  /// Writes heartbeat lines to `os` (not owned; must outlive the meter).
+  /// At most one line per `min_interval_sec` plus a final line at finish().
+  ProgressMeter(std::ostream& os, std::string label, std::size_t total_runs,
+                double min_interval_sec = 0.5);
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// One run finished, having executed `events` simulation events.
+  /// Thread-safe.
+  void run_completed(std::uint64_t events);
+
+  /// Print the final line (idempotent).
+  void finish();
+
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+
+ private:
+  void print_line(bool final_line);
+
+  std::ostream& os_;
+  std::string label_;
+  std::size_t total_;
+  double min_interval_sec_;
+  std::mutex mutex_;
+  std::size_t completed_ = 0;
+  std::uint64_t events_ = 0;
+  double start_sec_ = 0.0;
+  double last_print_sec_ = 0.0;
+  bool printed_final_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace paradyn::obs

@@ -1,0 +1,48 @@
+#include "obs/repro.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <ostream>
+
+namespace paradyn::obs {
+
+const std::string& git_describe() {
+  static const std::string cached = [] {
+    std::string out = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+    if (FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r")) {
+      char buf[128];
+      if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+        std::string line(buf);
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
+        if (!line.empty()) out = line;
+      }
+      ::pclose(pipe);
+    }
+#endif
+    return out;
+  }();
+  return cached;
+}
+
+void ReproStamp::write(std::ostream& os, const char* prefix) const {
+  os << prefix << "tool: " << tool << '\n';
+  if (!config.empty()) os << prefix << "config: " << config << '\n';
+  if (has_seed) os << prefix << "seed: " << seed << '\n';
+  if (jobs != 0) os << prefix << "jobs: " << jobs << '\n';
+  if (!extra.empty()) os << prefix << "extra: " << extra << '\n';
+  os << prefix << "git: " << git_describe() << '\n';
+
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+#if defined(_WIN32)
+  gmtime_s(&tm_utc, &now);
+#else
+  gmtime_r(&now, &tm_utc);
+#endif
+  char ts[32];
+  std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  os << prefix << "generated: " << ts << '\n';
+}
+
+}  // namespace paradyn::obs

@@ -1,0 +1,32 @@
+// Reproducibility stamps for tool/bench output.
+//
+// Every CSV or report this repo emits should be traceable back to the run
+// that produced it: which tool, which configuration, which base seed, how
+// many worker threads, and which source revision.  The stamp is written as
+// '#'-prefixed comment lines so CSV consumers skip it untouched.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace paradyn::obs {
+
+/// `git describe --always --dirty` of the working tree, or "unknown" when
+/// git (or the repo) is unavailable.  Cached after the first call.
+[[nodiscard]] const std::string& git_describe();
+
+struct ReproStamp {
+  std::string tool;          ///< Binary name (required).
+  std::string config;        ///< One-line configuration summary; may be empty.
+  std::uint64_t seed = 0;    ///< Base RNG seed.
+  bool has_seed = false;     ///< Benches with many internal seeds leave this unset.
+  std::size_t jobs = 0;      ///< Worker threads (0 = unreported).
+  std::string extra;         ///< Free-form tail (e.g. sweep axis); may be empty.
+
+  /// Write the stamp, one "<prefix>key: value" line each; includes the git
+  /// revision and the current UTC time.
+  void write(std::ostream& os, const char* prefix = "# ") const;
+};
+
+}  // namespace paradyn::obs

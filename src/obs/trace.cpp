@@ -1,0 +1,194 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+namespace paradyn::obs {
+
+namespace {
+
+/// Chrome phase letter.
+const char* phase_code(Phase p) noexcept {
+  switch (p) {
+    case Phase::Complete:
+      return "X";
+    case Phase::Instant:
+      return "i";
+    case Phase::Counter:
+      return "C";
+    case Phase::AsyncBegin:
+      return "b";
+    case Phase::AsyncInstant:
+      return "n";
+    case Phase::AsyncEnd:
+      return "e";
+  }
+  return "i";
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += '0';  // JSON has no NaN/Inf; clamp rather than corrupt the file
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+void append_event(std::string& out, const TraceEvent& e, std::int32_t pid) {
+  out += R"({"name":")";
+  append_escaped(out, e.name);
+  out += R"(","cat":")";
+  append_escaped(out, e.category);
+  out += R"(","ph":")";
+  out += phase_code(e.phase);
+  out += R"(","ts":)";
+  append_number(out, e.ts_us);
+  if (e.phase == Phase::Complete) {
+    out += R"(,"dur":)";
+    append_number(out, e.dur_us);
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d", pid, e.track);
+  out += buf;
+  if (e.phase == Phase::AsyncBegin || e.phase == Phase::AsyncInstant ||
+      e.phase == Phase::AsyncEnd) {
+    std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                  static_cast<unsigned long long>(e.id));
+    out += buf;
+  }
+  if (e.phase == Phase::Instant) out += R"(,"s":"t")";
+  if (e.phase == Phase::Counter) {
+    // Counter value rides in args under a fixed series name.
+    out += R"(,"args":{"value":)";
+    append_number(out, e.arg0);
+    out += "}}";
+    return;
+  }
+  if (e.arg0_name != nullptr || e.arg1_name != nullptr) {
+    out += R"(,"args":{)";
+    bool first = true;
+    for (const auto& [name, value] :
+         {std::pair{e.arg0_name, e.arg0}, std::pair{e.arg1_name, e.arg1}}) {
+      if (name == nullptr) continue;
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      append_escaped(out, name);
+      out += "\":";
+      append_number(out, value);
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void Tracer::set_track_name(std::int32_t track, std::string name) {
+  if (recorder_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(recorder_->mutex_);
+  recorder_->track_names_.emplace_back(std::pair{pid_, track}, std::move(name));
+}
+
+TraceRecorder::TraceRecorder(std::size_t events_per_tracer)
+    : events_per_tracer_(events_per_tracer == 0 ? 1 : events_per_tracer) {}
+
+Tracer TraceRecorder::create_tracer(std::string process_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto pid = static_cast<std::int32_t>(shards_.size());
+  shards_.emplace_back(events_per_tracer_);
+  shards_.back().pid = pid;
+  process_names_.push_back(std::move(process_name));
+  return Tracer(this, &shards_.back(), pid);
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.recorded;
+  return total;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.dropped;
+  return total;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string buf;
+  buf.reserve(1u << 16);
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto flush_line = [&](std::string& line) {
+    if (!first) os << ",\n";
+    first = false;
+    os << line;
+    line.clear();
+  };
+
+  // Metadata: process and thread (track) labels.
+  for (std::size_t pid = 0; pid < process_names_.size(); ++pid) {
+    if (process_names_[pid].empty()) continue;
+    buf += R"({"name":"process_name","ph":"M","pid":)";
+    buf += std::to_string(pid);
+    buf += R"(,"tid":0,"args":{"name":")";
+    append_escaped(buf, process_names_[pid].c_str());
+    buf += "\"}}";
+    flush_line(buf);
+  }
+  for (const auto& [key, label] : track_names_) {
+    buf += R"({"name":"thread_name","ph":"M","pid":)";
+    buf += std::to_string(key.first);
+    buf += R"(,"tid":)";
+    buf += std::to_string(key.second);
+    buf += R"(,"args":{"name":")";
+    append_escaped(buf, label.c_str());
+    buf += "\"}}";
+    flush_line(buf);
+  }
+
+  for (const auto& shard : shards_) {
+    // After a wrap the oldest retained event sits at `next`; emit in
+    // chronological order so viewers that do not sort still render sanely.
+    const std::size_t n = shard.events.size();
+    const std::size_t start = (n == shard.capacity) ? shard.next : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      append_event(buf, shard.events[(start + i) % n], shard.pid);
+      flush_line(buf);
+      if (buf.capacity() > (1u << 20)) buf.shrink_to_fit();
+    }
+  }
+  std::uint64_t total_recorded = 0;
+  std::uint64_t total_dropped = 0;
+  for (const auto& s : shards_) {
+    total_recorded += s.recorded;
+    total_dropped += s.dropped;
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"recorded\":" << total_recorded
+     << ",\"dropped\":" << total_dropped << "}}\n";
+}
+
+}  // namespace paradyn::obs

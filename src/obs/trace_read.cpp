@@ -1,0 +1,387 @@
+#include "obs/trace_read.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace paradyn::obs {
+
+namespace {
+
+/// Pull-style scanner over the whole document (trace files are bounded by
+/// the recorder's ring capacity, so slurping is fine).
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string text) : text_(std::move(text)) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume_if(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // Trace names are ASCII; encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  /// Skip any JSON value (used for fields we do not care about).
+  void skip_value() {
+    const char c = peek();
+    if (c == '"') {
+      (void)parse_string();
+    } else if (c == '{') {
+      ++pos_;
+      if (consume_if('}')) return;
+      do {
+        (void)parse_string();
+        expect(':');
+        skip_value();
+      } while (consume_if(','));
+      expect('}');
+    } else if (c == '[') {
+      ++pos_;
+      if (consume_if(']')) return;
+      do {
+        skip_value();
+      } while (consume_if(','));
+      expect(']');
+    } else if (c == 't' || c == 'f' || c == 'n') {
+      while (pos_ < text_.size() && std::isalpha(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    } else {
+      (void)parse_number();
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("trace JSON parse error at byte " + std::to_string(pos_) + ": " +
+                             what);
+  }
+
+  std::size_t pos_ = 0;
+
+ private:
+  std::string text_;
+};
+
+void parse_args_object(JsonScanner& s, ParsedEvent& ev) {
+  s.expect('{');
+  if (s.consume_if('}')) return;
+  do {
+    const std::string key = s.parse_string();
+    s.expect(':');
+    const char c = s.peek();
+    if (c == '"') {
+      ev.str_args[key] = s.parse_string();
+    } else if (c == '{' || c == '[' || c == 't' || c == 'f' || c == 'n') {
+      s.skip_value();
+    } else {
+      ev.num_args[key] = s.parse_number();
+    }
+  } while (s.consume_if(','));
+  s.expect('}');
+}
+
+ParsedEvent parse_event_object(JsonScanner& s) {
+  ParsedEvent ev;
+  s.expect('{');
+  if (s.consume_if('}')) return ev;
+  do {
+    const std::string key = s.parse_string();
+    s.expect(':');
+    if (key == "name") ev.name = s.parse_string();
+    else if (key == "cat") ev.cat = s.parse_string();
+    else if (key == "ph") ev.ph = s.parse_string();
+    else if (key == "ts") ev.ts = s.parse_number();
+    else if (key == "dur") ev.dur = s.parse_number();
+    else if (key == "pid") ev.pid = static_cast<std::int64_t>(s.parse_number());
+    else if (key == "tid") ev.tid = static_cast<std::int64_t>(s.parse_number());
+    else if (key == "id") ev.id = s.peek() == '"' ? s.parse_string() : std::to_string(s.parse_number());
+    else if (key == "args") parse_args_object(s, ev);
+    else s.skip_value();
+  } while (s.consume_if(','));
+  s.expect('}');
+  return ev;
+}
+
+}  // namespace
+
+ParsedTrace read_chrome_trace(std::istream& is) {
+  std::string text(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>{});
+  JsonScanner s(std::move(text));
+  ParsedTrace trace;
+
+  // Either {"traceEvents": [...], ...} or a bare top-level event array.
+  if (s.peek() == '[') {
+    s.expect('[');
+    if (!s.consume_if(']')) {
+      do {
+        trace.events.push_back(parse_event_object(s));
+      } while (s.consume_if(','));
+      s.expect(']');
+    }
+    return trace;
+  }
+
+  s.expect('{');
+  if (s.consume_if('}')) return trace;
+  do {
+    const std::string key = s.parse_string();
+    s.expect(':');
+    if (key == "traceEvents") {
+      s.expect('[');
+      if (!s.consume_if(']')) {
+        do {
+          trace.events.push_back(parse_event_object(s));
+        } while (s.consume_if(','));
+        s.expect(']');
+      }
+    } else if (key == "otherData") {
+      ParsedEvent other;
+      parse_args_object(s, other);
+      if (const auto it = other.num_args.find("recorded"); it != other.num_args.end()) {
+        trace.recorded = static_cast<std::uint64_t>(it->second);
+      }
+      if (const auto it = other.num_args.find("dropped"); it != other.num_args.end()) {
+        trace.dropped = static_cast<std::uint64_t>(it->second);
+      }
+    } else {
+      s.skip_value();
+    }
+  } while (s.consume_if(','));
+  s.expect('}');
+  return trace;
+}
+
+TraceSummary summarize_trace(const ParsedTrace& trace) {
+  TraceSummary out;
+  out.recorded = trace.recorded;
+  out.dropped = trace.dropped;
+
+  std::unordered_map<std::string, EventTypeStats> types;
+  // (cat \x1f name \x1f pid \x1f id) -> begin timestamp.
+  std::unordered_map<std::string, double> open_chains;
+  struct ChainAccum {
+    std::string cat, name;
+    std::vector<double> durations;
+    std::uint64_t unmatched = 0;
+  };
+  std::unordered_map<std::string, ChainAccum> chains;
+
+  bool first_ts = true;
+  for (const auto& ev : trace.events) {
+    if (ev.ph == "M") continue;  // metadata
+    ++out.events;
+    if (first_ts || ev.ts < out.ts_min_us) out.ts_min_us = ev.ts;
+    const double end_ts = ev.ts + (ev.ph == "X" ? ev.dur : 0.0);
+    if (first_ts || end_ts > out.ts_max_us) out.ts_max_us = end_ts;
+    first_ts = false;
+
+    const std::string type_key = ev.cat + '\x1f' + ev.name;
+    auto& t = types[type_key];
+    if (t.count == 0) {
+      t.cat = ev.cat;
+      t.name = ev.name;
+    }
+    ++t.count;
+    if (ev.ph == "X") {
+      t.total_dur_us += ev.dur;
+      t.max_dur_us = std::max(t.max_dur_us, ev.dur);
+    }
+
+    if (ev.ph == "b" || ev.ph == "e") {
+      auto& chain = chains[type_key];
+      if (chain.cat.empty()) {
+        chain.cat = ev.cat;
+        chain.name = ev.name;
+      }
+      const std::string chain_key =
+          type_key + '\x1f' + std::to_string(ev.pid) + '\x1f' + ev.id;
+      if (ev.ph == "b") {
+        if (!open_chains.emplace(chain_key, ev.ts).second) ++chain.unmatched;
+      } else {
+        const auto it = open_chains.find(chain_key);
+        if (it == open_chains.end()) {
+          ++chain.unmatched;
+        } else {
+          chain.durations.push_back(ev.ts - it->second);
+          open_chains.erase(it);
+        }
+      }
+    }
+  }
+
+  for (auto& [key, t] : types) out.types.push_back(std::move(t));
+  std::sort(out.types.begin(), out.types.end(), [](const auto& a, const auto& b) {
+    if (a.total_dur_us != b.total_dur_us) return a.total_dur_us > b.total_dur_us;
+    if (a.count != b.count) return a.count > b.count;
+    return a.name < b.name;
+  });
+
+  for (auto& [key, chain] : chains) {
+    AsyncChainStats cs;
+    cs.cat = chain.cat;
+    cs.name = chain.name;
+    cs.complete_chains = chain.durations.size();
+    cs.unmatched = chain.unmatched;
+    if (!chain.durations.empty()) {
+      std::sort(chain.durations.begin(), chain.durations.end());
+      const auto at = [&](double p) {
+        const auto idx = static_cast<std::size_t>(p * static_cast<double>(chain.durations.size() - 1));
+        return chain.durations[idx];
+      };
+      cs.p50_us = at(0.50);
+      cs.p90_us = at(0.90);
+      cs.p99_us = at(0.99);
+      cs.max_us = chain.durations.back();
+    }
+    out.chains.push_back(std::move(cs));
+  }
+  // Count begins that never saw an end.
+  for (const auto& [key, ts] : open_chains) {
+    const auto sep = key.find('\x1f', key.find('\x1f') + 1);
+    const std::string type_key = key.substr(0, sep);
+    if (const auto it = chains.find(type_key); it != chains.end()) {
+      for (auto& cs : out.chains) {
+        if (cs.cat == it->second.cat && cs.name == it->second.name) {
+          ++cs.unmatched;
+          break;
+        }
+      }
+    }
+  }
+  std::sort(out.chains.begin(), out.chains.end(),
+            [](const auto& a, const auto& b) { return a.complete_chains > b.complete_chains; });
+  return out;
+}
+
+void print_trace_summary(std::ostream& os, const TraceSummary& summary, std::size_t top_n) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "events: %llu  (recorder saw %llu, dropped %llu)\nspan: %.3f ms .. %.3f ms "
+                "(%.3f ms)\n\n",
+                static_cast<unsigned long long>(summary.events),
+                static_cast<unsigned long long>(summary.recorded),
+                static_cast<unsigned long long>(summary.dropped), summary.ts_min_us / 1e3,
+                summary.ts_max_us / 1e3, (summary.ts_max_us - summary.ts_min_us) / 1e3);
+  os << line;
+
+  os << "top event types (by total span time, then count):\n";
+  std::snprintf(line, sizeof(line), "  %-12s %-24s %10s %14s %12s %12s\n", "category", "name",
+                "count", "total_ms", "mean_us", "max_us");
+  os << line;
+  std::size_t shown = 0;
+  for (const auto& t : summary.types) {
+    if (shown++ >= top_n) break;
+    const double mean = t.count > 0 ? t.total_dur_us / static_cast<double>(t.count) : 0.0;
+    std::snprintf(line, sizeof(line), "  %-12s %-24s %10llu %14.3f %12.2f %12.2f\n",
+                  t.cat.c_str(), t.name.c_str(), static_cast<unsigned long long>(t.count),
+                  t.total_dur_us / 1e3, mean, t.max_dur_us);
+    os << line;
+  }
+  if (summary.types.size() > top_n) {
+    os << "  ... " << (summary.types.size() - top_n) << " more type(s)\n";
+  }
+
+  if (!summary.chains.empty()) {
+    os << "\nasync chains (e.g. sample lifecycle, generation -> delivery):\n";
+    std::snprintf(line, sizeof(line), "  %-12s %-16s %10s %10s %10s %10s %10s %10s\n", "category",
+                  "name", "complete", "unmatched", "p50_us", "p90_us", "p99_us", "max_us");
+    os << line;
+    for (const auto& c : summary.chains) {
+      std::snprintf(line, sizeof(line),
+                    "  %-12s %-16s %10llu %10llu %10.1f %10.1f %10.1f %10.1f\n", c.cat.c_str(),
+                    c.name.c_str(), static_cast<unsigned long long>(c.complete_chains),
+                    static_cast<unsigned long long>(c.unmatched), c.p50_us, c.p90_us, c.p99_us,
+                    c.max_us);
+      os << line;
+    }
+  }
+}
+
+}  // namespace paradyn::obs

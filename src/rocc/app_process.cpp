@@ -130,10 +130,24 @@ void ApplicationProcess::emit_sample() {
   last_sample_cpu_ = cpu_time_used_;
   last_sample_comm_ = comm_time_used_;
   ++metrics_.samples_generated;
-  if (pipe_->try_put(sample)) return;
+  sample.id = metrics_.samples_generated;  // run-unique: counter is shared
+  if (tracer_ != nullptr) {
+    tracer_->async_begin("sample", "lifecycle", sample.id, track_, engine_.now());
+  }
+  if (pipe_->try_put(sample)) {
+    if (tracer_ != nullptr) {
+      tracer_->instant("pipe", "enqueue", track_, engine_.now(), "depth",
+                       static_cast<double>(pipe_->size()));
+    }
+    return;
+  }
   // Pipe full: block.  The in-flight resource request (if any) completes,
   // then the process parks at its next step until the daemon drains the
   // pipe.  No further samples are generated while blocked (Section 4.3.3).
+  if (tracer_ != nullptr) {
+    tracer_->instant("pipe", "full", track_, engine_.now(), "capacity",
+                     static_cast<double>(pipe_->capacity()));
+  }
   blocked_on_pipe_ = true;
   pending_sample_ = sample;
   pipe_->notify_on_space([this] { on_pipe_space(); });
@@ -148,6 +162,10 @@ void ApplicationProcess::on_pipe_space() {
       // stay robust): keep waiting.
       pipe_->notify_on_space([this] { on_pipe_space(); });
       return;
+    }
+    if (tracer_ != nullptr) {
+      tracer_->instant("pipe", "enqueue", track_, engine_.now(), "depth",
+                       static_cast<double>(pipe_->size()));
     }
     pending_sample_.reset();
   }

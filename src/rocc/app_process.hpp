@@ -14,6 +14,7 @@
 
 #include "des/engine.hpp"
 #include "des/random.hpp"
+#include "obs/trace.hpp"
 #include "rocc/barrier.hpp"
 #include "rocc/config.hpp"
 #include "rocc/cpu.hpp"
@@ -48,6 +49,13 @@ class ApplicationProcess {
   /// Completed computation+communication cycles.
   [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
 
+  /// Observability: sample-lifecycle begins, pipe enqueue/full instants on
+  /// `track`.
+  void set_tracer(obs::Tracer* tracer, std::int32_t track) noexcept {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
  private:
   void begin_cycle();
   void on_cpu_done();
@@ -80,6 +88,9 @@ class ApplicationProcess {
   des::RngStream rng_;
   std::int32_t node_;
   std::int32_t index_;
+
+  obs::Tracer* tracer_ = nullptr;
+  std::int32_t track_ = 0;
 
   bool blocked_on_pipe_ = false;
   std::optional<Sample> pending_sample_;

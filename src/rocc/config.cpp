@@ -1,5 +1,6 @@
 #include "rocc/config.hpp"
 
+#include <cstdio>
 #include <memory>
 
 namespace paradyn::rocc {
@@ -152,6 +153,19 @@ SystemConfig SystemConfig::smp(std::int32_t cpus, std::int32_t app_processes,
   c.contention = NetworkContention::SharedSingleServer;  // the shared bus
   c.topology = ForwardingTopology::Direct;
   return c;
+}
+
+std::string SystemConfig::summary() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s nodes=%d cpus/node=%d apps/node=%d daemons=%d period=%gus batch=%d (%s) topo=%s "
+      "net=%s dur=%gus warmup=%gus instr=%s",
+      to_string(arch), nodes, cpus_per_node, app_processes_per_node, daemons, sampling_period_us,
+      batch_size, to_string(policy()), to_string(topology),
+      contention == NetworkContention::SharedSingleServer ? "shared" : "contention-free",
+      duration_us, warmup_us, instrumentation_enabled ? "on" : "off");
+  return buf;
 }
 
 SystemConfig SystemConfig::mpp(std::int32_t nodes, ForwardingTopology topology) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <stdexcept>
+#include <string>
 
 #include "rocc/types.hpp"
 #include "stats/distributions.hpp"
@@ -183,6 +184,10 @@ struct SystemConfig {
   /// Throws std::invalid_argument if any knob is out of range or any
   /// required distribution is missing.
   void validate() const;
+
+  /// One-line human-readable summary of the headline knobs, for
+  /// reproducibility stamps and report headers.
+  [[nodiscard]] std::string summary() const;
 
   /// Paper-default NOW configuration (Section 4.2): `nodes` workstations,
   /// one app process + one Pd each, contention-free network (per the

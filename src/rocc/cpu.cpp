@@ -40,6 +40,10 @@ void CpuResource::dispatch() {
     const SimTime slice = std::min(quantum_, job.remaining);
     job.remaining -= slice;
     busy_[static_cast<std::size_t>(job.request.pclass)] += slice;
+    if (tracer_ != nullptr) {
+      tracer_->complete("cpu", to_cstr(job.request.pclass), track_, engine_.now(), slice,
+                        "remaining_us", job.remaining, "ready", static_cast<double>(ready_.size()));
+    }
 
     engine_.schedule_after(slice, [this, job = std::move(job)]() mutable {
       ++idle_cpus_;

@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "des/engine.hpp"
+#include "obs/trace.hpp"
 #include "rocc/types.hpp"
 
 namespace paradyn::rocc {
@@ -55,6 +56,13 @@ class CpuResource {
     return ready_.size() + static_cast<std::size_t>(num_cpus_ - idle_cpus_);
   }
 
+  /// Observability: record every scheduled slice as a span (named by
+  /// process class) on `track`.  nullptr disables (the default).
+  void set_tracer(obs::Tracer* tracer, std::int32_t track) noexcept {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
  private:
   struct Job {
     SimTime remaining = 0.0;
@@ -69,6 +77,8 @@ class CpuResource {
   std::int32_t idle_cpus_;
   std::deque<Job> ready_;
   std::array<SimTime, trace::kNumProcessClasses> busy_{};
+  obs::Tracer* tracer_ = nullptr;
+  std::int32_t track_ = 0;
 };
 
 }  // namespace paradyn::rocc

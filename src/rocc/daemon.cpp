@@ -73,6 +73,10 @@ void ParadynDaemon::try_start() {
     Pipe& pipe = *pipes_[next_pipe_];
     next_pipe_ = (next_pipe_ + 1) % pipes_.size();
     if (auto sample = pipe.try_get()) {
+      if (tracer_ != nullptr) {
+        tracer_->instant("pipe", "dequeue", track_, engine_.now(), "depth",
+                         static_cast<double>(pipe.size()));
+      }
       start_collect(*sample);
       return;
     }
@@ -86,9 +90,16 @@ void ParadynDaemon::try_start() {
 
 void ParadynDaemon::start_collect(const Sample& sample) {
   busy_ = true;
+  const SimTime t0 = engine_.now();
   cpu_.submit(CpuRequest{config_.pd.collect_cpu->sample(rng_), ProcessClass::ParadynDaemon,
-                         [this, sample] {
+                         [this, sample, t0] {
                            ++samples_collected_;
+                           if (tracer_ != nullptr) {
+                             tracer_->complete("daemon", "collect", track_, t0,
+                                               engine_.now() - t0);
+                             tracer_->async_instant("sample", "lifecycle", sample.id, track_,
+                                                    engine_.now());
+                           }
                            pending_batch_.push_back(sample);
                            if (static_cast<std::int32_t>(pending_batch_.size()) >=
                                config_.batch_size) {
@@ -122,9 +133,15 @@ void ParadynDaemon::begin_forward_local() {
 
 void ParadynDaemon::start_merge(Batch batch) {
   busy_ = true;
+  const SimTime t0 = engine_.now();
   cpu_.submit(CpuRequest{config_.pd.merge_cpu->sample(rng_), ProcessClass::ParadynDaemon,
-                         [this, batch = std::move(batch)] {
+                         [this, batch = std::move(batch), t0] {
                            ++batches_merged_;
+                           if (tracer_ != nullptr) {
+                             tracer_->complete("daemon", "merge", track_, t0, engine_.now() - t0,
+                                               "samples",
+                                               static_cast<double>(batch.sample_count()));
+                           }
                            // Fold the child's samples into the next local
                            // forwarding unit; keep the earliest forwarding
                            // start so monitoring latency accumulates across
@@ -147,15 +164,22 @@ void ParadynDaemon::start_merge(Batch batch) {
 
 void ParadynDaemon::forward_batch(Batch batch) {
   busy_ = true;
+  const SimTime t0 = engine_.now();
   cpu_.submit(CpuRequest{
-      config_.pd.forward_cpu->sample(rng_), ProcessClass::ParadynDaemon, [this, batch] {
+      config_.pd.forward_cpu->sample(rng_), ProcessClass::ParadynDaemon, [this, batch, t0] {
         // The paper assumes a merged/batched unit occupies the network like
         // a single sample; net_per_extra_sample_us generalizes that.
         const double occupancy =
             config_.pd.net_occupancy->sample(rng_) +
             config_.pd.net_per_extra_sample_us * static_cast<double>(batch.sample_count() - 1);
-        network_.submit(NetRequest{occupancy, ProcessClass::ParadynDaemon, [this, batch] {
+        network_.submit(NetRequest{occupancy, ProcessClass::ParadynDaemon, [this, batch, t0] {
                                      ++batches_forwarded_;
+                                     if (tracer_ != nullptr) {
+                                       // Spans CPU(forward) + blocking send.
+                                       tracer_->complete(
+                                           "daemon", "forward", track_, t0, engine_.now() - t0,
+                                           "samples", static_cast<double>(batch.sample_count()));
+                                     }
                                      deliver(batch);
                                      busy_ = false;
                                      try_start();

@@ -17,6 +17,7 @@
 
 #include "des/engine.hpp"
 #include "des/random.hpp"
+#include "obs/trace.hpp"
 #include "rocc/config.hpp"
 #include "rocc/cpu.hpp"
 #include "rocc/metrics.hpp"
@@ -62,6 +63,13 @@ class ParadynDaemon {
   [[nodiscard]] std::uint64_t batches_forwarded() const noexcept { return batches_forwarded_; }
   [[nodiscard]] std::uint64_t batches_merged() const noexcept { return batches_merged_; }
 
+  /// Observability: collect/merge/forward spans plus pipe-dequeue instants
+  /// on `track`, and per-sample lifecycle progress marks.
+  void set_tracer(obs::Tracer* tracer, std::int32_t track) noexcept {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
  private:
   /// Pick the next piece of work if idle: a due flush of en-route data, a
   /// child batch to merge, else a sample from the pipes (round-robin),
@@ -104,6 +112,9 @@ class ParadynDaemon {
   std::uint64_t samples_collected_ = 0;
   std::uint64_t batches_forwarded_ = 0;
   std::uint64_t batches_merged_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  std::int32_t track_ = 0;
 };
 
 }  // namespace paradyn::rocc

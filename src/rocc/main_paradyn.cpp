@@ -17,6 +17,14 @@ void MainParadyn::receive(const Batch& batch) {
   metrics_.samples_delivered += static_cast<std::uint64_t>(batch.sample_count());
   ++metrics_.batches_delivered;
 
+  if (tracer_ != nullptr) {
+    tracer_->instant("main", "deliver", track_, engine_.now(), "samples",
+                     static_cast<double>(batch.sample_count()), "latency_us", latency);
+    for (const Sample& s : batch.samples) {
+      tracer_->async_end("sample", "lifecycle", s.id, track_, engine_.now());
+    }
+  }
+
   // Hand the metric values to the Data Manager's consumers (e.g. the
   // Performance Consultant's bottleneck search).
   if (sample_sink_) {
@@ -35,10 +43,17 @@ void MainParadyn::consume_next() {
   if (busy_ || pending_ == 0) return;
   busy_ = true;
   --pending_;
-  host_cpu_.submit(CpuRequest{config_.main_cpu->sample(rng_), ProcessClass::MainParadyn, [this] {
-                                busy_ = false;
-                                consume_next();
-                              }});
+  const SimTime t0 = engine_.now();
+  host_cpu_.submit(
+      CpuRequest{config_.main_cpu->sample(rng_), ProcessClass::MainParadyn, [this, t0] {
+                   if (tracer_ != nullptr) {
+                     tracer_->complete("main", "consume", track_, t0, engine_.now() - t0);
+                     tracer_->counter("main.backlog", engine_.now(),
+                                      static_cast<double>(pending_));
+                   }
+                   busy_ = false;
+                   consume_next();
+                 }});
 }
 
 }  // namespace paradyn::rocc

@@ -12,6 +12,7 @@
 
 #include "des/engine.hpp"
 #include "des/random.hpp"
+#include "obs/trace.hpp"
 #include "rocc/config.hpp"
 #include "rocc/cpu.hpp"
 #include "rocc/metrics.hpp"
@@ -41,6 +42,13 @@ class MainParadyn {
   /// Units delivered but not yet consumed by the Data Manager.
   [[nodiscard]] std::size_t backlog() const noexcept { return pending_ + (busy_ ? 1u : 0u); }
 
+  /// Observability: delivery instants, per-sample lifecycle ends, consume
+  /// spans, and a backlog counter series on `track`.
+  void set_tracer(obs::Tracer* tracer, std::int32_t track) noexcept {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
  private:
   void consume_next();
 
@@ -54,6 +62,8 @@ class MainParadyn {
   std::function<void(const Sample&)> sample_sink_;
   std::size_t pending_ = 0;
   bool busy_ = false;
+  obs::Tracer* tracer_ = nullptr;
+  std::int32_t track_ = 0;
 };
 
 }  // namespace paradyn::rocc

@@ -90,6 +90,11 @@ struct SimulationResult {
   std::uint64_t batches_delivered = 0;
   double throughput_samples_per_sec = 0.0;
 
+  // --- Simulator self-observation ---
+  /// Discrete events executed by the engine over the whole run (includes
+  /// warm-up; feeds the sweep progress meter's events/sec rate).
+  std::uint64_t events_processed = 0;
+
   // --- Barrier ---
   std::uint64_t barrier_rounds = 0;
   double barrier_wait_us = 0.0;

@@ -19,6 +19,9 @@ void NetworkResource::submit(NetRequest request) {
   busy_[static_cast<std::size_t>(request.pclass)] += request.duration;
 
   if (contention_ == NetworkContention::ContentionFree) {
+    if (tracer_ != nullptr) {
+      tracer_->complete("net", to_cstr(request.pclass), track_, engine_.now(), request.duration);
+    }
     engine_.schedule_after(request.duration, [cb = std::move(request.on_complete)]() {
       if (cb) cb();
     });
@@ -37,6 +40,10 @@ void NetworkResource::start_next() {
   server_busy_ = true;
   NetRequest req = std::move(queue_.front());
   queue_.pop_front();
+  if (tracer_ != nullptr) {
+    tracer_->complete("net", to_cstr(req.pclass), track_, engine_.now(), req.duration, "queued",
+                      static_cast<double>(queue_.size()));
+  }
   engine_.schedule_after(req.duration, [this, cb = std::move(req.on_complete)]() {
     if (cb) cb();
     start_next();

@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "des/engine.hpp"
+#include "obs/trace.hpp"
 #include "rocc/types.hpp"
 
 namespace paradyn::rocc {
@@ -54,6 +55,14 @@ class NetworkResource {
     return queue_.size() + (server_busy_ ? 1 : 0);
   }
 
+  /// Observability: record every occupancy interval as a span (named by
+  /// process class) on `track`.  Spans start at service start, so queueing
+  /// delay on the shared server is visible as the gap after submit.
+  void set_tracer(obs::Tracer* tracer, std::int32_t track) noexcept {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
  private:
   void start_next();
 
@@ -62,6 +71,8 @@ class NetworkResource {
   bool server_busy_ = false;
   std::deque<NetRequest> queue_;
   std::array<SimTime, trace::kNumProcessClasses> busy_{};
+  obs::Tracer* tracer_ = nullptr;
+  std::int32_t track_ = 0;
 };
 
 }  // namespace paradyn::rocc

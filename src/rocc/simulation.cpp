@@ -1,6 +1,8 @@
 #include "rocc/simulation.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace paradyn::rocc {
 namespace {
@@ -138,6 +140,114 @@ void Simulation::build() {
   }
 }
 
+void Simulation::set_tracer(obs::Tracer* tracer) {
+  // Fixed track ids: 0 = engine, 1 = network, 2 = main, then one per CPU
+  // resource, daemon, and application process.  Labels become Perfetto
+  // thread names via trace metadata.
+  constexpr std::int32_t kNetworkTrack = 1;
+  constexpr std::int32_t kMainTrack = 2;
+
+  engine_.set_tracer(tracer);
+  network_->set_tracer(tracer, kNetworkTrack);
+  if (main_) main_->set_tracer(tracer, kMainTrack);
+
+  std::int32_t next = 3;
+  const std::int32_t first_cpu_track = next;
+  for (auto& cpu : node_cpus_) cpu->set_tracer(tracer, next++);
+  const std::int32_t first_daemon_track = next;
+  for (auto& daemon : daemons_) daemon->set_tracer(tracer, next++);
+  const std::int32_t first_app_track = next;
+  for (auto& app : apps_) app->set_tracer(tracer, next++);
+
+  if (tracer == nullptr) return;
+  tracer->set_track_name(obs::kEngineTrack, "engine");
+  tracer->set_track_name(kNetworkTrack, "network");
+  if (main_) tracer->set_track_name(kMainTrack, "main paradyn");
+  const bool dedicated_main = config_.instrumentation_enabled && config_.main_on_dedicated_host;
+  for (std::size_t n = 0; n < node_cpus_.size(); ++n) {
+    const bool is_main_host = dedicated_main && n + 1 == node_cpus_.size();
+    tracer->set_track_name(first_cpu_track + static_cast<std::int32_t>(n),
+                           is_main_host ? std::string("cpu main-host")
+                                        : "cpu node " + std::to_string(n));
+  }
+  for (std::size_t d = 0; d < daemons_.size(); ++d) {
+    tracer->set_track_name(first_daemon_track + static_cast<std::int32_t>(d),
+                           "daemon " + std::to_string(d) + " (node " +
+                               std::to_string(daemons_[d]->node()) + ")");
+  }
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    tracer->set_track_name(first_app_track + static_cast<std::int32_t>(a),
+                           "app n" + std::to_string(apps_[a]->node()) + "." +
+                               std::to_string(apps_[a]->index()));
+  }
+}
+
+void Simulation::enable_metrics(obs::MetricsRegistry& registry, SimTime tick_us) {
+  if (!(tick_us > 0.0)) {
+    throw std::invalid_argument("Simulation::enable_metrics: tick_us must be > 0");
+  }
+  registry_ = &registry;
+  metrics_tick_us_ = tick_us;
+
+  registry.add_probe("engine.pending_events",
+                     [this] { return static_cast<double>(engine_.pending_events()); });
+  registry.add_probe("engine.events_processed",
+                     [this] { return static_cast<double>(engine_.events_processed()); });
+  registry.add_probe("samples.generated",
+                     [this] { return static_cast<double>(metrics_.samples_generated); });
+  registry.add_probe("samples.delivered",
+                     [this] { return static_cast<double>(metrics_.samples_delivered); });
+  registry.add_probe("batches.delivered",
+                     [this] { return static_cast<double>(metrics_.batches_delivered); });
+
+  // Busy fraction of the whole CPU pool per process class: accumulated busy
+  // time over elapsed capacity.  Warm-up deletion resets the numerator, so
+  // the fraction dips at the warm-up boundary by design.
+  const double total_cpus =
+      static_cast<double>(node_cpus_.size()) * static_cast<double>(config_.cpus_per_node);
+  const auto busy_fraction = [this, total_cpus](ProcessClass c) {
+    const double elapsed = engine_.now();
+    if (elapsed <= 0.0) return 0.0;
+    double busy = 0.0;
+    for (const auto& cpu : node_cpus_) busy += cpu->busy_time(c);
+    return busy / (elapsed * total_cpus);
+  };
+  registry.add_probe("cpu.app_busy_frac",
+                     [busy_fraction] { return busy_fraction(ProcessClass::Application); });
+  registry.add_probe("cpu.pd_busy_frac",
+                     [busy_fraction] { return busy_fraction(ProcessClass::ParadynDaemon); });
+  registry.add_probe("cpu.main_busy_frac",
+                     [busy_fraction] { return busy_fraction(ProcessClass::MainParadyn); });
+  registry.add_probe("cpu.background_busy_frac", [busy_fraction] {
+    return busy_fraction(ProcessClass::PvmDaemon) + busy_fraction(ProcessClass::Other);
+  });
+  registry.add_probe("net.busy_frac", [this] {
+    const double elapsed = engine_.now();
+    return elapsed > 0.0 ? network_->busy_time_total() / elapsed : 0.0;
+  });
+  registry.add_probe("net.backlog",
+                     [this] { return static_cast<double>(network_->backlog()); });
+
+  registry.add_probe("pipe.occupancy_total", [this] {
+    double total = 0.0;
+    for (const auto& pipe : pipes_) total += static_cast<double>(pipe->size());
+    return total;
+  });
+  registry.add_probe("pipe.occupancy_max", [this] {
+    std::size_t max_depth = 0;
+    for (const auto& pipe : pipes_) max_depth = std::max(max_depth, pipe->size());
+    return static_cast<double>(max_depth);
+  });
+  registry.add_probe("main.backlog", [this] {
+    return main_ ? static_cast<double>(main_->backlog()) : 0.0;
+  });
+}
+
+void Simulation::schedule_metrics_tick() {
+  registry_->sample(engine_.now());
+  engine_.schedule_after(metrics_tick_us_, [this] { schedule_metrics_tick(); });
+}
+
 SimulationResult Simulation::run() {
   if (ran_) throw std::logic_error("Simulation::run: already ran");
   ran_ = true;
@@ -146,6 +256,8 @@ SimulationResult Simulation::run() {
   for (auto& daemon : daemons_) daemon->start();
   for (auto& app : apps_) app->start();
   if (controller_) controller_->start();
+  // First probe row at t = 0, then one every tick of simulated time.
+  if (registry_ != nullptr) schedule_metrics_tick();
 
   // Fault injection: schedule the daemon stall window.
   const auto& stall = config_.fault_daemon_stall;
@@ -234,6 +346,7 @@ SimulationResult Simulation::collect() const {
   r.samples_generated = metrics_.samples_generated;
   r.samples_delivered = metrics_.samples_delivered;
   r.batches_delivered = metrics_.batches_delivered;
+  r.events_processed = engine_.events_processed();
   r.throughput_samples_per_sec =
       static_cast<double>(metrics_.samples_delivered) / des::to_seconds(window_us);
 

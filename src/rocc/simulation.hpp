@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "des/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rocc/app_process.hpp"
 #include "rocc/background.hpp"
 #include "rocc/barrier.hpp"
@@ -54,13 +56,29 @@ class Simulation {
   /// instrumentation is disabled).  Call before run().
   [[nodiscard]] MainParadyn* main_process() noexcept { return main_.get(); }
 
+  /// Attach a trace recorder handle: engine spans, CPU/network occupancy
+  /// intervals, daemon/main activity, and sample lifecycles all record into
+  /// it on fixed tracks (0 = engine, 1 = network, 2 = main, then CPUs,
+  /// daemons, application processes — labeled via track metadata).  Call
+  /// before run(); pass nullptr to detach.  The Tracer must outlive run().
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Register the standard probes (event-queue depth, pipe occupancy,
+  /// per-class CPU busy fraction, main backlog, sample counters) on
+  /// `registry` and sample them every `tick_us` of simulated time during
+  /// run().  Call before run(); the registry must outlive it.
+  void enable_metrics(obs::MetricsRegistry& registry, SimTime tick_us);
+
  private:
   void build();
+  void schedule_metrics_tick();
   [[nodiscard]] SimulationResult collect() const;
 
   SystemConfig config_;
   des::Engine engine_;
   MetricsCollector metrics_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  SimTime metrics_tick_us_ = 0.0;
 
   std::vector<std::unique_ptr<CpuResource>> node_cpus_;
   std::unique_ptr<NetworkResource> network_;

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "experiments/runner.hpp"
 
@@ -117,6 +120,29 @@ TEST(ParallelRunner, ReportAccumulation) {
   (void)runner.replications(tiny_config(), 2);
   total += runner.report();
   EXPECT_EQ(total.runs, 4u);
+}
+
+TEST(ParallelRunner, RunHookSeesEveryRunAndEventsAreAccounted) {
+  ParallelRunner runner(2);
+  std::mutex mutex;
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  runner.set_run_hook([&](rocc::Simulation& /*sim*/, std::size_t cell, std::size_t rep) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.emplace(cell, rep);
+  });
+  const auto results = runner.replications(tiny_config(), 3);
+  const std::set<std::pair<std::size_t, std::size_t>> want{{0, 0}, {0, 1}, {0, 2}};
+  EXPECT_EQ(seen, want);
+
+  std::uint64_t events = 0;
+  for (const auto& r : results) events += r.events_processed;
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(runner.report().events, events);
+
+  // Hooks must not perturb the simulated results.
+  runner.set_run_hook({});
+  const auto plain = runner.replications(tiny_config(), 3);
+  for (std::size_t i = 0; i < plain.size(); ++i) expect_identical(results[i], plain[i]);
 }
 
 TEST(DefaultJobs, OverrideAndRestore) {

@@ -1,0 +1,105 @@
+#include "experiments/report_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "experiments/runner.hpp"
+#include "rocc/config.hpp"
+
+namespace paradyn::experiments {
+namespace {
+
+/// Minimal structural JSON check: balanced braces/brackets outside strings,
+/// no bare NaN/Infinity tokens (which most parsers reject).
+void expect_well_formed_json(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+}
+
+rocc::SimulationResult tiny_result() {
+  auto cfg = rocc::SystemConfig::now(2);
+  cfg.duration_us = 0.2e6;
+  cfg.sampling_period_us = 20'000.0;
+  const ReplicationSet rs(cfg, 1, /*jobs=*/1);
+  return rs.results().front();
+}
+
+TEST(ReportJson, ResultSerializesKeyMetrics) {
+  const auto r = tiny_result();
+  std::ostringstream os;
+  write_result_json(os, r);
+  const std::string json = os.str();
+  expect_well_formed_json(json);
+  for (const char* key :
+       {"\"duration_us\"", "\"samples_generated\"", "\"samples_delivered\"",
+        "\"pd_cpu_util_pct\"", "\"latency_us\"", "\"events_processed\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Numbers must round-trip: the serialized samples count equals the run's.
+  const std::string want =
+      "\"samples_generated\": " + std::to_string(r.samples_generated);
+  EXPECT_NE(json.find(want), std::string::npos);
+}
+
+TEST(ReportJson, FullDocumentWithAndWithoutRunnerReport) {
+  auto cfg = rocc::SystemConfig::now(2);
+  cfg.duration_us = 0.2e6;
+  cfg.sampling_period_us = 20'000.0;
+  const ReplicationSet rs(cfg, 2, /*jobs=*/1);
+
+  obs::ReproStamp stamp;
+  stamp.tool = "test";
+  stamp.seed = cfg.seed;
+  stamp.has_seed = true;
+
+  std::ostringstream with;
+  write_report_json(with, stamp, rs.results(), &rs.report());
+  expect_well_formed_json(with.str());
+  EXPECT_NE(with.str().find("\"stamp\""), std::string::npos);
+  EXPECT_NE(with.str().find("\"results\""), std::string::npos);
+  EXPECT_NE(with.str().find("\"parallel\""), std::string::npos);
+  EXPECT_NE(with.str().find("\"tool\": \"test\""), std::string::npos);
+
+  std::ostringstream without;
+  write_report_json(without, stamp, rs.results(), nullptr);
+  expect_well_formed_json(without.str());
+  EXPECT_EQ(without.str().find("\"parallel\""), std::string::npos);
+}
+
+TEST(ReportJson, NonFiniteValuesBecomeNull) {
+  auto r = tiny_result();
+  r.pd_cpu_util_pct = std::nan("");
+  r.main_cpu_util_pct = INFINITY;
+  std::ostringstream os;
+  write_result_json(os, r);
+  expect_well_formed_json(os.str());
+  EXPECT_NE(os.str().find("\"pd_cpu_util_pct\": null"), std::string::npos);
+  EXPECT_NE(os.str().find("\"main_cpu_util_pct\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paradyn::experiments

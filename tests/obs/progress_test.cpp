@@ -1,0 +1,91 @@
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/repro.hpp"
+
+namespace paradyn::obs {
+namespace {
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t n = 0;
+  for (const char c : s) n += c == '\n';
+  return n;
+}
+
+TEST(ProgressMeter, PrintsExactlyOneFinalLine) {
+  std::ostringstream os;
+  // Huge interval: intermediate completions are throttled away; only the
+  // final completion prints, and finish() must not duplicate it.
+  ProgressMeter meter(os, "sweep", 3, /*min_interval_sec=*/3600.0);
+  meter.run_completed(100);
+  meter.run_completed(100);
+  meter.run_completed(100);
+  meter.finish();
+  meter.finish();  // idempotent
+  EXPECT_EQ(count_lines(os.str()), 1u);
+  EXPECT_NE(os.str().find("[sweep] 3/3 runs (100%)"), std::string::npos);
+  EXPECT_EQ(meter.completed(), 3u);
+  EXPECT_EQ(meter.events(), 300u);
+}
+
+TEST(ProgressMeter, UnthrottledHeartbeatShowsEta) {
+  std::ostringstream os;
+  ProgressMeter meter(os, "run", 4, /*min_interval_sec=*/0.0);
+  meter.run_completed(10);
+  EXPECT_NE(os.str().find("1/4 runs (25%)"), std::string::npos);
+  EXPECT_NE(os.str().find("eta"), std::string::npos);
+  meter.run_completed(10);
+  meter.run_completed(10);
+  meter.run_completed(10);
+  meter.finish();
+  EXPECT_EQ(count_lines(os.str()), 4u);
+  EXPECT_NE(os.str().find("4/4 runs (100%)"), std::string::npos);
+}
+
+TEST(ProgressMeter, FinishWithoutCompletionsStillReports) {
+  std::ostringstream os;
+  {
+    ProgressMeter meter(os, "empty", 0);
+    meter.finish();
+  }
+  EXPECT_NE(os.str().find("[empty] 0/0 runs (100%)"), std::string::npos);
+}
+
+TEST(ReproStamp, WritesPrefixedKeyValueLines) {
+  ReproStamp stamp;
+  stamp.tool = "roccsim";
+  stamp.config = "NOW nodes=4";
+  stamp.seed = 7;
+  stamp.has_seed = true;
+  stamp.jobs = 2;
+  stamp.extra = "axis=batch";
+
+  std::ostringstream os;
+  stamp.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# tool: roccsim"), std::string::npos);
+  EXPECT_NE(out.find("# config: NOW nodes=4"), std::string::npos);
+  EXPECT_NE(out.find("# seed: 7"), std::string::npos);
+  EXPECT_NE(out.find("# jobs: 2"), std::string::npos);
+  EXPECT_NE(out.find("axis=batch"), std::string::npos);
+  EXPECT_NE(out.find("# git: "), std::string::npos);
+  // Every line carries the prefix so CSV consumers skip the whole stamp.
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("# ", 0), 0u) << line;
+  }
+}
+
+TEST(ReproStamp, GitDescribeIsStableAndNonEmpty) {
+  const std::string& rev = git_describe();
+  EXPECT_FALSE(rev.empty());
+  EXPECT_EQ(&rev, &git_describe());  // cached
+}
+
+}  // namespace
+}  // namespace paradyn::obs

@@ -52,6 +52,45 @@ TEST(CliArgs, RejectsUnknownFlagAndPositionals) {
   EXPECT_THROW(parse({"stray"}), std::invalid_argument);
 }
 
+TEST(CliArgs, SuggestsCloseFlagOnTypo) {
+  // "--alpa" is one edit from "--alpha"; a mistyped flag must fail loudly
+  // with a hint, never silently change the run.
+  try {
+    parse({"--alpa", "1"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown flag: --alpa"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean --alpha?"), std::string::npos) << what;
+  }
+}
+
+TEST(CliArgs, NoSuggestionWhenNothingIsClose) {
+  try {
+    parse({"--zzqqxx"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, PositionalsAcceptedUpToLimit) {
+  // (= form: a bare "--flag out.json" would consume the file as its value)
+  std::vector<const char*> argv{"prog", "in.json", "--flag=true", "out.json"};
+  const CliArgs args(static_cast<int>(argv.size()), argv.data(), {"flag"},
+                     /*max_positionals=*/2);
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "in.json");
+  EXPECT_EQ(args.positionals()[1], "out.json");
+  EXPECT_TRUE(args.get_bool("flag"));
+}
+
+TEST(CliArgs, PositionalBeyondLimitRejected) {
+  std::vector<const char*> argv{"prog", "a", "b"};
+  EXPECT_THROW(CliArgs(static_cast<int>(argv.size()), argv.data(), {}, /*max_positionals=*/1),
+               std::invalid_argument);
+}
+
 TEST(CliArgs, RejectsMalformedNumbers) {
   const auto args = parse({"--alpha", "12abc"});
   EXPECT_THROW((void)args.get_long("alpha", 0), std::invalid_argument);

@@ -1,13 +1,52 @@
 #include "cli_args.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace paradyn::tools {
+namespace {
 
-CliArgs::CliArgs(int argc, const char* const argv[], std::set<std::string> known_flags) {
+/// Levenshtein distance, small-string edition (flag names are short).
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// Closest known flag within an edit distance of 2, or empty.
+std::string suggestion(const std::string& arg, const std::set<std::string>& known) {
+  std::string best;
+  std::size_t best_dist = 3;  // only suggest close matches
+  for (const std::string& k : known) {
+    const std::size_t d = edit_distance(arg, k);
+    if (d < best_dist) {
+      best_dist = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const argv[], std::set<std::string> known_flags,
+                 std::size_t max_positionals) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
+      if (positionals_.size() < max_positionals) {
+        positionals_.push_back(std::move(arg));
+        continue;
+      }
       throw std::invalid_argument("unexpected positional argument: " + arg);
     }
     arg = arg.substr(2);
@@ -20,7 +59,11 @@ CliArgs::CliArgs(int argc, const char* const argv[], std::set<std::string> known
       value = argv[++i];
     }
     if (known_flags.count(arg) == 0) {
-      throw std::invalid_argument("unknown flag: --" + arg);
+      std::string message = "unknown flag: --" + arg;
+      const std::string close = suggestion(arg, known_flags);
+      if (!close.empty()) message += " (did you mean --" + close + "?)";
+      message += "; see --help";
+      throw std::invalid_argument(message);
     }
     values_[arg] = value;
   }

@@ -1,7 +1,10 @@
 // Minimal command-line flag parser shared by the CLI tools.
 //
 // Supports --name value and --name=value forms, plus boolean switches.
-// Unknown flags are an error; every tool prints its own --help.
+// Unknown flags are an error with a "did you mean --X?" suggestion when a
+// known flag is close — a mistyped --trce must fail loudly, not silently
+// run untraced.  Positional arguments are rejected unless the tool opts in
+// via `max_positionals`; every tool prints its own --help.
 #pragma once
 
 #include <map>
@@ -16,10 +19,17 @@ namespace paradyn::tools {
 class CliArgs {
  public:
   /// Parse argv.  `known_flags` lists the accepted --names (without the
-  /// leading dashes); anything else throws std::invalid_argument.
-  CliArgs(int argc, const char* const argv[], std::set<std::string> known_flags);
+  /// leading dashes); anything else throws std::invalid_argument.  Up to
+  /// `max_positionals` non-flag arguments are collected into positionals()
+  /// (0, the default, rejects them).
+  CliArgs(int argc, const char* const argv[], std::set<std::string> known_flags,
+          std::size_t max_positionals = 0);
 
   [[nodiscard]] bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
 
   [[nodiscard]] std::string get_string(const std::string& name,
                                        const std::string& fallback) const;
@@ -29,6 +39,7 @@ class CliArgs {
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
 };
 
 }  // namespace paradyn::tools

@@ -8,12 +8,22 @@
 // confidence intervals over seed-varied replications.
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "cli_args.hpp"
+#include "experiments/report_json.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/repro.hpp"
+#include "obs/trace.hpp"
 #include "rocc/config.hpp"
+#include "rocc/simulation.hpp"
 
 namespace {
 
@@ -40,7 +50,26 @@ void print_help() {
       "                          hardware threads, 1 = serial (results identical)\n"
       "  --uninstrumented        disable the IS (baseline run)\n"
       "  --dedicated-main        host main Paradyn on its own workstation\n"
+      "\n"
+      "observability:\n"
+      "  --trace FILE            record a Chrome trace (open in Perfetto /\n"
+      "                          chrome://tracing); with --reps, one process per rep\n"
+      "  --trace-events N        per-run trace ring capacity in events; default 262144\n"
+      "                          (oldest events drop once exceeded)\n"
+      "  --metrics FILE          probe time-series CSV (queue depths, busy fractions);\n"
+      "                          with --reps, probes attach to the first rep only\n"
+      "  --metrics-tick-ms X     probe period in simulated ms; default 100\n"
+      "  --progress              heartbeat lines on stderr as replications finish\n"
+      "  --report-json FILE      full SimulationResult of every run as JSON\n"
       "  --help                  this text\n");
+}
+
+/// Open an output file or die with a clear message (a silently unwritable
+/// --trace must not discard the run).
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  return os;
 }
 
 }  // namespace
@@ -52,7 +81,8 @@ int main(int argc, char** argv) {
         argc, argv,
         {"arch", "nodes", "apps", "daemons", "sampling-ms", "batch", "topology", "barrier-ms",
          "pipe", "seconds", "warmup", "seed", "reps", "jobs", "uninstrumented", "dedicated-main",
-         "adaptive-budget", "help"});
+         "adaptive-budget", "trace", "trace-events", "metrics", "metrics-tick-ms", "progress",
+         "report-json", "help"});
     if (args.get_bool("help")) {
       print_help();
       return 0;
@@ -92,13 +122,48 @@ int main(int argc, char** argv) {
 
     const auto reps = static_cast<std::size_t>(args.get_long("reps", 1));
     const auto jobs = static_cast<std::size_t>(args.get_long("jobs", 0));  // 0 = all hw threads
+
+    const std::string trace_file = args.get_string("trace", "");
+    const auto trace_events =
+        static_cast<std::size_t>(args.get_long("trace-events", 1L << 18));
+    const std::string metrics_file = args.get_string("metrics", "");
+    const double metrics_tick_us = args.get_double("metrics-tick-ms", 100.0) * 1'000.0;
+    const std::string report_file = args.get_string("report-json", "");
+    if (args.get_bool("progress")) experiments::set_progress_stream(&std::cerr);
+
+    obs::ReproStamp stamp;
+    stamp.tool = "roccsim";
+    stamp.config = cfg.summary();
+    stamp.seed = cfg.seed;
+    stamp.has_seed = true;
+    stamp.jobs = reps >= 2 ? (jobs == 0 ? experiments::default_jobs() : jobs) : 1;
+    std::ostringstream stamp_text;
+    stamp.write(stamp_text);
+    std::fputs(stamp_text.str().c_str(), stdout);
+
     std::printf("roccsim: %s, %d node(s), SP=%.1f ms, %s(batch %d), %.1f s simulated, %zu rep(s)\n\n",
                 rocc::to_string(cfg.arch), cfg.nodes, cfg.sampling_period_us / 1e3,
                 rocc::to_string(cfg.policy()), cfg.batch_size, cfg.duration_us / 1e6, reps);
 
+    std::optional<obs::TraceRecorder> recorder;
+    if (!trace_file.empty()) recorder.emplace(trace_events);
+    obs::MetricsRegistry registry;
+
     // One replication set reused across metrics when reps >= 2.
     if (reps >= 2) {
-      const experiments::ReplicationSet rs(cfg, reps, jobs);
+      // The hook runs on worker threads: each rep writes its own tracer
+      // slot, and only rep 0 (seed == base seed) carries the metrics probes
+      // — a registry belongs to a single simulation.
+      std::vector<obs::Tracer> tracers(reps);
+      const experiments::RunHook hook = [&](rocc::Simulation& sim, std::size_t /*cell*/,
+                                            std::size_t rep) {
+        if (recorder) {
+          tracers[rep] = recorder->create_tracer("rep " + std::to_string(rep));
+          sim.set_tracer(&tracers[rep]);
+        }
+        if (!metrics_file.empty() && rep == 0) sim.enable_metrics(registry, metrics_tick_us);
+      };
+      const experiments::ReplicationSet rs(cfg, reps, jobs, hook);
       const auto row = [&](const char* label, const experiments::MetricFn& fn, int digits) {
         const auto ci = rs.metric(fn);
         std::printf("  %-36s %s\n", label,
@@ -114,8 +179,19 @@ int main(int argc, char** argv) {
       row("monitoring latency/sample (ms)", experiments::latency_ms, 3);
       row("throughput (samples/s)", experiments::throughput, 1);
       rs.report().print(std::cerr, "roccsim");
+      if (!report_file.empty()) {
+        auto os = open_or_throw(report_file);
+        experiments::write_report_json(os, stamp, rs.results(), &rs.report());
+      }
     } else {
-      const auto r = rocc::run_simulation(cfg);
+      rocc::Simulation sim(cfg);
+      obs::Tracer tracer;
+      if (recorder) {
+        tracer = recorder->create_tracer();
+        sim.set_tracer(&tracer);
+      }
+      if (!metrics_file.empty()) sim.enable_metrics(registry, metrics_tick_us);
+      const auto r = sim.run();
       std::printf("  %-36s %.4f\n", "Pd CPU time/node (s)", r.pd_cpu_time_sec());
       std::printf("  %-36s %.3f\n", "Pd CPU utilization/node (%)", r.pd_cpu_util_pct);
       std::printf("  %-36s %.3f\n", "main Paradyn CPU utilization (%)", r.main_cpu_util_pct);
@@ -129,6 +205,25 @@ int main(int argc, char** argv) {
         std::printf("  %-36s %.2f\n", "final sampling period (ms)",
                     r.final_sampling_period_us / 1e3);
       }
+      if (!report_file.empty()) {
+        auto os = open_or_throw(report_file);
+        experiments::write_report_json(os, stamp, {r}, nullptr);
+      }
+    }
+
+    if (recorder) {
+      auto os = open_or_throw(trace_file);
+      recorder->write_chrome_json(os);
+      std::fprintf(stderr, "roccsim: wrote %llu trace event(s) to %s (%llu dropped)\n",
+                   static_cast<unsigned long long>(recorder->recorded() - recorder->dropped()),
+                   trace_file.c_str(), static_cast<unsigned long long>(recorder->dropped()));
+    }
+    if (!metrics_file.empty()) {
+      auto os = open_or_throw(metrics_file);
+      stamp.write(os);
+      registry.write_csv(os);
+      std::fprintf(stderr, "roccsim: wrote %zu metrics row(s) to %s\n", registry.rows(),
+                   metrics_file.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

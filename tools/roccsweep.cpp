@@ -8,12 +8,15 @@
 // throughput (means over --reps seed-varied replications).
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "cli_args.hpp"
+#include "experiments/report_json.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
+#include "obs/repro.hpp"
 #include "rocc/config.hpp"
 
 namespace {
@@ -31,6 +34,8 @@ void print_help() {
       "  --batch N --topology direct|tree --seconds X --reps N --seed N\n"
       "  --jobs N           worker threads per replication set; default: all\n"
       "                     hardware threads, 1 = serial (results identical)\n"
+      "  --progress         heartbeat lines on stderr as runs finish\n"
+      "  --report-json FILE full SimulationResult of every run as JSON\n"
       "  --help             this text\n");
 }
 
@@ -79,7 +84,7 @@ int main(int argc, char** argv) {
     const tools::CliArgs args(
         argc, argv,
         {"axis", "values", "arch", "nodes", "apps", "daemons", "sampling-ms", "batch",
-         "topology", "seconds", "reps", "seed", "jobs", "help"});
+         "topology", "seconds", "reps", "seed", "jobs", "progress", "report-json", "help"});
     if (args.get_bool("help") || !args.has("axis") || !args.has("values")) {
       print_help();
       return args.get_bool("help") ? 0 : 1;
@@ -111,7 +116,23 @@ int main(int argc, char** argv) {
     base.duration_us = args.get_double("seconds", 5.0) * 1e6;
     base.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
 
+    if (args.get_bool("progress")) experiments::set_progress_stream(&std::cerr);
+    const std::string report_file = args.get_string("report-json", "");
+
+    obs::ReproStamp stamp;
+    stamp.tool = "roccsweep";
+    stamp.config = base.summary();
+    stamp.seed = base.seed;
+    stamp.has_seed = true;
+    stamp.jobs = jobs == 0 ? experiments::default_jobs() : jobs;
+    stamp.extra = "axis=" + axis + " values=" + args.get_string("values", "") +
+                  " reps=" + std::to_string(reps);
+    // '#'-prefixed header on the CSV itself: plotting scripts skip it,
+    // humans can always trace the file back to the run that made it.
+    stamp.write(std::cout);
+
     std::vector<std::vector<double>> series(5);
+    std::vector<rocc::SimulationResult> all_results;
     experiments::RunReport sweep_report;
     for (const double v : values) {
       rocc::SystemConfig cfg = base;
@@ -119,6 +140,9 @@ int main(int argc, char** argv) {
       cfg.validate();
       const experiments::ReplicationSet rs(cfg, reps, jobs);
       sweep_report += rs.report();
+      if (!report_file.empty()) {
+        all_results.insert(all_results.end(), rs.results().begin(), rs.results().end());
+      }
       series[0].push_back(rs.mean([](const rocc::SimulationResult& r) { return r.pd_cpu_util_pct; }));
       series[1].push_back(
           rs.mean([](const rocc::SimulationResult& r) { return r.main_cpu_util_pct; }));
@@ -133,6 +157,11 @@ int main(int argc, char** argv) {
         {"pd_util_pct", "main_util_pct", "app_util_pct", "latency_ms", "throughput_per_s"},
         series);
     sweep_report.print(std::cerr, "roccsweep");
+    if (!report_file.empty()) {
+      std::ofstream os(report_file);
+      if (!os) throw std::runtime_error("cannot open for writing: " + report_file);
+      experiments::write_report_json(os, stamp, all_results, &sweep_report);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "roccsweep: %s\n(try --help)\n", e.what());

@@ -1,0 +1,59 @@
+// rocctrace — summarize a Chrome trace recorded by roccsim --trace.
+//
+//   roccsim --arch now --nodes 8 --trace out.json
+//   rocctrace out.json
+//   rocctrace out.json --top 10
+//
+// Prints the top event types by total time and count, and the latency
+// percentiles of every async chain (e.g. the sample generation-to-delivery
+// lifecycle).  Accepts any conforming trace-event JSON file, not only ours.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+
+#include "cli_args.hpp"
+#include "obs/trace_read.hpp"
+
+namespace {
+
+void print_help() {
+  std::puts(
+      "rocctrace — summarize a Chrome trace-event JSON file\n"
+      "\n"
+      "  rocctrace FILE [--top N]\n"
+      "\n"
+      "  FILE      trace produced by roccsim/roccsweep --trace (or any\n"
+      "            chrome://tracing-compatible JSON)\n"
+      "  --top N   event types to list; default 20\n"
+      "  --help    this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace paradyn;
+  try {
+    const tools::CliArgs args(argc, argv, {"top", "help"}, /*max_positionals=*/1);
+    if (args.get_bool("help") || args.positionals().empty()) {
+      print_help();
+      return args.get_bool("help") ? 0 : 1;
+    }
+
+    const std::string& path = args.positionals().front();
+    std::ifstream is(path);
+    if (!is) {
+      std::fprintf(stderr, "rocctrace: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    const auto trace = obs::read_chrome_trace(is);
+    const auto summary = obs::summarize_trace(trace);
+    std::cout << path << ":\n";
+    obs::print_trace_summary(std::cout, summary,
+                             static_cast<std::size_t>(args.get_long("top", 20)));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rocctrace: %s\n(try --help)\n", e.what());
+    return 1;
+  }
+}
