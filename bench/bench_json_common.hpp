@@ -1,0 +1,55 @@
+// Shared --bench-json handling for the bench/experiment binaries.
+//
+// A harness invoked with --bench-json=PATH appends machine-measured
+// metrics (wall seconds, throughputs) to its normal output contract: it
+// still prints its table/figure, and additionally writes a flat JSON
+// object consumed by tools/bench_compare in the CI bench-smoke job.
+#pragma once
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace paradyn::bench {
+
+/// The PATH of a --bench-json=PATH argument, or empty if absent.
+inline std::string bench_json_path(int argc, char** argv) {
+  constexpr const char* kFlag = "--bench-json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      return std::string(argv[i] + std::strlen(kFlag));
+    }
+  }
+  return {};
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_;
+    return elapsed.count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Write `{"key": value, ...}` to `path` (one flat JSON object).
+inline void write_bench_json(const std::string& path,
+                             const std::vector<std::pair<std::string, double>>& metrics) {
+  std::ofstream out(path);
+  out << "{\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out << "  \"" << metrics[i].first << "\": " << metrics[i].second
+        << (i + 1 < metrics.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+  std::cerr << "bench-json: wrote " << metrics.size() << " metric(s) to " << path << "\n";
+}
+
+}  // namespace paradyn::bench

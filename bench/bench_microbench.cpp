@@ -1,9 +1,26 @@
 // Micro-benchmarks of the simulation engine and statistics substrate
 // (google-benchmark).  These guard the performance envelope that makes the
 // paper-scale experiments (256-node MPP, 2^4 r factorials) cheap to run.
+//
+// Queue benchmarks run the same workload against both the calendar
+// EventQueue (the production implementation) and the reference binary
+// HeapEventQueue, so a single run shows the speedup the calendar design
+// buys.  `--bench-json=PATH` switches to a deterministic fixed-workload
+// mode that writes machine-comparable metrics (see emit_bench_json below)
+// for the CI regression gate in tools/bench_compare.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "des/engine.hpp"
+#include "des/event_queue.hpp"
+#include "des/heap_event_queue.hpp"
 #include "des/random.hpp"
 #include "rocc/simulation.hpp"
 #include "stats/distributions.hpp"
@@ -13,15 +30,138 @@ namespace {
 
 using namespace paradyn;
 
+// --- Queue drivers ---------------------------------------------------------
+// Uniform interface over the two implementations so every queue benchmark
+// runs the identical operation script against both.
+
+struct CalendarDriver {
+  static constexpr const char* kName = "calendar";
+  des::EventQueue q;
+  using Handle = des::EventHandle;
+  Handle push(des::SimTime t) { return q.push(t, [] {}); }
+  bool pop_fire() {
+    auto fired = q.pop();
+    if (!fired) return false;
+    q.fire(*fired);
+    return true;
+  }
+  void cancel(Handle& h) { q.cancel(h); }
+};
+
+struct HeapDriver {
+  static constexpr const char* kName = "heap";
+  des::HeapEventQueue q;
+  using Handle = des::HeapEventHandle;
+  Handle push(des::SimTime t) { return q.push(t, [] {}); }
+  bool pop_fire() {
+    auto fired = q.pop();
+    if (!fired) return false;
+    fired->callback();
+    return true;
+  }
+  void cancel(Handle& h) { q.cancel(h); }
+};
+
+// --- Deterministic workloads (shared by gbench and --bench-json) -----------
+
+/// Classical hold model: a queue held at steady-state size `n`; each hold
+/// pops the minimum and schedules a replacement a random increment later.
+/// This is the DES steady-state access pattern.  Returns operations done.
+template <typename Driver>
+std::size_t workload_hold(std::size_t n, std::size_t holds) {
+  Driver d;
+  des::RngStream rng(1, 101);
+  for (std::size_t i = 0; i < n; ++i) (void)d.push(rng.next_double() * static_cast<double>(n));
+  des::SimTime t = 0.0;
+  for (std::size_t i = 0; i < holds; ++i) {
+    d.pop_fire();
+    t += 1.0;
+    (void)d.push(t + rng.next_double() * static_cast<double>(n));
+  }
+  while (d.pop_fire()) {
+  }
+  return 2 * holds + 2 * n;
+}
+
+/// Bulk load a uniform horizon, then drain — the transient pattern at
+/// simulation start and around barrier releases.
+template <typename Driver>
+std::size_t workload_bulk(std::size_t n) {
+  Driver d;
+  des::RngStream rng(2, 202);
+  for (std::size_t i = 0; i < n; ++i) (void)d.push(rng.next_double() * 1e6);
+  while (d.pop_fire()) {
+  }
+  return 2 * n;
+}
+
+/// Cancel-heavy churn: the daemon flush-timer pattern where many scheduled
+/// events are cancelled and rescheduled before they fire.
+template <typename Driver>
+std::size_t workload_cancel(std::size_t n) {
+  Driver d;
+  des::RngStream rng(3, 303);
+  std::vector<typename Driver::Handle> handles;
+  handles.reserve(n);
+  des::SimTime t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    handles.push_back(d.push(t + 10.0 + rng.next_double() * 90.0));
+    if (i % 2 == 1) d.cancel(handles[i - 1]);
+    if (i % 4 == 3) {
+      d.pop_fire();
+      t += 1.0;
+    }
+  }
+  while (d.pop_fire()) {
+  }
+  return 2 * n;
+}
+
+// --- google-benchmark wrappers ---------------------------------------------
+
+template <typename Driver>
+void BM_QueueHold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload_hold<Driver>(n, 4 * n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * 4 * n + 2 * n));
+  state.SetLabel(Driver::kName);
+}
+BENCHMARK_TEMPLATE(BM_QueueHold, CalendarDriver)->Arg(1'024)->Arg(65'536);
+BENCHMARK_TEMPLATE(BM_QueueHold, HeapDriver)->Arg(1'024)->Arg(65'536);
+
+template <typename Driver>
+void BM_QueueBulkDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload_bulk<Driver>(n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+  state.SetLabel(Driver::kName);
+}
+BENCHMARK_TEMPLATE(BM_QueueBulkDrain, CalendarDriver)->Arg(1'000)->Arg(100'000);
+BENCHMARK_TEMPLATE(BM_QueueBulkDrain, HeapDriver)->Arg(1'000)->Arg(100'000);
+
+template <typename Driver>
+void BM_QueueCancelChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload_cancel<Driver>(n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+  state.SetLabel(Driver::kName);
+}
+BENCHMARK_TEMPLATE(BM_QueueCancelChurn, CalendarDriver)->Arg(100'000);
+BENCHMARK_TEMPLATE(BM_QueueCancelChurn, HeapDriver)->Arg(100'000);
+
 void BM_EventQueuePushPop(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  des::RngStream rng(1, 1);
   for (auto _ : state) {
-    des::EventQueue q;
-    for (std::size_t i = 0; i < n; ++i) {
-      (void)q.push(rng.next_double(), [] {});
-    }
-    while (auto e = q.pop()) benchmark::DoNotOptimize(e->time);
+    benchmark::DoNotOptimize(workload_bulk<CalendarDriver>(n));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
@@ -113,6 +253,82 @@ void BM_MppTreeSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_MppTreeSimulation);
 
+// --- --bench-json fixed-workload mode --------------------------------------
+
+/// Median ops/second (millions) over `reps` timed runs of `fn`.
+template <typename Fn>
+double median_mops(int reps, Fn&& fn) {
+  std::vector<double> mops;
+  mops.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t ops = fn();
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    mops.push_back(static_cast<double>(ops) / elapsed.count() / 1e6);
+  }
+  std::sort(mops.begin(), mops.end());
+  return mops[mops.size() / 2];
+}
+
+struct Metric {
+  std::string key;
+  double value;
+};
+
+void write_json(const std::string& path, const std::vector<Metric>& metrics) {
+  std::ofstream out(path);
+  out << "{\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out << "  \"" << metrics[i].key << "\": " << metrics[i].value
+        << (i + 1 < metrics.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+  std::cout << "wrote " << metrics.size() << " metrics to " << path << "\n";
+}
+
+/// Deterministic medians for the CI gate.  Absolute `*_meps` numbers are
+/// machine-dependent and informational; the `speedup_*` ratios
+/// (calendar/heap on the same machine in the same run) are what
+/// tools/bench_compare gates, so the baseline transfers across runners.
+int emit_bench_json(const std::string& path) {
+  constexpr int kReps = 5;
+  std::vector<Metric> metrics;
+  const auto record = [&metrics](const std::string& name, double calendar, double heap) {
+    metrics.push_back({"calendar_" + name + "_meps", calendar});
+    metrics.push_back({"heap_" + name + "_meps", heap});
+    metrics.push_back({"speedup_" + name, calendar / heap});
+    std::cout << name << ": calendar " << calendar << " Mops/s, heap " << heap
+              << " Mops/s, speedup " << calendar / heap << "\n";
+  };
+
+  record("hold_1k",
+         median_mops(kReps, [] { return workload_hold<CalendarDriver>(1'024, 1 << 20); }),
+         median_mops(kReps, [] { return workload_hold<HeapDriver>(1'024, 1 << 20); }));
+  record("hold_64k",
+         median_mops(kReps, [] { return workload_hold<CalendarDriver>(65'536, 1 << 20); }),
+         median_mops(kReps, [] { return workload_hold<HeapDriver>(65'536, 1 << 20); }));
+  record("bulk_100k", median_mops(kReps, [] { return workload_bulk<CalendarDriver>(100'000); }),
+         median_mops(kReps, [] { return workload_bulk<HeapDriver>(100'000); }));
+  record("cancel_100k",
+         median_mops(kReps, [] { return workload_cancel<CalendarDriver>(100'000); }),
+         median_mops(kReps, [] { return workload_cancel<HeapDriver>(100'000); }));
+
+  write_json(path, metrics);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--bench-json=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      return emit_bench_json(argv[i] + std::strlen(kFlag));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

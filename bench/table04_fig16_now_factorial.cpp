@@ -9,12 +9,15 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_json_common.hpp"
 #include "factorial_common.hpp"
 #include "rocc/config.hpp"
 #include "repro_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace paradyn;
+  const std::string json_path = bench::bench_json_path(argc, argv);
+  const bench::WallTimer wall;
   bench::init_jobs(argc, argv);
   paradyn::bench::print_stamp("table04_fig16_now_factorial");
   using experiments::Factor;
@@ -58,5 +61,11 @@ int main(int argc, char** argv) {
             << experiments::fmt(100.0 * pd.effect("B").variation_fraction, 0)
             << "% and C " << experiments::fmt(100.0 * pd.effect("C").variation_fraction, 0)
             << "%.\n";
+
+  if (!json_path.empty()) {
+    // Wall seconds are machine-dependent: tools/bench_compare treats
+    // `*_seconds` keys as a coarse collapse guard, not a tight gate.
+    bench::write_bench_json(json_path, {{"table04_wall_seconds", wall.seconds()}});
+  }
   return 0;
 }

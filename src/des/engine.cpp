@@ -12,7 +12,7 @@ std::uint64_t Engine::run() {
     if (!fired) break;
     now_ = fired->time;
     if (tracer_ != nullptr) trace_event_executed();
-    fired->callback();
+    queue_.fire(*fired);
     ++executed;
     ++processed_;
   }
@@ -29,7 +29,7 @@ std::uint64_t Engine::run_until(SimTime t_end) {
     auto fired = queue_.pop();
     now_ = fired->time;
     if (tracer_ != nullptr) trace_event_executed();
-    fired->callback();
+    queue_.fire(*fired);
     ++executed;
     ++processed_;
   }

@@ -26,15 +26,19 @@ class Engine {
   /// Current simulation time (microseconds).
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
-  /// Schedule a callback at absolute time `t` (must be >= now()).
-  EventHandle schedule_at(SimTime t, Callback cb) {
+  /// Schedule a callback at absolute time `t` (must be >= now()).  The
+  /// callable is stored inline in the pooled event record — a capture
+  /// larger than EventQueue::kCallbackCapacity is a compile error.
+  template <typename F>
+  EventHandle schedule_at(SimTime t, F&& cb) {
     if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
-    return queue_.push(t, std::move(cb));
+    return queue_.push(t, std::forward<F>(cb));
   }
 
   /// Schedule a callback `dt` from now (dt must be >= 0).
-  EventHandle schedule_after(SimTime dt, Callback cb) {
-    return schedule_at(now_ + dt, std::move(cb));
+  template <typename F>
+  EventHandle schedule_after(SimTime dt, F&& cb) {
+    return schedule_at(now_ + dt, std::forward<F>(cb));
   }
 
   /// Cancel a pending event (no-op if already fired/cancelled).

@@ -1,47 +1,232 @@
 #include "des/event_queue.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <iterator>
 
 namespace paradyn::des {
 
-EventHandle EventQueue::push(SimTime time, Callback cb) {
-  auto alive = std::make_shared<bool>(true);
-  heap_.push_back(Node{time, next_seq_++, std::move(cb), alive});
-  std::push_heap(heap_.begin(), heap_.end(), Earlier{});
-  ++live_;
-  return EventHandle{std::move(alive)};
+EventQueue::EventQueue() : bucket_head_(kNumBuckets, kNpos) {}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = record(slot).next;
+    return slot;
+  }
+  const std::size_t slot = allocated_;
+  if ((slot & (kSlabSize - 1)) == 0) {
+    slabs_.push_back(std::make_unique<Record[]>(kSlabSize));
+  }
+  ++allocated_;
+  return static_cast<std::uint32_t>(slot);
 }
 
-void EventQueue::cancel(EventHandle& handle) noexcept {
-  if (handle.alive_ && *handle.alive_) {
-    *handle.alive_ = false;
-    --live_;
-  }
-  handle.alive_.reset();
+void EventQueue::recycle(std::uint32_t slot) noexcept {
+  Record& r = record(slot);
+  r.callback.reset();
+  r.state = State::Free;
+  ++r.generation;
+  r.next = free_head_;
+  free_head_ = slot;
 }
 
-void EventQueue::drop_dead_top() {
-  while (!heap_.empty() && !*heap_.front().alive) {
-    std::pop_heap(heap_.begin(), heap_.end(), Earlier{});
-    heap_.pop_back();
+std::size_t EventQueue::bucket_index(SimTime time) const noexcept {
+  // floor((t - lo) * (1/w)), computed in floating point and clamped: times
+  // before the window (possible after a drain/re-push) collapse into
+  // bucket 0, and rounding stragglers at the upper edge collapse into the
+  // last bucket.  Both clamps keep the time -> bucket map monotone, which
+  // together with sorted buckets preserves global (time, seq) order.
+  const double rel = (time - win_lo_) * inv_width_;
+  if (!(rel > 0.0)) return 0;
+  const auto index = static_cast<std::size_t>(rel);
+  return index < kNumBuckets ? index : kNumBuckets - 1;
+}
+
+void EventQueue::insert_bucket(std::size_t index, std::uint32_t slot) noexcept {
+  Record& r = record(slot);
+  std::uint32_t* head = &bucket_head_[index];
+  // Insertion sort by (time, seq): bucket lists hold ~1 live record at the
+  // adapted width, so the walk is short.
+  while (*head != kNpos) {
+    const Record& other = record(*head);
+    if (r.time < other.time || (r.time == other.time && r.seq < other.seq)) break;
+    head = &record(*head).next;
   }
+  r.next = *head;
+  *head = slot;
+  ++in_buckets_;
+  if (index < cursor_) cursor_ = index;
+}
+
+void EventQueue::link(std::uint32_t slot, SimTime time) {
+  if (!window_valid_ || time >= win_hi_) {
+    staging_.push_back(FarEntry{time, record(slot).seq, slot});
+    return;
+  }
+  insert_bucket(bucket_index(time), slot);
+}
+
+bool EventQueue::advance_window() {
+  constexpr auto by_time_seq = [](const FarEntry& a, const FarEntry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  };
+
+  if (!staging_.empty()) {
+    // Fold the arrivals since the last advance into the ladder: sort just
+    // the new entries, then one linear merge over inline keys.  The old
+    // design re-sorted the whole far tier here, which turned large steady
+    // queues into O(n log n) per window and sank the hold benchmark.
+    std::sort(staging_.begin(), staging_.end(), by_time_seq);
+    scratch_.clear();
+    scratch_.reserve(ladder_.size() - ladder_head_ + staging_.size());
+    std::merge(ladder_.begin() + static_cast<std::ptrdiff_t>(ladder_head_), ladder_.end(),
+               staging_.begin(), staging_.end(), std::back_inserter(scratch_), by_time_seq);
+    ladder_.swap(scratch_);
+    ladder_head_ = 0;
+    staging_.clear();
+  }
+  // Drop cancelled records from the ladder prefix.
+  while (ladder_head_ < ladder_.size() &&
+         record(ladder_[ladder_head_].slot).state == State::Cancelled) {
+    recycle(ladder_[ladder_head_].slot);
+    ++ladder_head_;
+  }
+  if (ladder_head_ == ladder_.size()) {
+    ladder_.clear();
+    ladder_head_ = 0;
+    return false;
+  }
+
+  // Place the window at the earliest remaining time and match its width to
+  // the event density *near the head* (~1 event per bucket).  A full-span
+  // average would be skewed by a few far-future timers into a width that
+  // piles every near event into bucket 0, degrading pushes to O(n)
+  // insertion sort; only the head run's density determines pop cost.
+  const std::size_t remaining = ladder_.size() - ladder_head_;
+  const SimTime t_min = ladder_[ladder_head_].time;
+  const std::size_t lead = std::min(remaining, kNumBuckets);
+  const std::size_t sample = std::min<std::size_t>(lead, 32);
+  SimTime width = 0.0;
+  if (sample > 1) {
+    width = (ladder_[ladder_head_ + sample - 1].time - t_min) /
+            static_cast<SimTime>(sample - 1);
+  }
+  if (!(width > 0.0) && lead > 1) {
+    // Same-time burst at the head: fall back to the whole leading run.
+    width = (ladder_[ladder_head_ + lead - 1].time - t_min) /
+            static_cast<SimTime>(lead - 1);
+  }
+  width_ = width;
+  if (!(width_ > 0.0) || !std::isfinite(width_)) width_ = 1.0;
+  inv_width_ = 1.0 / width_;
+  win_lo_ = t_min;
+  win_hi_ = win_lo_ + static_cast<SimTime>(kNumBuckets) * width_;
+  window_valid_ = true;
+  cursor_ = 0;
+
+  // Migration visits slots in ascending (time, seq), so a record landing in
+  // the same bucket as its predecessor appends at the tail; the hint makes
+  // that O(1) instead of re-walking the bucket list per record.
+  std::size_t last_index = kNumBuckets;
+  std::uint32_t last_slot = kNpos;
+  while (ladder_head_ < ladder_.size()) {
+    const FarEntry& entry = ladder_[ladder_head_];
+    if (entry.time >= win_hi_) break;
+    Record& r = record(entry.slot);
+    if (r.state == State::Cancelled) {
+      recycle(entry.slot);
+      ++ladder_head_;
+      continue;
+    }
+    const std::size_t index = bucket_index(entry.time);
+    if (index == last_index) {
+      record(last_slot).next = entry.slot;
+      r.next = kNpos;
+      ++in_buckets_;
+    } else {
+      insert_bucket(index, entry.slot);
+    }
+    last_index = index;
+    last_slot = entry.slot;
+    ++ladder_head_;
+  }
+  if (ladder_head_ == ladder_.size()) {
+    ladder_.clear();
+    ladder_head_ = 0;
+  }
+  return in_buckets_ > 0 || ladder_head_ < ladder_.size();
+}
+
+std::uint32_t EventQueue::sweep_to_head() noexcept {
+  while (in_buckets_ > 0) {
+    while (bucket_head_[cursor_] == kNpos) ++cursor_;
+    const std::uint32_t slot = bucket_head_[cursor_];
+    Record& r = record(slot);
+    if (r.state == State::Cancelled) {
+      bucket_head_[cursor_] = r.next;
+      --in_buckets_;
+      recycle(slot);
+      continue;
+    }
+    return slot;
+  }
+  return kNpos;
 }
 
 std::optional<EventQueue::Fired> EventQueue::pop() {
-  drop_dead_top();
-  if (heap_.empty()) return std::nullopt;
-  std::pop_heap(heap_.begin(), heap_.end(), Earlier{});
-  Node node = std::move(heap_.back());
-  heap_.pop_back();
-  *node.alive = false;
-  --live_;
-  return Fired{node.time, std::move(node.callback)};
+  for (;;) {
+    const std::uint32_t slot = sweep_to_head();
+    if (slot == kNpos) {
+      if (!advance_window()) return std::nullopt;
+      continue;
+    }
+    Record& r = record(slot);
+    bucket_head_[cursor_] = r.next;
+    --in_buckets_;
+    r.state = State::Firing;
+    --live_;
+    return Fired{r.time, slot};
+  }
 }
 
+void EventQueue::fire(const Fired& fired) {
+  // Invoke in place: the record's address is slab-stable even if the
+  // callback pushes new events, and the slot is not recycled until the
+  // callback returns.  While state == Firing, pending() is false and
+  // cancel() is a no-op, so a self-cancel from inside the callback is safe.
+  record(fired.slot).callback();
+  recycle(fired.slot);
+}
+
+void EventQueue::discard(const Fired& fired) noexcept { recycle(fired.slot); }
+
 std::optional<SimTime> EventQueue::peek_time() {
-  drop_dead_top();
-  if (heap_.empty()) return std::nullopt;
-  return heap_.front().time;
+  for (;;) {
+    const std::uint32_t slot = sweep_to_head();
+    if (slot == kNpos) {
+      if (!advance_window()) return std::nullopt;
+      continue;
+    }
+    return record(slot).time;
+  }
+}
+
+void EventQueue::cancel(EventHandle& handle) noexcept {
+  // A handle issued by a different queue is left untouched: resetting it
+  // here would silently detach a still-live event.
+  if (handle.queue_ != this) return;
+  Record& r = record(handle.slot_);
+  if (r.generation == handle.generation_ && r.state == State::Pending) {
+    // Lazy cancellation: the record stays linked (bucket or overflow) and
+    // is recycled when the sweep reaches it.  The callback is destroyed
+    // now so captured resources are released promptly.
+    r.state = State::Cancelled;
+    r.callback.reset();
+    --live_;
+  }
+  handle = EventHandle{};
 }
 
 }  // namespace paradyn::des

@@ -1,82 +1,215 @@
 // Pending-event set for the discrete-event engine.
 //
-// A binary min-heap ordered by (time, insertion sequence).  The sequence
-// tie-break makes execution order fully deterministic: two events scheduled
-// for the same instant fire in the order they were scheduled.  Cancellation
-// is lazy — a cancelled event stays in the heap but its control block is
-// marked dead and it is skipped on pop.
+// A two-tier calendar queue over a slab pool of event records, tuned for
+// the engine's strongly time-clustered workload:
+//
+//  * Near tier — a window of `kNumBuckets` buckets, each `width` of
+//    simulated time wide.  An event whose time falls inside the window is
+//    insertion-sorted into its bucket's intrusive list; with the width
+//    adapted to roughly one live event per bucket, push and pop are O(1)
+//    amortized.  A cursor sweeps the window monotonically, so pop never
+//    rescans drained buckets.
+//  * Far tier — events beyond the window land in an unsorted staging
+//    buffer of (time, seq, slot) tuples.  When the near tier drains, the
+//    window advances: the staging buffer is sorted and merged into the
+//    sorted ladder (one linear, cache-friendly pass over inline keys — the
+//    comparator never touches the slab), a fresh window is placed at the
+//    ladder's earliest time with a width derived from the event density
+//    near its head, and the leading run is migrated into buckets.
+//
+// Event records live in fixed slabs (stable addresses, recycled through a
+// free list) and hold their callback inline — steady-state scheduling does
+// not allocate.  A record's (slot, generation) pair doubles as the
+// cancellation handle; the generation counter is bumped on every recycle so
+// a stale handle can never cancel the slot's next tenant (ABA protection).
+//
+// Ordering contract (identical to the binary-heap implementation this
+// replaced, bit-for-bit — see tests/des/event_queue_diff_test.cpp): events
+// pop in (time, insertion sequence) order, so two events scheduled for the
+// same instant fire in the order they were scheduled.  Cancellation is
+// lazy: a cancelled record stays linked but is skipped and recycled when
+// the sweep reaches it.
+//
+// Event lifecycle: Pending (scheduled, cancellable) -> Firing (popped, its
+// callback is executing; pending() is false and cancel() is a no-op) ->
+// recycled.  cancel() moves Pending -> recycled directly.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "des/inline_function.hpp"
 #include "des/time.hpp"
 
 namespace paradyn::des {
 
+class EventQueue;
+
 /// Handle to a scheduled event; allows cancellation.  Default-constructed
-/// handles refer to no event and are safe to cancel (a no-op).
+/// handles refer to no event and are safe to cancel (a no-op).  A handle is
+/// a (queue, slot, generation) triple — copying is trivial, and a handle
+/// must not outlive its queue.
 class EventHandle {
  public:
   EventHandle() noexcept = default;
 
-  /// True if the event is still pending (not fired, not cancelled).
-  [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
+  /// True if the event is still pending (not firing, not fired, not
+  /// cancelled).  A stale handle whose slot was recycled reports false.
+  [[nodiscard]] bool pending() const noexcept;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> alive) noexcept : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(const EventQueue* queue, std::uint32_t slot, std::uint32_t generation) noexcept
+      : queue_(queue), slot_(slot), generation_(generation) {}
+
+  const EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
-/// Min-heap of timestamped callbacks with deterministic tie-breaking.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capture budget per event.  Sized to hold a moved-in
+  /// rocc::SmallCallback (itself a 64-byte-capture InlineFunction) with
+  /// room to spare; larger captures are a compile error, not a heap
+  /// allocation.
+  static constexpr std::size_t kCallbackCapacity = 96;
+  using Callback = InlineFunction<kCallbackCapacity>;
+
+  EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Insert an event; returns a handle usable for cancellation.
-  EventHandle push(SimTime time, Callback cb);
+  template <typename F>
+  EventHandle push(SimTime time, F&& callback) {
+    const std::uint32_t slot = acquire_slot();
+    Record& r = record(slot);
+    r.time = time;
+    r.seq = next_seq_++;
+    r.callback.emplace(std::forward<F>(callback));
+    r.state = State::Pending;
+    const std::uint32_t generation = r.generation;
+    link(slot, time);
+    ++live_;
+    return EventHandle{this, slot, generation};
+  }
 
-  /// Cancel a pending event.  Safe on empty/fired/cancelled handles.
+  /// Cancel a pending event.  Safe on empty/stale/fired handles and on an
+  /// event that is currently firing (no-op in all those cases).
   void cancel(EventHandle& handle) noexcept;
 
-  /// Remove and return the earliest live event, or nullopt if none remain.
+  /// The earliest live event, removed from the pending set and marked
+  /// Firing.  Pass it to fire() to run the callback and recycle the slot,
+  /// or discard() to recycle without running.
   struct Fired {
     SimTime time = 0;
-    Callback callback;
+    std::uint32_t slot = 0;
   };
   [[nodiscard]] std::optional<Fired> pop();
+
+  /// Invoke the popped event's callback, then recycle its record.
+  void fire(const Fired& fired);
+
+  /// Recycle a popped event's record without invoking the callback.
+  void discard(const Fired& fired) noexcept;
 
   /// Time of the earliest live event, if any.
   [[nodiscard]] std::optional<SimTime> peek_time();
 
-  /// Number of live (non-cancelled) events.
+  /// Number of live (pending, non-cancelled) events.
   [[nodiscard]] std::size_t size() const noexcept { return live_; }
   [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
 
+  /// Slots ever allocated (slab pool footprint; for tests and metrics —
+  /// steady-state workloads should see this plateau while events churn).
+  [[nodiscard]] std::size_t allocated_slots() const noexcept { return allocated_; }
+
  private:
-  struct Node {
+  friend class EventHandle;
+
+  enum class State : std::uint8_t { Free, Pending, Firing, Cancelled };
+
+  struct Record {
     SimTime time = 0;
     std::uint64_t seq = 0;
+    std::uint32_t next = kNpos;       ///< Intrusive link: bucket list or free list.
+    std::uint32_t generation = 0;     ///< Bumped on recycle (ABA guard).
+    State state = State::Free;
     Callback callback;
-    std::shared_ptr<bool> alive;
-  };
-  struct Earlier {
-    bool operator()(const Node& a, const Node& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;  // min-heap
-      return a.seq > b.seq;
-    }
   };
 
-  void drop_dead_top();
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+  /// Window size: more buckets means rarer (amortized-cheaper) ladder
+  /// merges for large queues at 32 KiB of bucket heads; empty buckets cost
+  /// nothing to skip because the sweep short-circuits on in_buckets_ == 0.
+  static constexpr std::size_t kNumBuckets = 8192;
+  static constexpr std::size_t kSlabShift = 8;  ///< 256 records per slab.
+  static constexpr std::size_t kSlabSize = std::size_t{1} << kSlabShift;
 
-  std::vector<Node> heap_;
+  [[nodiscard]] Record& record(std::uint32_t slot) noexcept {
+    return slabs_[slot >> kSlabShift][slot & (kSlabSize - 1)];
+  }
+  [[nodiscard]] const Record& record(std::uint32_t slot) const noexcept {
+    return slabs_[slot >> kSlabShift][slot & (kSlabSize - 1)];
+  }
+
+  std::uint32_t acquire_slot();
+  void recycle(std::uint32_t slot) noexcept;
+
+  /// Route a record into its bucket or the far tier.
+  void link(std::uint32_t slot, SimTime time);
+  void insert_bucket(std::size_t index, std::uint32_t slot) noexcept;
+  [[nodiscard]] std::size_t bucket_index(SimTime time) const noexcept;
+
+  /// Advance the window over the far tier.  Returns false when the far
+  /// tier is empty (the queue holds no more events).
+  bool advance_window();
+
+  /// First pending record in the near tier, recycling cancelled records
+  /// encountered on the way.  kNpos when the near tier is drained.
+  std::uint32_t sweep_to_head() noexcept;
+
+  // Slab pool.
+  std::vector<std::unique_ptr<Record[]>> slabs_;
+  std::uint32_t free_head_ = kNpos;
+  std::size_t allocated_ = 0;
+
+  // Near tier.
+  std::vector<std::uint32_t> bucket_head_;
+  std::size_t cursor_ = 0;          ///< First bucket that may hold records.
+  std::size_t in_buckets_ = 0;      ///< Records linked in buckets (any state).
+  bool window_valid_ = false;
+  SimTime win_lo_ = 0.0;
+  SimTime win_hi_ = 0.0;
+  SimTime width_ = 1.0;
+  SimTime inv_width_ = 1.0;  ///< 1/width_: bucket mapping multiplies, never divides.
+
+  // Far tier.  The sort keys are carried inline so sorting and merging are
+  // sequential over 24-byte tuples instead of chasing slab pointers.
+  struct FarEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  /// Sorted by (time, seq) ascending; [0, ladder_head_) is consumed.
+  std::vector<FarEntry> ladder_;
+  std::size_t ladder_head_ = 0;
+  /// Unsorted arrivals since the last window advance.
+  std::vector<FarEntry> staging_;
+  std::vector<FarEntry> scratch_;  ///< Merge target, kept to reuse capacity.
+
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };
+
+inline bool EventHandle::pending() const noexcept {
+  if (queue_ == nullptr) return false;
+  const EventQueue::Record& r = queue_->record(slot_);
+  return r.generation == generation_ && r.state == EventQueue::State::Pending;
+}
 
 }  // namespace paradyn::des

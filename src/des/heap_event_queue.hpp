@@ -1,0 +1,78 @@
+// Reference binary-heap pending-event set.
+//
+// This is the original EventQueue implementation, preserved verbatim in
+// behavior: a binary min-heap ordered by (time, insertion sequence) with a
+// shared_ptr<bool> control block per event and std::function callbacks.
+// The calendar queue in event_queue.hpp replaced it on the hot path; this
+// copy stays as (a) the oracle for the differential determinism suite —
+// every (time, seq) pop order the calendar queue produces must match it
+// exactly — and (b) the baseline the queue micro-benchmarks and the
+// bench-smoke CI gate measure speedups against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace paradyn::des {
+
+/// Handle to an event scheduled on a HeapEventQueue.
+class HeapEventHandle {
+ public:
+  HeapEventHandle() noexcept = default;
+
+  [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class HeapEventQueue;
+  explicit HeapEventHandle(std::shared_ptr<bool> alive) noexcept : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Min-heap of timestamped callbacks with deterministic tie-breaking.
+class HeapEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  HeapEventHandle push(SimTime time, Callback cb);
+
+  void cancel(HeapEventHandle& handle) noexcept;
+
+  struct Fired {
+    SimTime time = 0;
+    Callback callback;
+  };
+  [[nodiscard]] std::optional<Fired> pop();
+
+  [[nodiscard]] std::optional<SimTime> peek_time();
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+ private:
+  struct Node {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    Callback callback;
+    std::shared_ptr<bool> alive;
+  };
+  struct Earlier {
+    bool operator()(const Node& a, const Node& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_top();
+
+  std::vector<Node> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace paradyn::des

@@ -88,7 +88,7 @@ void MetricsRegistry::sample(double t_us) {
 }
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
-  char buf[64];
+  char buf[512];
   for (const auto& [name, h] : histogram_order_) {
     std::snprintf(buf, sizeof(buf),
                   "count=%llu mean=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",

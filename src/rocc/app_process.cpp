@@ -33,7 +33,7 @@ void ApplicationProcess::start() {
   begin_cycle();
 }
 
-bool ApplicationProcess::yield_if_blocked(std::function<void()> resume_point) {
+bool ApplicationProcess::yield_if_blocked(SmallCallback resume_point) {
   if (!blocked_on_pipe_) return false;
   resume_point_ = std::move(resume_point);
   return true;

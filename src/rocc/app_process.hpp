@@ -9,7 +9,6 @@
 // barrier every `barrier_period` (Figure 28).
 #pragma once
 
-#include <functional>
 #include <optional>
 
 #include "des/engine.hpp"
@@ -74,7 +73,7 @@ class ApplicationProcess {
 
   /// True (and remembers how to resume) if the process is blocked on a full
   /// pipe and must not progress.
-  bool yield_if_blocked(std::function<void()> resume_point);
+  bool yield_if_blocked(SmallCallback resume_point);
 
   des::Engine& engine_;
   const SystemConfig& config_;
@@ -94,7 +93,7 @@ class ApplicationProcess {
 
   bool blocked_on_pipe_ = false;
   std::optional<Sample> pending_sample_;
-  std::function<void()> resume_point_;
+  SmallCallback resume_point_;
   SimTime last_barrier_ = 0.0;
   std::uint64_t cycles_ = 0;
 

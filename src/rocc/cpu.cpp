@@ -45,16 +45,31 @@ void CpuResource::dispatch() {
                         "remaining_us", job.remaining, "ready", static_cast<double>(ready_.size()));
     }
 
-    engine_.schedule_after(slice, [this, job = std::move(job)]() mutable {
-      ++idle_cpus_;
-      if (job.remaining > 0.0) {
-        ready_.push_back(std::move(job));  // preempted: back of the queue
-      } else if (job.request.on_complete) {
-        job.request.on_complete();
-      }
-      dispatch();
-    });
+    // Park the job in a reusable slot; the completion event carries only
+    // {this, slot} through the queue's inline callback storage.
+    std::uint32_t slot;
+    if (!running_free_.empty()) {
+      slot = running_free_.back();
+      running_free_.pop_back();
+      running_[slot] = std::move(job);
+    } else {
+      slot = static_cast<std::uint32_t>(running_.size());
+      running_.push_back(std::move(job));
+    }
+    engine_.schedule_after(slice, [this, slot] { on_slice_done(slot); });
   }
+}
+
+void CpuResource::on_slice_done(std::uint32_t slot) {
+  Job job = std::move(running_[slot]);
+  running_free_.push_back(slot);
+  ++idle_cpus_;
+  if (job.remaining > 0.0) {
+    ready_.push_back(std::move(job));  // preempted: back of the queue
+  } else if (job.request.on_complete) {
+    job.request.on_complete();
+  }
+  dispatch();
 }
 
 }  // namespace paradyn::rocc

@@ -11,7 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <vector>
 
 #include "des/engine.hpp"
 #include "obs/trace.hpp"
@@ -25,7 +25,7 @@ struct CpuRequest {
   ProcessClass pclass = ProcessClass::Application;
   /// Invoked when the request has received `duration` of CPU service.
   /// May be empty for fire-and-forget background load.
-  std::function<void()> on_complete;
+  SmallCallback on_complete;
 };
 
 class CpuResource {
@@ -70,12 +70,19 @@ class CpuResource {
   };
 
   void dispatch();
+  void on_slice_done(std::uint32_t slot);
 
   des::Engine& engine_;
   std::int32_t num_cpus_;
   SimTime quantum_;
   std::int32_t idle_cpus_;
   std::deque<Job> ready_;
+  /// Jobs currently holding a CPU, in reusable slots: the slice-completion
+  /// event captures only {this, slot}, so scheduling a slice never copies
+  /// the job through the event queue.  At most num_cpus_ slots are ever
+  /// allocated.
+  std::vector<Job> running_;
+  std::vector<std::uint32_t> running_free_;
   std::array<SimTime, trace::kNumProcessClasses> busy_{};
   obs::Tracer* tracer_ = nullptr;
   std::int32_t track_ = 0;

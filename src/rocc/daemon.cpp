@@ -166,13 +166,15 @@ void ParadynDaemon::forward_batch(Batch batch) {
   busy_ = true;
   const SimTime t0 = engine_.now();
   cpu_.submit(CpuRequest{
-      config_.pd.forward_cpu->sample(rng_), ProcessClass::ParadynDaemon, [this, batch, t0] {
+      config_.pd.forward_cpu->sample(rng_), ProcessClass::ParadynDaemon,
+      [this, batch = std::move(batch), t0]() mutable {
         // The paper assumes a merged/batched unit occupies the network like
         // a single sample; net_per_extra_sample_us generalizes that.
         const double occupancy =
             config_.pd.net_occupancy->sample(rng_) +
             config_.pd.net_per_extra_sample_us * static_cast<double>(batch.sample_count() - 1);
-        network_.submit(NetRequest{occupancy, ProcessClass::ParadynDaemon, [this, batch, t0] {
+        network_.submit(NetRequest{occupancy, ProcessClass::ParadynDaemon,
+                                   [this, batch = std::move(batch), t0] {
                                      ++batches_forwarded_;
                                      if (tracer_ != nullptr) {
                                        // Spans CPU(forward) + blocking send.

@@ -22,14 +22,31 @@ void NetworkResource::submit(NetRequest request) {
     if (tracer_ != nullptr) {
       tracer_->complete("net", to_cstr(request.pclass), track_, engine_.now(), request.duration);
     }
-    engine_.schedule_after(request.duration, [cb = std::move(request.on_complete)]() {
-      if (cb) cb();
-    });
+    // Pure delay: park the completion in a reusable slot.  An event is
+    // scheduled even for an empty callback so the event sequence (and thus
+    // deterministic tie-breaking downstream) is unchanged from the
+    // std::function implementation.
+    std::uint32_t slot;
+    if (!inflight_free_.empty()) {
+      slot = inflight_free_.back();
+      inflight_free_.pop_back();
+      inflight_[slot] = std::move(request.on_complete);
+    } else {
+      slot = static_cast<std::uint32_t>(inflight_.size());
+      inflight_.push_back(std::move(request.on_complete));
+    }
+    engine_.schedule_after(request.duration, [this, slot] { on_cf_done(slot); });
     return;
   }
 
   queue_.push_back(std::move(request));
   if (!server_busy_) start_next();
+}
+
+void NetworkResource::on_cf_done(std::uint32_t slot) {
+  SmallCallback cb = std::move(inflight_[slot]);
+  inflight_free_.push_back(slot);
+  if (cb) cb();
 }
 
 void NetworkResource::start_next() {
@@ -44,10 +61,14 @@ void NetworkResource::start_next() {
     tracer_->complete("net", to_cstr(req.pclass), track_, engine_.now(), req.duration, "queued",
                       static_cast<double>(queue_.size()));
   }
-  engine_.schedule_after(req.duration, [this, cb = std::move(req.on_complete)]() {
-    if (cb) cb();
-    start_next();
-  });
+  in_service_ = std::move(req.on_complete);
+  engine_.schedule_after(req.duration, [this] { on_service_done(); });
+}
+
+void NetworkResource::on_service_done() {
+  SmallCallback cb = std::move(in_service_);
+  if (cb) cb();
+  start_next();
 }
 
 }  // namespace paradyn::rocc

@@ -12,7 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <vector>
 
 #include "des/engine.hpp"
 #include "obs/trace.hpp"
@@ -26,7 +26,7 @@ struct NetRequest {
   ProcessClass pclass = ProcessClass::Application;
   /// Invoked when the occupancy completes (message delivered).  May be
   /// empty for fire-and-forget background traffic.
-  std::function<void()> on_complete;
+  SmallCallback on_complete;
 };
 
 class NetworkResource {
@@ -65,11 +65,21 @@ class NetworkResource {
 
  private:
   void start_next();
+  void on_service_done();
+  void on_cf_done(std::uint32_t slot);
 
   des::Engine& engine_;
   NetworkContention contention_;
   bool server_busy_ = false;
   std::deque<NetRequest> queue_;
+  /// Shared server: completion callback of the request in service (at most
+  /// one); the completion event captures only {this}.
+  SmallCallback in_service_;
+  /// Contention-free (infinite-server): completion callbacks of in-flight
+  /// occupancies in reusable slots, so each delay event captures only
+  /// {this, slot}.
+  std::vector<SmallCallback> inflight_;
+  std::vector<std::uint32_t> inflight_free_;
   std::array<SimTime, trace::kNumProcessClasses> busy_{};
   obs::Tracer* tracer_ = nullptr;
   std::int32_t track_ = 0;

@@ -35,8 +35,8 @@ std::optional<Sample> Pipe::try_get() {
   return s;
 }
 
-void Pipe::notify_on_data(std::function<void()> cb) { on_data_ = std::move(cb); }
+void Pipe::notify_on_data(SmallCallback cb) { on_data_ = std::move(cb); }
 
-void Pipe::notify_on_space(std::function<void()> cb) { on_space_ = std::move(cb); }
+void Pipe::notify_on_space(SmallCallback cb) { on_space_ = std::move(cb); }
 
 }  // namespace paradyn::rocc

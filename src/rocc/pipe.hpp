@@ -10,7 +10,6 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <optional>
 
 #include "rocc/types.hpp"
@@ -30,11 +29,11 @@ class Pipe {
 
   /// Register a one-shot callback invoked the next time a sample arrives.
   /// Used by an idle daemon to sleep until data is available.
-  void notify_on_data(std::function<void()> cb);
+  void notify_on_data(SmallCallback cb);
 
   /// Register a one-shot callback invoked the next time space frees up.
   /// Used by a blocked producer.
-  void notify_on_space(std::function<void()> cb);
+  void notify_on_space(SmallCallback cb);
 
   [[nodiscard]] std::int32_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
@@ -51,8 +50,8 @@ class Pipe {
  private:
   std::int32_t capacity_;
   std::deque<Sample> buffer_;
-  std::function<void()> on_data_;
-  std::function<void()> on_space_;
+  SmallCallback on_data_;
+  SmallCallback on_space_;
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
 };

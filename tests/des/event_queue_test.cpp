@@ -2,10 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace paradyn::des {
 namespace {
+
+/// Pop every remaining event, firing each callback.
+void drain(EventQueue& q) {
+  while (auto fired = q.pop()) q.fire(*fired);
+}
 
 TEST(EventQueue, StartsEmpty) {
   EventQueue q;
@@ -21,7 +27,7 @@ TEST(EventQueue, PopsInTimeOrder) {
   (void)q.push(3.0, [&] { order.push_back(3); });
   (void)q.push(1.0, [&] { order.push_back(1); });
   (void)q.push(2.0, [&] { order.push_back(2); });
-  while (auto fired = q.pop()) fired->callback();
+  drain(q);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -31,7 +37,7 @@ TEST(EventQueue, TiesBreakInInsertionOrder) {
   for (int i = 0; i < 10; ++i) {
     (void)q.push(5.0, [&order, i] { order.push_back(i); });
   }
-  while (auto fired = q.pop()) fired->callback();
+  drain(q);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
@@ -66,11 +72,13 @@ TEST(EventQueue, CancelIsIdempotentAndSafeOnDefaultHandle) {
   EXPECT_EQ(q.size(), 0u);
 }
 
-TEST(EventQueue, HandleNotPendingAfterFire) {
+TEST(EventQueue, HandleNotPendingAfterPop) {
   EventQueue q;
   auto h = q.push(1.0, [] {});
   auto fired = q.pop();
   ASSERT_TRUE(fired.has_value());
+  EXPECT_FALSE(h.pending());
+  q.fire(*fired);
   EXPECT_FALSE(h.pending());
 }
 
@@ -81,6 +89,17 @@ TEST(EventQueue, SizeCountsOnlyLiveEvents) {
   EXPECT_EQ(q.size(), 2u);
   q.cancel(h1);
   EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, DiscardRecyclesWithoutInvoking) {
+  EventQueue q;
+  bool invoked = false;
+  (void)q.push(1.0, [&] { invoked = true; });
+  auto fired = q.pop();
+  ASSERT_TRUE(fired.has_value());
+  q.discard(*fired);
+  EXPECT_FALSE(invoked);
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(EventQueue, ManyInterleavedOperations) {
@@ -98,8 +117,59 @@ TEST(EventQueue, ManyInterleavedOperations) {
     EXPECT_GE(fired->time, last);
     last = fired->time;
     ++popped;
+    q.fire(*fired);
   }
   EXPECT_EQ(popped, 50u);
+}
+
+TEST(EventQueue, FarFutureEventsCrossTheOverflowTier) {
+  // Times spanning ten decades force repeated window advances.
+  EventQueue q;
+  std::vector<double> order;
+  for (int decade = 9; decade >= 0; --decade) {
+    for (int i = 0; i < 20; ++i) {
+      const SimTime t = std::pow(10.0, decade) + i;
+      (void)q.push(t, [&order, t] { order.push_back(t); });
+    }
+  }
+  drain(q);
+  ASSERT_EQ(order.size(), 200u);
+  for (std::size_t i = 1; i < order.size(); ++i) EXPECT_LE(order[i - 1], order[i]);
+}
+
+TEST(EventQueue, PushBeforeWindowStartStillPopsFirst) {
+  EventQueue q;
+  std::vector<int> order;
+  // Establish a window around t=1000, then push an earlier event.
+  for (int i = 0; i < 8; ++i) {
+    (void)q.push(1000.0 + i, [&order, i] { order.push_back(i); });
+  }
+  auto fired = q.pop();  // window now starts at 1000
+  ASSERT_TRUE(fired.has_value());
+  q.fire(*fired);
+  (void)q.push(500.0, [&order] { order.push_back(-1); });
+  fired = q.pop();
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_DOUBLE_EQ(fired->time, 500.0);
+  q.fire(*fired);
+  EXPECT_EQ(order.back(), -1);
+}
+
+TEST(EventQueue, SlabPoolPlateausUnderChurn) {
+  // Steady-state schedule-one-pop-one must recycle a bounded set of slots,
+  // not grow the pool per event.
+  EventQueue q;
+  SimTime t = 0.0;
+  for (int i = 0; i < 64; ++i) (void)q.push(t + i, [] {});
+  for (int i = 0; i < 100'000; ++i) {
+    auto fired = q.pop();
+    ASSERT_TRUE(fired.has_value());
+    q.fire(*fired);
+    t = fired->time;
+    (void)q.push(t + 64.0, [] {});
+  }
+  EXPECT_LE(q.allocated_slots(), 256u);
+  drain(q);
 }
 
 }  // namespace
