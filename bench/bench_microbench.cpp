@@ -25,6 +25,8 @@
 #include "rocc/simulation.hpp"
 #include "stats/distributions.hpp"
 #include "stats/fitting.hpp"
+#include "stats/sampler.hpp"
+#include "stats/ziggurat.hpp"
 
 namespace {
 
@@ -115,6 +117,59 @@ std::size_t workload_cancel(std::size_t n) {
   while (d.pop_fire()) {
   }
   return 2 * n;
+}
+
+// --- Variate-generation workloads ------------------------------------------
+// Ziggurat fast path vs the pre-PR-5 reference path (virtual
+// Distribution::sample with Box-Muller / inverse-CDF math) for each workload
+// family of Table 2.  Both sides draw from identically seeded streams so the
+// ratio isolates the generation cost.
+
+/// n draws through a frozen sampler; returns n (ops for items/s).
+std::size_t workload_variates_frozen(const stats::FrozenSampler& sampler, std::size_t n) {
+  des::RngStream rng(11, 41);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += sampler(rng);
+  benchmark::DoNotOptimize(acc);
+  return n;
+}
+
+/// n draws through the virtual reference interface.
+std::size_t workload_variates_virtual(const stats::Distribution& dist, std::size_t n) {
+  des::RngStream rng(11, 41);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += dist.sample(rng);
+  benchmark::DoNotOptimize(acc);
+  return n;
+}
+
+/// n standard-normal draws straight off the ziggurat tables.
+std::size_t workload_normal_ziggurat(std::size_t n) {
+  des::RngStream rng(11, 43);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += stats::ziggurat_normal(rng);
+  benchmark::DoNotOptimize(acc);
+  return n;
+}
+
+/// n standard-normal draws via the Box-Muller reference.
+std::size_t workload_normal_reference(std::size_t n) {
+  des::RngStream rng(11, 43);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += stats::sample_standard_normal(rng);
+  benchmark::DoNotOptimize(acc);
+  return n;
+}
+
+/// Table 2 parameterizations, one representative per family.
+stats::DistributionPtr variate_family(const std::string& family) {
+  if (family == "exponential") return std::make_shared<stats::Exponential>(223.0);
+  if (family == "lognormal") {
+    return std::make_shared<stats::Lognormal>(
+        stats::Lognormal::from_mean_stddev(2213.0, 3034.0));
+  }
+  if (family == "weibull") return std::make_shared<stats::Weibull>(0.8, 250.0);
+  throw std::invalid_argument("unknown variate family: " + family);
 }
 
 // --- google-benchmark wrappers ---------------------------------------------
@@ -208,6 +263,50 @@ void BM_SampleExponential(benchmark::State& state) {
   benchmark::DoNotOptimize(acc);
 }
 BENCHMARK(BM_SampleExponential);
+
+// Ziggurat vs reference, one pair per family.  The "reference" side is the
+// honest pre-PR-5 cost: a virtual Distribution::sample call doing Box-Muller
+// or inverse-CDF math.
+void BM_VariatesZiggurat(benchmark::State& state, const char* family) {
+  const auto sampler = stats::FrozenSampler::compile(variate_family(family),
+                                                     stats::SamplerBackend::Ziggurat);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload_variates_frozen(sampler, 1'024));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1'024);
+  state.SetLabel("ziggurat");
+}
+BENCHMARK_CAPTURE(BM_VariatesZiggurat, exponential, "exponential");
+BENCHMARK_CAPTURE(BM_VariatesZiggurat, lognormal, "lognormal");
+BENCHMARK_CAPTURE(BM_VariatesZiggurat, weibull, "weibull");
+
+void BM_VariatesReference(benchmark::State& state, const char* family) {
+  const stats::DistributionPtr dist = variate_family(family);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload_variates_virtual(*dist, 1'024));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1'024);
+  state.SetLabel("reference");
+}
+BENCHMARK_CAPTURE(BM_VariatesReference, exponential, "exponential");
+BENCHMARK_CAPTURE(BM_VariatesReference, lognormal, "lognormal");
+BENCHMARK_CAPTURE(BM_VariatesReference, weibull, "weibull");
+
+void BM_NormalZiggurat(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload_normal_ziggurat(1'024));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1'024);
+}
+BENCHMARK(BM_NormalZiggurat);
+
+void BM_NormalBoxMuller(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload_normal_reference(1'024));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1'024);
+}
+BENCHMARK(BM_NormalBoxMuller);
 
 void BM_FitLognormal(benchmark::State& state) {
   const auto dist = stats::Lognormal::from_mean_stddev(2213.0, 3034.0);
@@ -312,6 +411,31 @@ int emit_bench_json(const std::string& path) {
   record("cancel_100k",
          median_mops(kReps, [] { return workload_cancel<CalendarDriver>(100'000); }),
          median_mops(kReps, [] { return workload_cancel<HeapDriver>(100'000); }));
+
+  // Variate generation: ziggurat fast path vs the pre-PR-5 reference cost
+  // (virtual Distribution::sample).  As with the queues, the `speedup_*`
+  // ratios are the gated quantities; `*_mvps` (million variates/s) are
+  // informational.
+  constexpr std::size_t kDraws = 1 << 22;
+  const auto record_variates = [&metrics](const std::string& family, double zig, double ref) {
+    metrics.push_back({"ziggurat_" + family + "_mvps", zig});
+    metrics.push_back({"reference_" + family + "_mvps", ref});
+    metrics.push_back({"speedup_variates_" + family, zig / ref});
+    std::cout << "variates " << family << ": ziggurat " << zig << " Mv/s, reference " << ref
+              << " Mv/s, speedup " << zig / ref << "\n";
+  };
+  record_variates("normal",
+                  median_mops(kReps, [] { return workload_normal_ziggurat(kDraws); }),
+                  median_mops(kReps, [] { return workload_normal_reference(kDraws); }));
+  for (const char* family : {"exponential", "lognormal", "weibull"}) {
+    const auto dist = variate_family(family);
+    const auto sampler =
+        stats::FrozenSampler::compile(dist, stats::SamplerBackend::Ziggurat);
+    record_variates(
+        family,
+        median_mops(kReps, [&] { return workload_variates_frozen(sampler, kDraws); }),
+        median_mops(kReps, [&] { return workload_variates_virtual(*dist, kDraws); }));
+  }
 
   write_json(path, metrics);
   return 0;

@@ -14,6 +14,12 @@ ApplicationProcess::ApplicationProcess(des::Engine& engine, const SystemConfig& 
     : engine_(engine),
       config_(config),
       model_(std::move(model)),
+      cpu_burst_(stats::FrozenSampler::compile(model_.cpu_burst, config.sampler_backend())),
+      net_burst_(stats::FrozenSampler::compile(model_.net_burst, config.sampler_backend())),
+      io_block_duration_(model_.io_block_duration
+                             ? stats::FrozenSampler::compile(model_.io_block_duration,
+                                                             config.sampler_backend())
+                             : stats::FrozenSampler{}),
       cpu_(cpu),
       network_(network),
       pipe_(pipe),
@@ -41,7 +47,7 @@ bool ApplicationProcess::yield_if_blocked(SmallCallback resume_point) {
 
 void ApplicationProcess::begin_cycle() {
   if (yield_if_blocked([this] { begin_cycle(); })) return;
-  current_burst_ = model_.cpu_burst->sample(rng_);
+  current_burst_ = cpu_burst_(rng_);
   cpu_.submit(CpuRequest{current_burst_, ProcessClass::Application, [this] { on_cpu_done(); }});
 }
 
@@ -52,7 +58,7 @@ void ApplicationProcess::on_cpu_done() {
 }
 
 void ApplicationProcess::on_cpu_done_resume() {
-  current_burst_ = model_.net_burst->sample(rng_);
+  current_burst_ = net_burst_(rng_);
   network_.submit(NetRequest{current_burst_, ProcessClass::Application, [this] { on_net_done(); }});
 }
 
@@ -75,8 +81,7 @@ void ApplicationProcess::end_of_cycle() {
   // occupying the CPU or network.
   if (model_.io_block_probability > 0.0 &&
       rng_.next_double() < model_.io_block_probability) {
-    engine_.schedule_after(model_.io_block_duration->sample(rng_),
-                           [this] { after_io_block(); });
+    engine_.schedule_after(io_block_duration_(rng_), [this] { after_io_block(); });
     return;
   }
   after_io_block();

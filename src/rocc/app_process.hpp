@@ -78,6 +78,11 @@ class ApplicationProcess {
   des::Engine& engine_;
   const SystemConfig& config_;
   AppModel model_;
+  // The workload distributions frozen into inline samplers (the per-cycle
+  // hot path; see stats/sampler.hpp).
+  stats::FrozenSampler cpu_burst_;
+  stats::FrozenSampler net_burst_;
+  stats::FrozenSampler io_block_duration_;
   CpuResource& cpu_;
   NetworkResource& network_;
   Pipe* pipe_;

@@ -7,34 +7,30 @@ namespace paradyn::rocc {
 OpenArrivalStream::OpenArrivalStream(des::Engine& engine, stats::DistributionPtr interarrival,
                                      stats::DistributionPtr length, ProcessClass pclass,
                                      CpuResource* cpu, NetworkResource* network,
-                                     des::RngStream rng)
-    : engine_(engine),
-      interarrival_(std::move(interarrival)),
-      length_(std::move(length)),
-      pclass_(pclass),
-      cpu_(cpu),
-      network_(network),
-      rng_(rng) {
+                                     des::RngStream rng, stats::SamplerBackend backend)
+    : engine_(engine), pclass_(pclass), cpu_(cpu), network_(network), rng_(rng) {
   if ((cpu_ == nullptr) == (network_ == nullptr)) {
     throw std::invalid_argument("OpenArrivalStream: exactly one target resource required");
   }
-  if (!interarrival_ || !length_) {
+  if (!interarrival || !length) {
     throw std::invalid_argument("OpenArrivalStream: distributions required");
   }
+  interarrival_ = stats::FrozenSampler::compile(interarrival, backend);
+  length_ = stats::FrozenSampler::compile(length, backend);
 }
 
 void OpenArrivalStream::start() {
-  engine_.schedule_after(interarrival_->sample(rng_), [this] { on_arrival(); });
+  engine_.schedule_after(interarrival_(rng_), [this] { on_arrival(); });
 }
 
 void OpenArrivalStream::on_arrival() {
-  const double len = length_->sample(rng_);
+  const double len = length_(rng_);
   if (cpu_ != nullptr) {
     cpu_->submit(CpuRequest{len, pclass_, nullptr});
   } else {
     network_->submit(NetRequest{len, pclass_, nullptr});
   }
-  engine_.schedule_after(interarrival_->sample(rng_), [this] { on_arrival(); });
+  engine_.schedule_after(interarrival_(rng_), [this] { on_arrival(); });
 }
 
 }  // namespace paradyn::rocc

@@ -16,10 +16,12 @@ namespace paradyn::rocc {
 /// queue and complete without feedback to the arrival process.
 class OpenArrivalStream {
  public:
-  /// Exactly one of `cpu` / `network` must be non-null.
+  /// Exactly one of `cpu` / `network` must be non-null.  Both distributions
+  /// are frozen into inline samplers compiled for `backend`.
   OpenArrivalStream(des::Engine& engine, stats::DistributionPtr interarrival,
                     stats::DistributionPtr length, ProcessClass pclass, CpuResource* cpu,
-                    NetworkResource* network, des::RngStream rng);
+                    NetworkResource* network, des::RngStream rng,
+                    stats::SamplerBackend backend = stats::SamplerBackend::Ziggurat);
 
   OpenArrivalStream(const OpenArrivalStream&) = delete;
   OpenArrivalStream& operator=(const OpenArrivalStream&) = delete;
@@ -30,8 +32,8 @@ class OpenArrivalStream {
   void on_arrival();
 
   des::Engine& engine_;
-  stats::DistributionPtr interarrival_;
-  stats::DistributionPtr length_;
+  stats::FrozenSampler interarrival_;
+  stats::FrozenSampler length_;
   ProcessClass pclass_;
   CpuResource* cpu_;
   NetworkResource* network_;

@@ -156,15 +156,16 @@ SystemConfig SystemConfig::smp(std::int32_t cpus, std::int32_t app_processes,
 }
 
 std::string SystemConfig::summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(
       buf, sizeof(buf),
       "%s nodes=%d cpus/node=%d apps/node=%d daemons=%d period=%gus batch=%d (%s) topo=%s "
-      "net=%s dur=%gus warmup=%gus instr=%s",
+      "net=%s dur=%gus warmup=%gus instr=%s rng=%s",
       to_string(arch), nodes, cpus_per_node, app_processes_per_node, daemons, sampling_period_us,
       batch_size, to_string(policy()), to_string(topology),
       contention == NetworkContention::SharedSingleServer ? "shared" : "contention-free",
-      duration_us, warmup_us, instrumentation_enabled ? "on" : "off");
+      duration_us, warmup_us, instrumentation_enabled ? "on" : "off",
+      stats::to_string(sampler_backend()));
   return buf;
 }
 

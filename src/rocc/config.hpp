@@ -9,6 +9,7 @@
 
 #include "rocc/types.hpp"
 #include "stats/distributions.hpp"
+#include "stats/sampler.hpp"
 
 namespace paradyn::rocc {
 
@@ -160,6 +161,18 @@ struct SystemConfig {
   /// Simulated duration and RNG seed.
   SimTime duration_us = 10.0e6;
   std::uint64_t seed = 1;
+
+  /// Use the pre-PR-5 reference variate backend (Box-Muller normal,
+  /// inverse-CDF exponential/Weibull) instead of the ziggurat fast path.
+  /// Reference mode bit-reproduces historical RNG streams; the default
+  /// ziggurat backend is statistically equivalent (KS-tested) but draws a
+  /// different sequence.  Plumbed from the tools as --reference-rng.
+  bool reference_rng = false;
+
+  /// The variate backend every model entity compiles its samplers with.
+  [[nodiscard]] stats::SamplerBackend sampler_backend() const noexcept {
+    return reference_rng ? stats::SamplerBackend::Reference : stats::SamplerBackend::Ziggurat;
+  }
 
   /// Warm-up (transient-deletion) period: the model runs for this long,
   /// all accounting is reset, and metrics cover only the remaining

@@ -16,6 +16,13 @@ ParadynDaemon::ParadynDaemon(des::Engine& engine, const SystemConfig& config, Cp
       cpu_(cpu),
       network_(network),
       metrics_(metrics),
+      collect_cpu_(stats::FrozenSampler::compile(config.pd.collect_cpu,
+                                                 config.sampler_backend())),
+      forward_cpu_(stats::FrozenSampler::compile(config.pd.forward_cpu,
+                                                 config.sampler_backend())),
+      net_occupancy_(stats::FrozenSampler::compile(config.pd.net_occupancy,
+                                                   config.sampler_backend())),
+      merge_cpu_(stats::FrozenSampler::compile(config.pd.merge_cpu, config.sampler_backend())),
       rng_(rng),
       node_(node) {}
 
@@ -91,7 +98,7 @@ void ParadynDaemon::try_start() {
 void ParadynDaemon::start_collect(const Sample& sample) {
   busy_ = true;
   const SimTime t0 = engine_.now();
-  cpu_.submit(CpuRequest{config_.pd.collect_cpu->sample(rng_), ProcessClass::ParadynDaemon,
+  cpu_.submit(CpuRequest{collect_cpu_(rng_), ProcessClass::ParadynDaemon,
                          [this, sample, t0] {
                            ++samples_collected_;
                            if (tracer_ != nullptr) {
@@ -134,7 +141,7 @@ void ParadynDaemon::begin_forward_local() {
 void ParadynDaemon::start_merge(Batch batch) {
   busy_ = true;
   const SimTime t0 = engine_.now();
-  cpu_.submit(CpuRequest{config_.pd.merge_cpu->sample(rng_), ProcessClass::ParadynDaemon,
+  cpu_.submit(CpuRequest{merge_cpu_(rng_), ProcessClass::ParadynDaemon,
                          [this, batch = std::move(batch), t0] {
                            ++batches_merged_;
                            if (tracer_ != nullptr) {
@@ -166,12 +173,12 @@ void ParadynDaemon::forward_batch(Batch batch) {
   busy_ = true;
   const SimTime t0 = engine_.now();
   cpu_.submit(CpuRequest{
-      config_.pd.forward_cpu->sample(rng_), ProcessClass::ParadynDaemon,
+      forward_cpu_(rng_), ProcessClass::ParadynDaemon,
       [this, batch = std::move(batch), t0]() mutable {
         // The paper assumes a merged/batched unit occupies the network like
         // a single sample; net_per_extra_sample_us generalizes that.
         const double occupancy =
-            config_.pd.net_occupancy->sample(rng_) +
+            net_occupancy_(rng_) +
             config_.pd.net_per_extra_sample_us * static_cast<double>(batch.sample_count() - 1);
         network_.submit(NetRequest{occupancy, ProcessClass::ParadynDaemon,
                                    [this, batch = std::move(batch), t0] {

@@ -91,6 +91,11 @@ class ParadynDaemon {
   CpuResource& cpu_;
   NetworkResource& network_;
   MetricsCollector& metrics_;
+  // Per-sample cost distributions frozen into inline samplers (hot path).
+  stats::FrozenSampler collect_cpu_;
+  stats::FrozenSampler forward_cpu_;
+  stats::FrozenSampler net_occupancy_;
+  stats::FrozenSampler merge_cpu_;
   des::RngStream rng_;
   std::int32_t node_;
 

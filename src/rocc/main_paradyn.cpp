@@ -4,7 +4,12 @@ namespace paradyn::rocc {
 
 MainParadyn::MainParadyn(des::Engine& engine, const SystemConfig& config, CpuResource& host_cpu,
                          MetricsCollector& metrics, des::RngStream rng)
-    : engine_(engine), config_(config), host_cpu_(host_cpu), metrics_(metrics), rng_(rng) {}
+    : engine_(engine),
+      config_(config),
+      host_cpu_(host_cpu),
+      metrics_(metrics),
+      main_cpu_(stats::FrozenSampler::compile(config.main_cpu, config.sampler_backend())),
+      rng_(rng) {}
 
 void MainParadyn::receive(const Batch& batch) {
   const SimTime latency = engine_.now() - batch.forward_started_at;
@@ -45,7 +50,7 @@ void MainParadyn::consume_next() {
   --pending_;
   const SimTime t0 = engine_.now();
   host_cpu_.submit(
-      CpuRequest{config_.main_cpu->sample(rng_), ProcessClass::MainParadyn, [this, t0] {
+      CpuRequest{main_cpu_(rng_), ProcessClass::MainParadyn, [this, t0] {
                    if (tracer_ != nullptr) {
                      tracer_->complete("main", "consume", track_, t0, engine_.now() - t0);
                      tracer_->counter("main.backlog", engine_.now(),

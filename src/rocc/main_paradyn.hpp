@@ -56,6 +56,8 @@ class MainParadyn {
   const SystemConfig& config_;
   CpuResource& host_cpu_;
   MetricsCollector& metrics_;
+  // Per-unit Data Manager CPU demand frozen into an inline sampler.
+  stats::FrozenSampler main_cpu_;
   des::RngStream rng_;
   std::uint64_t batches_received_ = 0;
   std::uint64_t samples_received_ = 0;

@@ -122,20 +122,23 @@ void Simulation::build() {
   // Background load (PVM daemon + other processes) on every node.
   if (config_.background.enabled) {
     const auto& bg = config_.background;
+    const stats::SamplerBackend backend = config_.sampler_backend();
     for (std::int32_t n = 0; n < nodes; ++n) {
       const auto node_tag = static_cast<std::uint64_t>(n);
       background_.push_back(std::make_unique<OpenArrivalStream>(
           engine_, bg.pvmd_interarrival, bg.pvmd_cpu_length, ProcessClass::PvmDaemon,
-          node_cpus_[n].get(), nullptr, des::RngStream(config_.seed, node_tag, kTagPvmdCpu)));
+          node_cpus_[n].get(), nullptr, des::RngStream(config_.seed, node_tag, kTagPvmdCpu),
+          backend));
       background_.push_back(std::make_unique<OpenArrivalStream>(
           engine_, bg.pvmd_interarrival, bg.pvmd_net_length, ProcessClass::PvmDaemon, nullptr,
-          network_.get(), des::RngStream(config_.seed, node_tag, kTagPvmdNet)));
+          network_.get(), des::RngStream(config_.seed, node_tag, kTagPvmdNet), backend));
       background_.push_back(std::make_unique<OpenArrivalStream>(
           engine_, bg.other_cpu_interarrival, bg.other_cpu_length, ProcessClass::Other,
-          node_cpus_[n].get(), nullptr, des::RngStream(config_.seed, node_tag, kTagOtherCpu)));
+          node_cpus_[n].get(), nullptr, des::RngStream(config_.seed, node_tag, kTagOtherCpu),
+          backend));
       background_.push_back(std::make_unique<OpenArrivalStream>(
           engine_, bg.other_net_interarrival, bg.other_net_length, ProcessClass::Other, nullptr,
-          network_.get(), des::RngStream(config_.seed, node_tag, kTagOtherNet)));
+          network_.get(), des::RngStream(config_.seed, node_tag, kTagOtherNet), backend));
     }
   }
 }

@@ -16,12 +16,21 @@ void require_positive(double v, const char* what) {
 }
 }  // namespace
 
+double Distribution::log_pdf(double x) const {
+  // Fallback for subclasses without a log-space density.  Families below
+  // override this: log(pdf(x)) underflows to -inf once pdf(x) rounds to 0,
+  // which silently disqualifies a model when fitting large samples with
+  // far-tail observations.
+  const double p = pdf(x);
+  return p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity();
+}
+
 double Distribution::log_likelihood(std::span<const double> data) const {
   double ll = 0.0;
   for (const double x : data) {
-    const double p = pdf(x);
-    if (p <= 0.0) return -std::numeric_limits<double>::infinity();
-    ll += std::log(p);
+    const double lp = log_pdf(x);
+    if (lp == -std::numeric_limits<double>::infinity()) return lp;
+    ll += lp;
   }
   return ll;
 }
@@ -49,6 +58,11 @@ std::string Exponential::describe() const {
 double Exponential::pdf(double x) const {
   if (x < 0.0) return 0.0;
   return std::exp(-x / mean_) / mean_;
+}
+
+double Exponential::log_pdf(double x) const {
+  if (x < 0.0) return -std::numeric_limits<double>::infinity();
+  return -x / mean_ - std::log(mean_);
 }
 
 double Exponential::cdf(double x) const {
@@ -99,6 +113,13 @@ double Lognormal::pdf(double x) const {
   return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * kPi));
 }
 
+double Lognormal::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double lx = std::log(x);
+  const double z = (lx - mu_) / sigma_;
+  return -0.5 * z * z - lx - std::log(sigma_) - 0.5 * std::log(2.0 * kPi);
+}
+
 double Lognormal::cdf(double x) const {
   if (x <= 0.0) return 0.0;
   return normal_cdf((std::log(x) - mu_) / sigma_);
@@ -141,6 +162,18 @@ double Weibull::pdf(double x) const {
   return (shape_ / scale_) * std::pow(t, shape_ - 1.0) * std::exp(-std::pow(t, shape_));
 }
 
+double Weibull::log_pdf(double x) const {
+  if (x < 0.0) return -std::numeric_limits<double>::infinity();
+  if (x == 0.0) {
+    // Matches pdf(0): +inf for shape < 1, log(1/scale) at shape == 1, -inf
+    // (density 0) for shape > 1.
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    return shape_ == 1.0 ? -std::log(scale_) : -std::numeric_limits<double>::infinity();
+  }
+  const double lt = std::log(x / scale_);
+  return std::log(shape_ / scale_) + (shape_ - 1.0) * lt - std::exp(shape_ * lt);
+}
+
 double Weibull::cdf(double x) const {
   if (x <= 0.0) return 0.0;
   return -std::expm1(-std::pow(x / scale_, shape_));
@@ -176,6 +209,11 @@ double Uniform::pdf(double x) const {
   return (x >= lo_ && x <= hi_) ? 1.0 / (hi_ - lo_) : 0.0;
 }
 
+double Uniform::log_pdf(double x) const {
+  return (x >= lo_ && x <= hi_) ? -std::log(hi_ - lo_)
+                                : -std::numeric_limits<double>::infinity();
+}
+
 double Uniform::cdf(double x) const {
   if (x <= lo_) return 0.0;
   if (x >= hi_) return 1.0;
@@ -203,6 +241,11 @@ std::string Deterministic::describe() const {
 
 double Deterministic::pdf(double x) const {
   return (x == value_) ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+double Deterministic::log_pdf(double x) const {
+  return (x == value_) ? std::numeric_limits<double>::infinity()
+                       : -std::numeric_limits<double>::infinity();
 }
 
 double Deterministic::cdf(double x) const { return (x >= value_) ? 1.0 : 0.0; }

@@ -36,13 +36,20 @@ class Distribution {
   [[nodiscard]] virtual double mean() const = 0;
   [[nodiscard]] virtual double variance() const = 0;
   [[nodiscard]] virtual double pdf(double x) const = 0;
+  /// log pdf(x), computed in log space.  The default falls back to
+  /// log(pdf(x)); families override it so densities too small for a double
+  /// (denormal or underflowed pdf on far-tail data) still yield a finite
+  /// log instead of collapsing to -inf.
+  [[nodiscard]] virtual double log_pdf(double x) const;
   [[nodiscard]] virtual double cdf(double x) const = 0;
   /// Inverse CDF; p in (0, 1).
   [[nodiscard]] virtual double quantile(double p) const = 0;
   /// Draw one variate.
   [[nodiscard]] virtual double sample(des::Pcg32& rng) const = 0;
 
-  /// Sum of log pdf over the data (for model selection).
+  /// Sum of log_pdf over the data (for model selection).  Summed in log
+  /// space, so large samples with extreme observations cannot hit -inf
+  /// unless a point truly has zero density.
   [[nodiscard]] double log_likelihood(std::span<const double> data) const;
 
   [[nodiscard]] double stddev() const;
@@ -60,6 +67,7 @@ class Exponential final : public Distribution {
   [[nodiscard]] double mean() const override { return mean_; }
   [[nodiscard]] double variance() const override { return mean_ * mean_; }
   [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double sample(des::Pcg32& rng) const override;
@@ -83,6 +91,7 @@ class Lognormal final : public Distribution {
   [[nodiscard]] double mean() const override;
   [[nodiscard]] double variance() const override;
   [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double sample(des::Pcg32& rng) const override;
@@ -105,6 +114,7 @@ class Weibull final : public Distribution {
   [[nodiscard]] double mean() const override;
   [[nodiscard]] double variance() const override;
   [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double sample(des::Pcg32& rng) const override;
@@ -127,6 +137,7 @@ class Uniform final : public Distribution {
   [[nodiscard]] double mean() const override { return 0.5 * (lo_ + hi_); }
   [[nodiscard]] double variance() const override;
   [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double sample(des::Pcg32& rng) const override;
@@ -147,6 +158,7 @@ class Deterministic final : public Distribution {
   [[nodiscard]] double mean() const override { return value_; }
   [[nodiscard]] double variance() const override { return 0.0; }
   [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double sample(des::Pcg32& rng) const override;

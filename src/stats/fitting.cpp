@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "stats/ks_test.hpp"
 #include "stats/special_functions.hpp"
 #include "stats/summary.hpp"
 
@@ -75,18 +76,7 @@ Weibull fit_weibull(std::span<const double> data) {
 }
 
 double ks_statistic(std::span<const double> data, const Distribution& dist) {
-  if (data.empty()) throw std::invalid_argument("ks_statistic: empty data");
-  std::vector<double> sorted(data.begin(), data.end());
-  std::sort(sorted.begin(), sorted.end());
-  const auto n = static_cast<double>(sorted.size());
-  double d = 0.0;
-  for (std::size_t i = 0; i < sorted.size(); ++i) {
-    const double f = dist.cdf(sorted[i]);
-    const double lo = static_cast<double>(i) / n;
-    const double hi = static_cast<double>(i + 1) / n;
-    d = std::max({d, std::fabs(f - lo), std::fabs(f - hi)});
-  }
-  return d;
+  return ks_test(data, dist).statistic;
 }
 
 ChiSquareResult chi_square_test(std::span<const double> data, const Distribution& dist,

@@ -1,0 +1,56 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace paradyn::stats {
+
+double kolmogorov_q(double lambda) {
+  if (!(lambda > 0.0)) return 1.0;
+  // The alternating series converges in a handful of terms for lambda of
+  // practical size; below ~0.2 it needs many terms but is numerically 1.
+  if (lambda < 0.2) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * static_cast<double>(k) * static_cast<double>(k) *
+                                 lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+double kolmogorov_p_value(double statistic, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("kolmogorov_p_value: n must be > 0");
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  return kolmogorov_q((sqrt_n + 0.12 + 0.11 / sqrt_n) * statistic);
+}
+
+KsTestResult ks_test(std::span<const double> data, const CdfFn& cdf) {
+  if (data.empty()) throw std::invalid_argument("ks_test: empty data");
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(f - lo), std::fabs(f - hi)});
+  }
+  KsTestResult r;
+  r.statistic = d;
+  r.n = sorted.size();
+  r.p_value = kolmogorov_p_value(d, sorted.size());
+  return r;
+}
+
+KsTestResult ks_test(std::span<const double> data, const Distribution& dist) {
+  return ks_test(data, [&dist](double x) { return dist.cdf(x); });
+}
+
+}  // namespace paradyn::stats

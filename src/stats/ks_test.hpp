@@ -1,0 +1,48 @@
+// One-sample Kolmogorov-Smirnov test.
+//
+// Reusable across the codebase: the variate-backend equivalence tests
+// (ziggurat vs reference draws against the analytic CDF) and the Figure 8
+// fitting checks both need "is this sample consistent with this CDF?" with
+// an actual p-value, not just the raw D statistic that fitting.hpp exposes.
+//
+// The p-value uses the asymptotic Kolmogorov distribution with Stephens'
+// finite-n correction: lambda = (sqrt(n) + 0.12 + 0.11/sqrt(n)) * D, then
+// Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).  Accurate to
+// a few percent for n >= 10 — ample for accept/reject at the 1% level.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "stats/distributions.hpp"
+
+namespace paradyn::stats {
+
+/// A model CDF evaluated at one point.
+using CdfFn = std::function<double(double)>;
+
+struct KsTestResult {
+  double statistic = 0.0;  ///< D = sup |F_empirical - F_model|.
+  double p_value = 0.0;    ///< P(D >= statistic | H0: data ~ model).
+  std::size_t n = 0;
+
+  /// Convenience for assertions: reject H0 at significance `alpha`?
+  [[nodiscard]] bool reject(double alpha = 0.05) const noexcept { return p_value < alpha; }
+};
+
+/// Survival function of the Kolmogorov distribution, Q(lambda) =
+/// P(K >= lambda).  Q(0) = 1; decreases to 0.
+[[nodiscard]] double kolmogorov_q(double lambda);
+
+/// P-value for an observed one-sample D at sample size n (Stephens'
+/// correction applied).
+[[nodiscard]] double kolmogorov_p_value(double statistic, std::size_t n);
+
+/// One-sample KS test of `data` against an arbitrary model CDF.  Data need
+/// not be sorted (a sorted copy is made).
+[[nodiscard]] KsTestResult ks_test(std::span<const double> data, const CdfFn& cdf);
+
+/// One-sample KS test of `data` against a Distribution's CDF.
+[[nodiscard]] KsTestResult ks_test(std::span<const double> data, const Distribution& dist);
+
+}  // namespace paradyn::stats

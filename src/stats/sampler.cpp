@@ -1,0 +1,57 @@
+#include "stats/sampler.hpp"
+
+#include <stdexcept>
+
+namespace paradyn::stats {
+
+const char* to_string(SamplerBackend backend) noexcept {
+  switch (backend) {
+    case SamplerBackend::Ziggurat:
+      return "ziggurat";
+    case SamplerBackend::Reference:
+      return "reference";
+  }
+  return "?";
+}
+
+FrozenSampler FrozenSampler::compile(const DistributionPtr& dist, SamplerBackend backend) {
+  if (!dist) throw std::invalid_argument("FrozenSampler::compile: null distribution");
+  const bool zig = backend == SamplerBackend::Ziggurat;
+  FrozenSampler s;
+
+  if (const auto* d = dynamic_cast<const Deterministic*>(dist.get())) {
+    s.kind_ = Kind::kDeterministic;
+    s.a_ = d->mean();
+    return s;
+  }
+  if (const auto* u = dynamic_cast<const Uniform*>(dist.get())) {
+    s.kind_ = Kind::kUniform;
+    s.a_ = u->quantile(0.0);
+    s.b_ = u->quantile(1.0) - u->quantile(0.0);
+    return s;
+  }
+  if (const auto* e = dynamic_cast<const Exponential*>(dist.get())) {
+    s.kind_ = zig ? Kind::kExponentialZig : Kind::kExponentialRef;
+    s.a_ = e->mean();
+    return s;
+  }
+  if (const auto* l = dynamic_cast<const Lognormal*>(dist.get())) {
+    s.kind_ = zig ? Kind::kLognormalZig : Kind::kLognormalRef;
+    s.a_ = l->mu();
+    s.b_ = l->sigma();
+    return s;
+  }
+  if (const auto* w = dynamic_cast<const Weibull*>(dist.get())) {
+    s.kind_ = zig ? Kind::kWeibullZig : Kind::kWeibullRef;
+    s.a_ = w->scale();
+    s.b_ = 1.0 / w->shape();
+    return s;
+  }
+
+  // Unknown subclass: keep the distribution alive and sample virtually.
+  s.kind_ = Kind::kVirtual;
+  s.fallback_ = dist;
+  return s;
+}
+
+}  // namespace paradyn::stats

@@ -92,36 +92,43 @@ std::vector<TraceRecord> generate_trace(const Sp2TraceModel& model, std::int32_t
 
       const std::int32_t pid = next_pid++;
       des::RngStream rng(seed, static_cast<std::uint64_t>(node) * 131 + pi, 17);
+      const auto freeze = [&](const stats::DistributionPtr& dist) {
+        return stats::FrozenSampler::compile(dist, model.backend);
+      };
 
       if (pm.alternating) {
         if (!pm.cpu_length || !pm.net_length) {
           throw std::invalid_argument("generate_trace: alternating process needs both lengths");
         }
+        const stats::FrozenSampler cpu_length = freeze(pm.cpu_length);
+        const stats::FrozenSampler net_length = freeze(pm.net_length);
         double t = 0.0;
         while (t < model.duration_us) {
-          const double cpu = pm.cpu_length->sample(rng);
+          const double cpu = cpu_length(rng);
           records.push_back({t, node, pid, pm.pclass, ResourceKind::Cpu, cpu});
           t += cpu;
           if (t >= model.duration_us) break;
-          const double net = pm.net_length->sample(rng);
+          const double net = net_length(rng);
           records.push_back({t, node, pid, pm.pclass, ResourceKind::Network, net});
           t += net;
         }
       } else {
         if (pm.cpu_length && pm.cpu_interarrival) {
-          double t = pm.cpu_interarrival->sample(rng);
+          const stats::FrozenSampler length = freeze(pm.cpu_length);
+          const stats::FrozenSampler interarrival = freeze(pm.cpu_interarrival);
+          double t = interarrival(rng);
           while (t < model.duration_us) {
-            records.push_back(
-                {t, node, pid, pm.pclass, ResourceKind::Cpu, pm.cpu_length->sample(rng)});
-            t += pm.cpu_interarrival->sample(rng);
+            records.push_back({t, node, pid, pm.pclass, ResourceKind::Cpu, length(rng)});
+            t += interarrival(rng);
           }
         }
         if (pm.net_length && pm.net_interarrival) {
-          double t = pm.net_interarrival->sample(rng);
+          const stats::FrozenSampler length = freeze(pm.net_length);
+          const stats::FrozenSampler interarrival = freeze(pm.net_interarrival);
+          double t = interarrival(rng);
           while (t < model.duration_us) {
-            records.push_back(
-                {t, node, pid, pm.pclass, ResourceKind::Network, pm.net_length->sample(rng)});
-            t += pm.net_interarrival->sample(rng);
+            records.push_back({t, node, pid, pm.pclass, ResourceKind::Network, length(rng)});
+            t += interarrival(rng);
           }
         }
       }

@@ -109,6 +109,40 @@ TEST(Distribution, LogLikelihoodMinusInfinityOutsideSupport) {
   EXPECT_LT(e.log_likelihood(data), 0.0);
 }
 
+TEST(Distribution, LogPdfSurvivesWherePdfUnderflows) {
+  // A sample far in the tail: pdf underflows to 0 (log would give -inf),
+  // but the analytic log-density is a perfectly finite large negative
+  // number.  This is the Figure 8 fitting failure the log-space
+  // log_likelihood fixes.
+  const Exponential e(1.0);
+  const double far = 1e4;
+  EXPECT_EQ(e.pdf(far), 0.0);  // underflow
+  EXPECT_NEAR(e.log_pdf(far), -far, 1e-6);
+  EXPECT_TRUE(std::isfinite(e.log_pdf(far)));
+
+  const Lognormal ln(0.0, 1.0);
+  const double huge = 1e120;
+  EXPECT_EQ(ln.pdf(huge), 0.0);
+  EXPECT_TRUE(std::isfinite(ln.log_pdf(huge)));
+}
+
+TEST(Distribution, LogLikelihoodFiniteOnExtremeData) {
+  // 600 tail observations: the product of pdfs underflows to 0 long before
+  // the end, but the log-space sum is exact.
+  const Exponential e(1.0);
+  const std::vector<double> data(600, 400.0);
+  const double ll = e.log_likelihood(data);
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_NEAR(ll, -600.0 * 400.0, 1e-6);
+}
+
+TEST(Distribution, LogPdfMinusInfinityOutsideSupport) {
+  EXPECT_TRUE(std::isinf(Exponential(1.0).log_pdf(-1.0)));
+  EXPECT_TRUE(std::isinf(Lognormal(0.0, 1.0).log_pdf(0.0)));
+  EXPECT_TRUE(std::isinf(Uniform(0.0, 1.0).log_pdf(2.0)));
+  EXPECT_LT(Uniform(0.0, 1.0).log_pdf(2.0), 0.0);
+}
+
 TEST(SampleStandardNormal, MeanAndVariance) {
   des::RngStream rng(7, 7);
   SummaryStats s;
@@ -164,6 +198,17 @@ TEST_P(DistributionProperty, SamplesInsideSupport) {
   des::RngStream rng(13, des::hash_label(GetParam().name));
   for (int i = 0; i < 10000; ++i) {
     EXPECT_GE(d.sample(rng), 0.0);
+  }
+}
+
+TEST_P(DistributionProperty, LogPdfMatchesLogOfPdfInsideSupport) {
+  const auto& d = *GetParam().dist;
+  for (const double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double x = d.quantile(p);
+    const double pdf = d.pdf(x);
+    ASSERT_GT(pdf, 0.0) << "p=" << p;
+    EXPECT_NEAR(d.log_pdf(x), std::log(pdf), 1e-9 * std::abs(std::log(pdf)) + 1e-9)
+        << GetParam().name << " p=" << p;
   }
 }
 

@@ -1,0 +1,89 @@
+// Unit tests of the one-sample Kolmogorov-Smirnov test: the Kolmogorov
+// survival function, hand-checked D statistics, and accept/reject behavior
+// on matched and mismatched models.
+#include "stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "des/random.hpp"
+#include "stats/distributions.hpp"
+#include "stats/fitting.hpp"
+
+namespace paradyn::stats {
+namespace {
+
+TEST(KolmogorovQ, BoundaryAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.1), 1.0);  // series region cutoff
+  double prev = 1.0;
+  for (double lambda = 0.3; lambda < 3.0; lambda += 0.1) {
+    const double q = kolmogorov_q(lambda);
+    EXPECT_LE(q, prev + 1e-12) << "lambda = " << lambda;
+    EXPECT_GE(q, 0.0);
+    prev = q;
+  }
+  EXPECT_LT(kolmogorov_q(3.0), 1e-6);
+}
+
+TEST(KolmogorovQ, MatchesTabulatedValues) {
+  // Classical table values of P(K >= lambda).
+  EXPECT_NEAR(kolmogorov_q(1.0), 0.2700, 0.001);
+  EXPECT_NEAR(kolmogorov_q(1.36), 0.0491, 0.001);
+  EXPECT_NEAR(kolmogorov_q(1.63), 0.0100, 0.0005);
+}
+
+TEST(KsTest, HandComputedStatistic) {
+  // Against U(0,1): F(x) = x.  For {0.1, 0.4, 0.7} the empirical CDF steps
+  // at heights {1/3, 2/3, 1}; sup deviation is at x = 0.7 (|2/3 - 0.7| vs
+  // |1 - 0.7| = 0.3).
+  const std::vector<double> data{0.1, 0.4, 0.7};
+  const auto result = ks_test(data, CdfFn([](double x) { return x; }));
+  EXPECT_NEAR(result.statistic, 0.3, 1e-12);
+  EXPECT_EQ(result.n, 3u);
+}
+
+TEST(KsTest, UnsortedInputGivesSameResult) {
+  const std::vector<double> sorted{0.1, 0.4, 0.7};
+  const std::vector<double> shuffled{0.7, 0.1, 0.4};
+  const CdfFn cdf = [](double x) { return x; };
+  EXPECT_DOUBLE_EQ(ks_test(sorted, cdf).statistic, ks_test(shuffled, cdf).statistic);
+}
+
+TEST(KsTest, AcceptsMatchedModel) {
+  const Exponential dist(100.0);
+  des::RngStream rng(17, 1);
+  std::vector<double> xs(20'000);
+  for (double& x : xs) x = dist.sample(rng);
+  const auto result = ks_test(xs, dist);
+  EXPECT_FALSE(result.reject(0.01)) << "p = " << result.p_value;
+}
+
+TEST(KsTest, RejectsMismatchedModel) {
+  const Exponential actual(100.0);
+  const Uniform claimed(0.0, 200.0);
+  des::RngStream rng(17, 2);
+  std::vector<double> xs(5'000);
+  for (double& x : xs) x = actual.sample(rng);
+  const auto result = ks_test(xs, claimed);
+  EXPECT_TRUE(result.reject(0.01));
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, StatisticMatchesFittingKsStatistic) {
+  const auto dist = Lognormal::from_mean_stddev(500.0, 300.0);
+  des::RngStream rng(23, 5);
+  std::vector<double> xs(2'000);
+  for (double& x : xs) x = dist.sample(rng);
+  EXPECT_DOUBLE_EQ(ks_test(xs, dist).statistic, ks_statistic(xs, dist));
+}
+
+TEST(KsTest, PValueFallsWithSampleSizeAtFixedD) {
+  EXPECT_GT(kolmogorov_p_value(0.05, 100), kolmogorov_p_value(0.05, 1'000));
+  EXPECT_GT(kolmogorov_p_value(0.05, 1'000), kolmogorov_p_value(0.05, 10'000));
+}
+
+}  // namespace
+}  // namespace paradyn::stats

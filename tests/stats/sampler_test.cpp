@@ -1,0 +1,121 @@
+// Unit tests of FrozenSampler: devirtualization of the known families,
+// bit-exact reproduction of historical streams under the Reference backend,
+// distributional agreement of the Ziggurat backend, and the virtual
+// fallback for unknown Distribution subclasses.
+#include "stats/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "des/random.hpp"
+#include "stats/distributions.hpp"
+#include "stats/empirical.hpp"
+#include "stats/ks_test.hpp"
+
+namespace paradyn::stats {
+namespace {
+
+/// The Table 2 families plus uniform/deterministic.
+std::vector<DistributionPtr> known_families() {
+  return {
+      std::make_shared<Exponential>(223.0),
+      std::make_shared<Lognormal>(Lognormal::from_mean_stddev(2213.0, 3034.0)),
+      std::make_shared<Weibull>(0.8, 250.0),
+      std::make_shared<Uniform>(10.0, 50.0),
+      std::make_shared<Deterministic>(7.5),
+  };
+}
+
+TEST(FrozenSampler, KnownFamiliesCompileToInlineDispatch) {
+  for (const auto& dist : known_families()) {
+    for (const auto backend : {SamplerBackend::Ziggurat, SamplerBackend::Reference}) {
+      EXPECT_TRUE(FrozenSampler::compile(dist, backend).devirtualized()) << dist->describe();
+    }
+  }
+}
+
+TEST(FrozenSampler, CompileRejectsNull) {
+  EXPECT_THROW((void)FrozenSampler::compile(nullptr), std::invalid_argument);
+}
+
+TEST(FrozenSampler, DefaultConstructedDrawsZeroWithoutConsumingRandomness) {
+  const FrozenSampler sampler;
+  des::RngStream rng(1, 1);
+  const auto before = rng;
+  EXPECT_EQ(sampler(rng), 0.0);
+  EXPECT_EQ(rng.next_u64(), des::RngStream(before).next_u64());
+}
+
+// The Reference backend exists so --reference-rng replays pre-ziggurat
+// experiments exactly: each draw must bit-match the virtual sample().
+TEST(FrozenSampler, ReferenceBackendBitMatchesVirtualSample) {
+  for (const auto& dist : known_families()) {
+    const auto sampler = FrozenSampler::compile(dist, SamplerBackend::Reference);
+    des::RngStream rng_frozen(5, 17);
+    des::RngStream rng_virtual(5, 17);
+    for (int i = 0; i < 1'000; ++i) {
+      ASSERT_EQ(sampler(rng_frozen), dist->sample(rng_virtual))
+          << dist->describe() << " draw " << i;
+    }
+  }
+}
+
+// The Ziggurat backend draws a different sequence but must still follow
+// the compiled distribution.
+TEST(FrozenSampler, ZigguratBackendPassesKsAgainstDistributionCdf) {
+  for (const auto& dist : known_families()) {
+    if (dist->name() == "deterministic") continue;  // cdf is a step function
+    const auto sampler = FrozenSampler::compile(dist, SamplerBackend::Ziggurat);
+    des::RngStream rng(29, 3);
+    std::vector<double> xs(100'000);
+    for (double& x : xs) x = sampler(rng);
+    const auto result = ks_test(xs, *dist);
+    EXPECT_GT(result.p_value, 0.001) << dist->describe() << " D = " << result.statistic;
+  }
+}
+
+TEST(FrozenSampler, BothBackendsAgreeWithAnalyticMoments) {
+  constexpr std::size_t kDraws = 200'000;
+  for (const auto& dist : known_families()) {
+    for (const auto backend : {SamplerBackend::Ziggurat, SamplerBackend::Reference}) {
+      const auto sampler = FrozenSampler::compile(dist, backend);
+      des::RngStream rng(31, 7);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < kDraws; ++i) sum += sampler(rng);
+      const double mean = sum / static_cast<double>(kDraws);
+      // 5 sigma of the sample-mean estimator.
+      const double tol =
+          5.0 * std::sqrt(dist->variance() / static_cast<double>(kDraws)) + 1e-12;
+      EXPECT_NEAR(mean, dist->mean(), tol) << dist->describe() << " " << to_string(backend);
+    }
+  }
+}
+
+TEST(FrozenSampler, UniformStaysInRange) {
+  const auto sampler =
+      FrozenSampler::compile(std::make_shared<Uniform>(10.0, 50.0), SamplerBackend::Ziggurat);
+  des::RngStream rng(3, 3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = sampler(rng);
+    ASSERT_GE(x, 10.0);
+    ASSERT_LT(x, 50.0);
+  }
+}
+
+TEST(FrozenSampler, UnknownSubclassFallsBackToVirtualSample) {
+  const std::vector<double> data{1.0, 2.0, 4.0, 8.0, 16.0};
+  const DistributionPtr dist = std::make_shared<Empirical>(data);
+  const auto sampler = FrozenSampler::compile(dist, SamplerBackend::Ziggurat);
+  EXPECT_FALSE(sampler.devirtualized());
+  des::RngStream rng_frozen(9, 9);
+  des::RngStream rng_virtual(9, 9);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(sampler(rng_frozen), dist->sample(rng_virtual));
+  }
+}
+
+}  // namespace
+}  // namespace paradyn::stats

@@ -1,0 +1,101 @@
+// Unit tests of the ziggurat variate engine: moments, distributional
+// agreement (KS), tail coverage, and draw determinism.  The heavyweight
+// n = 1e6 equivalence tests live in stat_equiv_test.cpp (Release-mode CI
+// label); these stay cheap enough for the regular suite.
+#include "stats/ziggurat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "des/random.hpp"
+#include "stats/ks_test.hpp"
+
+namespace paradyn::stats {
+namespace {
+
+constexpr std::size_t kDraws = 200'000;
+
+double standard_normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+std::vector<double> draw_normals(std::uint64_t seed, std::size_t n = kDraws) {
+  des::RngStream rng(seed, 1);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = ziggurat_normal(rng);
+  return xs;
+}
+
+std::vector<double> draw_exponentials(std::uint64_t seed, std::size_t n = kDraws) {
+  des::RngStream rng(seed, 2);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = ziggurat_exponential(rng);
+  return xs;
+}
+
+void expect_moments(const std::vector<double>& xs, double mean, double variance, double tol) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double m = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  const double v = ss / static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(m, mean, tol);
+  EXPECT_NEAR(v, variance, 3.0 * tol);
+}
+
+TEST(Ziggurat, NormalMomentsMatchStandardNormal) {
+  expect_moments(draw_normals(42), 0.0, 1.0, 0.01);
+}
+
+TEST(Ziggurat, ExponentialMomentsMatchUnitMean) {
+  expect_moments(draw_exponentials(42), 1.0, 1.0, 0.01);
+}
+
+TEST(Ziggurat, NormalPassesKsAgainstAnalyticCdf) {
+  const auto xs = draw_normals(7);
+  const auto result = ks_test(xs, CdfFn(standard_normal_cdf));
+  EXPECT_GT(result.p_value, 0.001) << "D = " << result.statistic;
+}
+
+TEST(Ziggurat, ExponentialPassesKsAgainstAnalyticCdf) {
+  const auto xs = draw_exponentials(7);
+  const auto result = ks_test(xs, CdfFn([](double x) { return 1.0 - std::exp(-x); }));
+  EXPECT_GT(result.p_value, 0.001) << "D = " << result.statistic;
+}
+
+TEST(Ziggurat, NormalTailBeyondBaseLayerIsReached) {
+  // P(|X| > r = 3.654) ~= 2.6e-4: 200k draws should exercise the tail
+  // rejection path ~50 times.
+  const auto xs = draw_normals(3);
+  const double max_abs = std::abs(*std::max_element(
+      xs.begin(), xs.end(), [](double a, double b) { return std::abs(a) < std::abs(b); }));
+  EXPECT_GT(max_abs, detail::kNormalZigR);
+}
+
+TEST(Ziggurat, ExponentialTailBeyondBaseLayerIsReached) {
+  // P(X > r = 7.697) ~= 4.5e-4.
+  const auto xs = draw_exponentials(3);
+  EXPECT_GT(*std::max_element(xs.begin(), xs.end()), detail::kExpZigR);
+}
+
+TEST(Ziggurat, NormalIsSymmetric) {
+  const auto xs = draw_normals(11);
+  const auto negatives = static_cast<std::size_t>(
+      std::count_if(xs.begin(), xs.end(), [](double x) { return x < 0.0; }));
+  const double frac = static_cast<double>(negatives) / static_cast<double>(xs.size());
+  EXPECT_NEAR(frac, 0.5, 0.005);
+}
+
+TEST(Ziggurat, ExponentialIsNonNegative) {
+  for (double x : draw_exponentials(13)) ASSERT_GE(x, 0.0);
+}
+
+TEST(Ziggurat, DrawsAreDeterministicPerSeed) {
+  EXPECT_EQ(draw_normals(99, 1'000), draw_normals(99, 1'000));
+  EXPECT_NE(draw_normals(99, 1'000), draw_normals(100, 1'000));
+}
+
+}  // namespace
+}  // namespace paradyn::stats

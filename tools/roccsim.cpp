@@ -45,6 +45,8 @@ void print_help() {
       "  --adaptive-budget X     enable the dynamic cost model with an IS overhead\n"
       "                          budget of X%% of CPU capacity; default off\n"
       "  --seed N                RNG seed; default 1\n"
+      "  --reference-rng         draw variates with the pre-ziggurat reference\n"
+      "                          backend (bit-reproduces pre-PR-5 streams)\n"
       "  --reps N                replications with 90% CIs; default 1\n"
       "  --jobs N                worker threads for the replications; default: all\n"
       "                          hardware threads, 1 = serial (results identical)\n"
@@ -80,7 +82,8 @@ int main(int argc, char** argv) {
     const tools::CliArgs args(
         argc, argv,
         {"arch", "nodes", "apps", "daemons", "sampling-ms", "batch", "topology", "barrier-ms",
-         "pipe", "seconds", "warmup", "seed", "reps", "jobs", "uninstrumented", "dedicated-main",
+         "pipe", "seconds", "warmup", "seed", "reference-rng", "reps", "jobs", "uninstrumented",
+         "dedicated-main",
          "adaptive-budget", "trace", "trace-events", "metrics", "metrics-tick-ms", "progress",
          "report-json", "help"});
     if (args.get_bool("help")) {
@@ -116,6 +119,7 @@ int main(int argc, char** argv) {
       cfg.adaptive.overhead_budget_pct = args.get_double("adaptive-budget", 1.0);
     }
     cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+    cfg.reference_rng = args.get_bool("reference-rng");
     cfg.instrumentation_enabled = !args.get_bool("uninstrumented");
     cfg.main_on_dedicated_host = args.get_bool("dedicated-main");
     cfg.validate();

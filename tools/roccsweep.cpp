@@ -32,6 +32,7 @@ void print_help() {
       "  --values a,b,c     sweep points (required)\n"
       "  --arch now|smp|mpp --nodes N --apps N --daemons N --sampling-ms X\n"
       "  --batch N --topology direct|tree --seconds X --reps N --seed N\n"
+      "  --reference-rng    pre-ziggurat variate backend (pre-PR-5 streams)\n"
       "  --jobs N           worker threads per replication set; default: all\n"
       "                     hardware threads, 1 = serial (results identical)\n"
       "  --progress         heartbeat lines on stderr as runs finish\n"
@@ -84,7 +85,8 @@ int main(int argc, char** argv) {
     const tools::CliArgs args(
         argc, argv,
         {"axis", "values", "arch", "nodes", "apps", "daemons", "sampling-ms", "batch",
-         "topology", "seconds", "reps", "seed", "jobs", "progress", "report-json", "help"});
+         "topology", "seconds", "reps", "seed", "reference-rng", "jobs", "progress",
+         "report-json", "help"});
     if (args.get_bool("help") || !args.has("axis") || !args.has("values")) {
       print_help();
       return args.get_bool("help") ? 0 : 1;
@@ -115,6 +117,7 @@ int main(int argc, char** argv) {
     base.batch_size = static_cast<std::int32_t>(args.get_long("batch", 1));
     base.duration_us = args.get_double("seconds", 5.0) * 1e6;
     base.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+    base.reference_rng = args.get_bool("reference-rng");
 
     if (args.get_bool("progress")) experiments::set_progress_stream(&std::cerr);
     const std::string report_file = args.get_string("report-json", "");
