@@ -1,0 +1,101 @@
+// Fault-injection hot-path benchmark and zero-cost guard.
+//
+// Two CI obligations live here:
+//
+//   speedup_fault_grid     events/sec of a fault-laden run over the plain
+//                          run of the same configuration, measured in the
+//                          same process.  Machine-independent-ish ratio;
+//                          a drop means the fault event path (stall /
+//                          drop-gate / slowdown bookkeeping) got slower.
+//   fault_off_overhead_pct zero-cost envelope: carrying an armed-but-inert
+//                          fault plan (a drop window that never claims a
+//                          sample) must cost < 2% versus no plan at all.
+//
+// Both are emitted through --bench-json for tools/bench_compare.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_json_common.hpp"
+#include "repro_common.hpp"
+#include "rocc/simulation.hpp"
+
+namespace {
+
+paradyn::rocc::SystemConfig base_config() {
+  auto c = paradyn::rocc::SystemConfig::now(4);
+  c.duration_us = 5e6;
+  c.sampling_period_us = 5'000.0;
+  c.batch_size = 1;
+  return c;
+}
+
+/// Events per wall second of one run.
+double run_eps(const paradyn::rocc::SystemConfig& cfg) {
+  const paradyn::bench::WallTimer t;
+  const auto r = paradyn::rocc::run_simulation(cfg);
+  const double sec = t.seconds();
+  return sec > 0.0 ? static_cast<double>(r.events_processed) / sec : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  paradyn::bench::print_stamp("fault_grid");
+  using namespace paradyn;
+
+  const std::string json_path = bench::bench_json_path(argc, argv);
+  const bench::WallTimer total;
+
+  const auto plain = base_config();
+
+  // Armed but inert: the gate exists and is consulted by the schedule,
+  // but the 1 ms window on one node with p ~ 0 never claims a sample.
+  auto inert = base_config();
+  inert.faults = rocc::FaultPlan::parse("sample_drop:node=0,start=1s,dur=1ms,p=1e-12");
+
+  // The active grid: one fault of every flavor in a 5 s run.
+  auto active = base_config();
+  active.faults = rocc::FaultPlan::parse(
+      "daemon_stall:daemon=0,start=1s,dur=200ms;"
+      "daemon_crash:daemon=1,start=2s,dur=200ms;"
+      "link_slow:start=2500ms,dur=500ms,factor=8;"
+      "sample_drop:node=all,start=3s,dur=1s,p=0.25;"
+      "pipe_backpressure:daemon=2,start=4s,dur=500ms,capacity=2");
+
+  (void)run_eps(plain);  // warm-up: page in code and the event pool
+
+  constexpr int kRounds = 5;
+  double plain_eps = 0.0;
+  double inert_eps = 0.0;
+  double active_eps = 0.0;
+  for (int i = 0; i < kRounds; ++i) {
+    // Interleaved so drift (thermal, scheduler) hits all three equally;
+    // best-of cancels transient stalls.
+    plain_eps = std::max(plain_eps, run_eps(plain));
+    inert_eps = std::max(inert_eps, run_eps(inert));
+    active_eps = std::max(active_eps, run_eps(active));
+  }
+
+  const double speedup = plain_eps > 0.0 ? active_eps / plain_eps : 0.0;
+  const double overhead_pct = inert_eps > 0.0 ? (plain_eps / inert_eps - 1.0) * 100.0 : 0.0;
+
+  std::printf("=== Fault-injection hot path (NOW 4 nodes, SP = 5 ms, 5 s run, best of %d) ===\n",
+              kRounds);
+  std::printf("  %-28s %12.0f ev/s\n", "plain (no fault plan)", plain_eps);
+  std::printf("  %-28s %12.0f ev/s\n", "armed but inert plan", inert_eps);
+  std::printf("  %-28s %12.0f ev/s\n", "active 5-fault grid", active_eps);
+  std::printf("  %-28s %12.3f\n", "speedup_fault_grid", speedup);
+  std::printf("  %-28s %12.3f %%\n", "fault_off_overhead_pct", overhead_pct);
+
+  if (!json_path.empty()) {
+    bench::write_bench_json(json_path, {
+                                           {"fault_grid_plain_eps", plain_eps},
+                                           {"fault_grid_active_eps", active_eps},
+                                           {"speedup_fault_grid", speedup},
+                                           {"fault_off_overhead_pct", overhead_pct},
+                                           {"fault_grid_wall_seconds", total.seconds()},
+                                       });
+  }
+  return 0;
+}

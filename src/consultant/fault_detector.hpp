@@ -1,0 +1,98 @@
+// Fault detection on top of the Performance Consultant.
+//
+// The fault subsystem (rocc/faults.hpp) perturbs the modeled system; this
+// module measures how long the *analysis side* of the IS takes to notice.
+// The detector maintains a behavioral signature of the consultant's state —
+// the set of confirmed (hypothesis, focus) findings plus the set of
+// sample-starved nodes — and compares it against the signature last seen
+// before each fault's injection time:
+//
+//   detection latency = injection time -> first signature change, and
+//   recovery latency  = window end     -> first return to the baseline,
+//
+// both measured in *delivery* time: the detector only sees samples that
+// have paid the full collection/forwarding path, so monitoring latency is
+// part of detection latency by construction (the paper's motivation for
+// treating latency as a first-class IS metric).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "consultant/consultant.hpp"
+#include "rocc/faults.hpp"
+#include "rocc/metrics.hpp"
+#include "rocc/simulation.hpp"
+
+namespace paradyn::consultant {
+
+struct DetectorConfig {
+  ConsultantConfig consultant;
+  /// Nominal sampling period of the run (sets the starvation horizon).
+  rocc::SimTime sampling_period_us = 40'000.0;
+  /// A node counts as sample-starved when nothing arrived from it for this
+  /// many sampling periods (stalls and crashes starve their whole domain).
+  double starvation_factor = 4.0;
+};
+
+/// Streaming detector: feed every delivered sample, read per-fault
+/// detection/recovery latencies at the end of the run.
+class FaultDetector {
+ public:
+  FaultDetector(rocc::FaultPlan plan, DetectorConfig config);
+
+  /// Feed one delivered sample; `delivered_at` is the simulated delivery
+  /// time (wire to MainParadyn's sink with the engine clock).
+  void observe(const rocc::Sample& sample, rocc::SimTime delivered_at);
+
+  /// Copy detection/recovery results into `outcomes` (which must be the
+  /// simulation's fault_outcomes, in plan order).
+  void finalize(std::vector<rocc::FaultOutcome>& outcomes) const;
+
+  [[nodiscard]] const PerformanceConsultant& consultant() const noexcept {
+    return consultant_;
+  }
+
+ private:
+  struct Tracked {
+    rocc::FaultSpec spec;
+    std::string baseline;  ///< Signature last seen before spec.start_us.
+    bool detected = false;
+    rocc::SimTime detected_at = 0.0;
+    bool recovered = false;
+    rocc::SimTime recovered_at = 0.0;
+  };
+
+  /// Findings fingerprint + starved-node set at `now`.
+  [[nodiscard]] std::string signature(rocc::SimTime now) const;
+  void evaluate(rocc::SimTime now);
+
+  DetectorConfig config_;
+  PerformanceConsultant consultant_;
+  std::vector<Tracked> tracked_;
+  /// Last delivery time per node (starvation bookkeeping).
+  std::map<std::int32_t, rocc::SimTime> last_seen_;
+};
+
+/// Ties a FaultDetector to a Simulation for one run: attaches the main
+/// process's sample sink before run(), and copies the measured latencies
+/// into the result afterwards.  Keep the harness alive across run().
+class DetectionHarness {
+ public:
+  /// No-op when instrumentation is disabled or the fault plan is empty.
+  explicit DetectionHarness(rocc::Simulation& sim, DetectorConfig config = {});
+
+  /// Fill result.fault_outcomes with detection/recovery latencies.
+  void finalize(rocc::SimulationResult& result) const;
+
+  [[nodiscard]] const FaultDetector* detector() const noexcept { return detector_.get(); }
+
+ private:
+  std::unique_ptr<FaultDetector> detector_;
+};
+
+/// Convenience: run one simulation with fault detection attached.
+[[nodiscard]] rocc::SimulationResult run_with_detection(const rocc::SystemConfig& config,
+                                                        DetectorConfig detector_config = {});
+
+}  // namespace paradyn::consultant

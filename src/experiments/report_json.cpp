@@ -142,6 +142,50 @@ void write_result_json(std::ostream& os, const rocc::SimulationResult& r, int in
   o.key("final_sampling_period_us");
   number(os, r.final_sampling_period_us);
 
+  // Fault-injection and throttle blocks are emitted only when populated,
+  // so fault-free reports are byte-identical to the pre-fault format.
+  if (r.samples_dropped != 0 || !r.fault_outcomes.empty()) {
+    o.key("samples_dropped") << r.samples_dropped;
+  }
+  if (!r.fault_outcomes.empty()) {
+    o.key("faults") << '[';
+    for (std::size_t f = 0; f < r.fault_outcomes.size(); ++f) {
+      const auto& fo = r.fault_outcomes[f];
+      if (f != 0) os << ", ";
+      os << "{\"spec\": ";
+      quoted(os, fo.spec.describe());
+      os << ", \"type\": ";
+      quoted(os, rocc::to_string(fo.spec.type));
+      os << ", \"target\": " << fo.spec.target;
+      os << ", \"start_us\": ";
+      number(os, fo.spec.start_us);
+      os << ", \"duration_us\": ";
+      number(os, fo.spec.duration_us);
+      os << ", \"magnitude\": ";
+      number(os, fo.spec.magnitude);
+      os << ", \"injected\": " << (fo.injected ? "true" : "false");
+      os << ", \"detected\": " << (fo.detected ? "true" : "false");
+      os << ", \"detection_latency_us\": ";
+      number(os, fo.detection_latency_us);
+      os << ", \"recovered\": " << (fo.recovered ? "true" : "false");
+      os << ", \"recovery_latency_us\": ";
+      number(os, fo.recovery_latency_us);
+      os << '}';
+    }
+    os << ']';
+  }
+  if (!r.throttle_factors.empty()) {
+    o.key("throttle_factors") << '[';
+    for (std::size_t t = 0; t < r.throttle_factors.size(); ++t) {
+      if (t != 0) os << ", ";
+      number(os, r.throttle_factors[t]);
+    }
+    os << ']';
+    o.key("max_throttle_factor");
+    number(os, r.max_throttle_factor);
+    o.key("throttle_adjustments") << r.throttle_adjustments;
+  }
+
   o.key("per_node") << '[';
   for (std::size_t n = 0; n < r.per_node.size(); ++n) {
     const auto& nb = r.per_node[n];

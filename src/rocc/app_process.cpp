@@ -104,8 +104,10 @@ void ApplicationProcess::after_io_block() {
 }
 
 SimTime ApplicationProcess::sampling_period() const {
-  return controller_ != nullptr ? controller_->current_period_us()
-                                : config_.sampling_period_us;
+  SimTime period = controller_ != nullptr ? controller_->current_period_us()
+                                          : config_.sampling_period_us;
+  if (throttle_ != nullptr) period *= throttle_->factor(throttle_domain_);
+  return period;
 }
 
 void ApplicationProcess::schedule_next_sample() {
@@ -136,6 +138,12 @@ void ApplicationProcess::emit_sample() {
   last_sample_comm_ = comm_time_used_;
   ++metrics_.samples_generated;
   sample.id = metrics_.samples_generated;  // run-unique: counter is shared
+  // Fault injection: the counters were read, but the write to the pipe is
+  // lost (a lossy /proc read or dropped trace record).
+  if (fault_gate_ != nullptr && fault_gate_->active() && fault_gate_->should_drop(node_)) {
+    ++metrics_.samples_dropped;
+    return;
+  }
   if (tracer_ != nullptr) {
     tracer_->async_begin("sample", "lifecycle", sample.id, track_, engine_.now());
   }
@@ -154,6 +162,7 @@ void ApplicationProcess::emit_sample() {
                      static_cast<double>(pipe_->capacity()));
   }
   blocked_on_pipe_ = true;
+  blocked_since_ = engine_.now();
   pending_sample_ = sample;
   pipe_->notify_on_space([this] { on_pipe_space(); });
 }
@@ -175,6 +184,7 @@ void ApplicationProcess::on_pipe_space() {
     pending_sample_.reset();
   }
   blocked_on_pipe_ = false;
+  blocked_total_us_ += engine_.now() - blocked_since_;
   if (config_.instrumentation_mode == InstrumentationMode::Sampling) {
     schedule_next_sample();
   }

@@ -42,9 +42,25 @@ class ApplicationProcess {
   /// Begin the computation/communication loop and the sampling timer.
   void start();
 
+  /// Fault injection: samples consult `gate` at emission and may be lost
+  /// before reaching the pipe.  Call before start(); may be null.
+  void set_fault_gate(FaultGate* gate) noexcept { fault_gate_ = gate; }
+
+  /// Adaptive throttle: the sampling period is multiplied by the factor of
+  /// `domain` (this process's daemon).  Call before start(); may be null.
+  void set_throttle(const PerDaemonThrottle* throttle, std::int32_t domain) noexcept {
+    throttle_ = throttle;
+    throttle_domain_ = domain;
+  }
+
   [[nodiscard]] std::int32_t node() const noexcept { return node_; }
   [[nodiscard]] std::int32_t index() const noexcept { return index_; }
   [[nodiscard]] bool blocked_on_pipe() const noexcept { return blocked_on_pipe_; }
+  /// Cumulative simulated time spent blocked on a full pipe, including the
+  /// in-progress block (the throttle's perturbation input).
+  [[nodiscard]] SimTime pipe_blocked_time_us(SimTime now) const noexcept {
+    return blocked_total_us_ + (blocked_on_pipe_ ? now - blocked_since_ : 0.0);
+  }
   /// Completed computation+communication cycles.
   [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
 
@@ -88,6 +104,9 @@ class ApplicationProcess {
   Pipe* pipe_;
   BarrierManager* barrier_;
   const SamplingController* controller_;
+  const PerDaemonThrottle* throttle_ = nullptr;
+  std::int32_t throttle_domain_ = 0;
+  FaultGate* fault_gate_ = nullptr;
   MetricsCollector& metrics_;
   des::RngStream rng_;
   std::int32_t node_;
@@ -97,6 +116,8 @@ class ApplicationProcess {
   std::int32_t track_ = 0;
 
   bool blocked_on_pipe_ = false;
+  SimTime blocked_since_ = 0.0;
+  SimTime blocked_total_us_ = 0.0;
   std::optional<Sample> pending_sample_;
   SmallCallback resume_point_;
   SimTime last_barrier_ = 0.0;

@@ -80,8 +80,34 @@ void SystemConfig::validate() const {
   if (fault_daemon_stall.duration_us < 0.0 || fault_daemon_stall.start_us < 0.0) {
     throw std::invalid_argument("SystemConfig: daemon stall times must be >= 0");
   }
-  if (fault_daemon_stall.duration_us > 0.0 && fault_daemon_stall.daemon_index < 0) {
-    throw std::invalid_argument("SystemConfig: daemon stall index must be >= 0");
+  if (fault_daemon_stall.duration_us > 0.0) {
+    // Fail at configuration time, not at Simulation construction: the
+    // daemon count is statically derivable from the architecture.
+    if (fault_daemon_stall.daemon_index < 0 ||
+        fault_daemon_stall.daemon_index >= daemon_count()) {
+      throw std::invalid_argument("SystemConfig: daemon stall index out of range");
+    }
+    if (fault_daemon_stall.start_us >= duration_us) {
+      throw std::invalid_argument("SystemConfig: daemon stall starts after sim end");
+    }
+  }
+  if (!faults.empty()) {
+    faults.validate(daemon_count(), nodes, duration_us, pipe_capacity);
+  }
+  if (adaptive_throttle.enabled) {
+    if (!(adaptive_throttle.perturbation_budget_pct > 0.0)) {
+      throw std::invalid_argument("SystemConfig: throttle perturbation budget must be > 0");
+    }
+    if (!(adaptive_throttle.adjust_interval_us > 0.0)) {
+      throw std::invalid_argument("SystemConfig: throttle adjust interval must be > 0");
+    }
+    if (!(adaptive_throttle.max_slowdown >= 1.0)) {
+      throw std::invalid_argument("SystemConfig: throttle max_slowdown must be >= 1");
+    }
+    if (!(adaptive_throttle.grow > 1.0) || !(adaptive_throttle.shrink > 0.0) ||
+        adaptive_throttle.shrink >= 1.0) {
+      throw std::invalid_argument("SystemConfig: throttle steps need grow > 1, shrink in (0,1)");
+    }
   }
   if (pd.net_per_extra_sample_us < 0.0) {
     throw std::invalid_argument("SystemConfig: net_per_extra_sample_us must be >= 0");

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "rocc/faults.hpp"
 #include "rocc/types.hpp"
 #include "stats/distributions.hpp"
 #include "stats/sampler.hpp"
@@ -44,6 +45,29 @@ struct AdaptiveSamplingConfig {
   /// when under half the budget.
   double grow = 1.5;
   double shrink = 0.75;
+};
+
+/// Closed-loop per-daemon sampling throttle (--adaptive-sampling): the
+/// paper's *measured* perturbation metric turned into a control input.
+/// Every adjust_interval the controller extrapolates each daemon domain's
+/// perturbation (daemon busy time plus application pipe-blocked time, as a
+/// fraction of the domain's CPU capacity) one interval ahead; domains whose
+/// *predicted* perturbation exceeds the budget get their sampling period
+/// stretched, and recover multiplicatively once back under half budget.
+/// Orthogonal to AdaptiveSamplingConfig, which regulates one global period
+/// against direct IS CPU cost only.
+struct AdaptiveThrottleConfig {
+  bool enabled = false;
+  /// Predicted-perturbation budget, percent of the domain's CPU capacity.
+  double perturbation_budget_pct = 5.0;
+  /// How often the controller re-evaluates (also the prediction horizon).
+  SimTime adjust_interval_us = 250'000.0;
+  /// Per-domain sampling-period multiplier bounds: [1, max_slowdown].
+  double max_slowdown = 16.0;
+  /// Multiplicative steps: factor *= grow when over budget, *= shrink
+  /// (floored at 1) when under half budget.
+  double grow = 2.0;
+  double shrink = 0.5;
 };
 
 /// How instrumentation data is produced (Section 2.3.1): periodic sampling
@@ -109,6 +133,9 @@ struct SystemConfig {
   /// Adaptive overhead regulation; sampling_period_us is the initial period.
   AdaptiveSamplingConfig adaptive;
 
+  /// Per-daemon perturbation-driven sampling throttle.
+  AdaptiveThrottleConfig adaptive_throttle;
+
   /// Batch size in samples; 1 == collect-and-forward.
   std::int32_t batch_size = 1;
 
@@ -158,6 +185,12 @@ struct SystemConfig {
   };
   DaemonStall fault_daemon_stall;
 
+  /// General fault plan (--fault): typed, scheduled perturbations compiled
+  /// into calendar-queue events at simulation setup.  Subsumes
+  /// fault_daemon_stall, which is kept as the legacy single-stall shorthand
+  /// and folded into the effective plan by Simulation.
+  FaultPlan faults;
+
   /// Simulated duration and RNG seed.
   SimTime duration_us = 10.0e6;
   std::uint64_t seed = 1;
@@ -192,6 +225,14 @@ struct SystemConfig {
   [[nodiscard]] SchedulingPolicy policy() const noexcept {
     return batch_size <= 1 ? SchedulingPolicy::CollectAndForward
                            : SchedulingPolicy::BatchAndForward;
+  }
+
+  /// Number of Paradyn daemons the simulation will build — statically
+  /// derivable from the architecture, so fault targets can be validated at
+  /// configuration time.  0 when instrumentation is disabled.
+  [[nodiscard]] std::int32_t daemon_count() const noexcept {
+    if (!instrumentation_enabled) return 0;
+    return arch == Architecture::Smp ? daemons : nodes;
   }
 
   /// Throws std::invalid_argument if any knob is out of range or any

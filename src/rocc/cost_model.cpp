@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "rocc/app_process.hpp"
+
 namespace paradyn::rocc {
 
 SamplingController::SamplingController(des::Engine& engine,
@@ -70,6 +72,97 @@ void SamplingController::on_adjust() {
   }
   adjustments_.push_back({now, overhead_pct, period_us_});
 
+  engine_.schedule_after(config_.adjust_interval_us, [this] { on_adjust(); });
+}
+
+PerDaemonThrottle::PerDaemonThrottle(des::Engine& engine, const AdaptiveThrottleConfig& config)
+    : engine_(engine), config_(config) {
+  if (!(config_.perturbation_budget_pct > 0.0)) {
+    throw std::invalid_argument("PerDaemonThrottle: perturbation budget must be > 0");
+  }
+  if (!(config_.adjust_interval_us > 0.0)) {
+    throw std::invalid_argument("PerDaemonThrottle: adjust interval must be > 0");
+  }
+  if (!(config_.max_slowdown >= 1.0)) {
+    throw std::invalid_argument("PerDaemonThrottle: max_slowdown must be >= 1");
+  }
+  if (!(config_.grow > 1.0) || !(config_.shrink > 0.0) || !(config_.shrink < 1.0)) {
+    throw std::invalid_argument("PerDaemonThrottle: grow must be > 1 and shrink in (0,1)");
+  }
+}
+
+std::int32_t PerDaemonThrottle::add_domain(const CpuResource* cpu, double cpu_share,
+                                           double capacity_per_us) {
+  if (cpu == nullptr || !(cpu_share > 0.0) || !(capacity_per_us > 0.0)) {
+    throw std::invalid_argument("PerDaemonThrottle: bad domain parameters");
+  }
+  Domain d;
+  d.cpu = cpu;
+  d.cpu_share = cpu_share;
+  d.capacity_per_us = capacity_per_us;
+  domains_.push_back(std::move(d));
+  return static_cast<std::int32_t>(domains_.size()) - 1;
+}
+
+void PerDaemonThrottle::add_app(std::int32_t domain, const ApplicationProcess* app) {
+  domains_.at(static_cast<std::size_t>(domain)).apps.push_back(app);
+}
+
+std::vector<double> PerDaemonThrottle::factors() const {
+  std::vector<double> out;
+  out.reserve(domains_.size());
+  for (const Domain& d : domains_) out.push_back(d.factor);
+  return out;
+}
+
+void PerDaemonThrottle::start() {
+  last_adjust_at_ = engine_.now();
+  for (Domain& d : domains_) {
+    d.last_busy_us = d.cpu->busy_time(ProcessClass::ParadynDaemon) * d.cpu_share;
+    d.last_blocked_us = 0.0;
+    for (const ApplicationProcess* app : d.apps) {
+      d.last_blocked_us += app->pipe_blocked_time_us(engine_.now());
+    }
+  }
+  engine_.schedule_after(config_.adjust_interval_us, [this] { on_adjust(); });
+}
+
+void PerDaemonThrottle::on_adjust() {
+  const SimTime now = engine_.now();
+  const double window = now - last_adjust_at_;
+  last_adjust_at_ = now;
+  for (Domain& d : domains_) {
+    const double busy = d.cpu->busy_time(ProcessClass::ParadynDaemon) * d.cpu_share;
+    double blocked = 0.0;
+    for (const ApplicationProcess* app : d.apps) blocked += app->pipe_blocked_time_us(now);
+    // max(0, ...): a warm-up reset can rewind the busy counters mid-window.
+    const double pct =
+        (window > 0.0)
+            ? std::max(0.0, 100.0 * ((busy - d.last_busy_us) + (blocked - d.last_blocked_us)) /
+                                (d.capacity_per_us * window))
+            : 0.0;
+    d.last_busy_us = busy;
+    d.last_blocked_us = blocked;
+    // Linear extrapolation one interval ahead: throttle on the *predicted*
+    // perturbation, so a rising transient is damped before it crosses the
+    // budget rather than after.
+    const double predicted = pct + (pct - d.current_pct);
+    d.current_pct = pct;
+    if (predicted > config_.perturbation_budget_pct) {
+      const double next = std::min(d.factor * config_.grow, config_.max_slowdown);
+      if (next != d.factor) {
+        d.factor = next;
+        ++adjustments_;
+        max_factor_ = std::max(max_factor_, d.factor);
+      }
+    } else if (predicted < 0.5 * config_.perturbation_budget_pct && d.factor > 1.0) {
+      const double next = std::max(d.factor * config_.shrink, 1.0);
+      if (next != d.factor) {
+        d.factor = next;
+        ++adjustments_;
+      }
+    }
+  }
   engine_.schedule_after(config_.adjust_interval_us, [this] { on_adjust(); });
 }
 

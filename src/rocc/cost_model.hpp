@@ -57,4 +57,65 @@ class SamplingController {
   std::vector<CostModelAdjustment> adjustments_;
 };
 
+class ApplicationProcess;
+
+/// Per-daemon perturbation throttle (--adaptive-sampling): where the
+/// SamplingController regulates one global period against direct IS CPU
+/// cost, this controller regulates each daemon *domain* (the daemon plus
+/// the application processes it instruments) against its own perturbation —
+/// daemon CPU occupancy plus application pipe-blocked time, the two paths
+/// by which the IS perturbs the paper's workload.  The measured fraction is
+/// linearly extrapolated one interval ahead; a domain whose *predicted*
+/// perturbation exceeds the budget gets its sampling period stretched
+/// (factor *= grow, capped at max_slowdown), and recovers multiplicatively
+/// once the prediction falls under half the budget.
+class PerDaemonThrottle {
+ public:
+  PerDaemonThrottle(des::Engine& engine, const AdaptiveThrottleConfig& config);
+
+  PerDaemonThrottle(const PerDaemonThrottle&) = delete;
+  PerDaemonThrottle& operator=(const PerDaemonThrottle&) = delete;
+
+  /// Register one daemon domain.  `cpu_share` is the fraction of the host
+  /// CPU's ParadynDaemon-class busy time attributable to this daemon (1 on
+  /// NOW/MPP; 1/daemons-per-host on SMP, an even-split approximation since
+  /// per-class CPU accounting is shared).  Returns the domain index.
+  std::int32_t add_domain(const CpuResource* cpu, double cpu_share, double capacity_per_us);
+
+  /// Register an application process whose sampling the domain throttles.
+  void add_app(std::int32_t domain, const ApplicationProcess* app);
+
+  /// Begin the periodic adjustment loop.
+  void start();
+
+  /// Current sampling-period multiplier of a domain (>= 1).
+  [[nodiscard]] double factor(std::int32_t domain) const noexcept {
+    return domains_[static_cast<std::size_t>(domain)].factor;
+  }
+  [[nodiscard]] std::vector<double> factors() const;
+  [[nodiscard]] double max_factor() const noexcept { return max_factor_; }
+  [[nodiscard]] std::uint64_t adjustments() const noexcept { return adjustments_; }
+
+ private:
+  struct Domain {
+    const CpuResource* cpu = nullptr;
+    double cpu_share = 1.0;
+    double capacity_per_us = 1.0;
+    std::vector<const ApplicationProcess*> apps;
+    double factor = 1.0;
+    double current_pct = 0.0;  ///< Perturbation over the last window.
+    double last_busy_us = 0.0;
+    double last_blocked_us = 0.0;
+  };
+
+  void on_adjust();
+
+  des::Engine& engine_;
+  AdaptiveThrottleConfig config_;
+  std::vector<Domain> domains_;
+  SimTime last_adjust_at_ = 0.0;
+  double max_factor_ = 1.0;
+  std::uint64_t adjustments_ = 0;
+};
+
 }  // namespace paradyn::rocc

@@ -57,6 +57,18 @@ void ParadynDaemon::stall_until(SimTime until) {
 
 bool ParadynDaemon::stalled() const noexcept { return engine_.now() < stalled_until_; }
 
+void ParadynDaemon::crash_until(SimTime until) {
+  std::uint64_t lost = pending_batch_.size() + merged_pending_.size();
+  for (const Batch& b : merge_queue_) lost += b.sample_count();
+  metrics_.samples_dropped += lost;
+  pending_batch_.clear();
+  merged_pending_.clear();
+  merge_queue_.clear();
+  flush_due_ = false;
+  engine_.cancel(flush_timer_);
+  stall_until(until);
+}
+
 void ParadynDaemon::try_start() {
   if (busy_ || stalled()) return;
 

@@ -58,6 +58,12 @@ class ParadynDaemon {
   void stall_until(SimTime until);
   [[nodiscard]] bool stalled() const noexcept;
 
+  /// Fault injection: the daemon process dies and restarts at `until`.
+  /// Unlike a stall, all in-memory state — the accumulating batch, merged
+  /// child samples, and queued child batches — is destroyed (counted into
+  /// MetricsCollector::samples_dropped); pipes survive (kernel buffers).
+  void crash_until(SimTime until);
+
   [[nodiscard]] std::int32_t node() const noexcept { return node_; }
   [[nodiscard]] std::uint64_t samples_collected() const noexcept { return samples_collected_; }
   [[nodiscard]] std::uint64_t batches_forwarded() const noexcept { return batches_forwarded_; }

@@ -1,0 +1,255 @@
+#include "rocc/faults.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace paradyn::rocc {
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("FaultPlan: bad spec \"" + spec + "\": " + why);
+}
+
+/// "500ms" -> 500'000; "2s" -> 2'000'000; "750" / "750us" -> 750.
+double parse_time_us(const std::string& spec, const std::string& text) {
+  if (text.empty()) bad_spec(spec, "empty time value");
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    bad_spec(spec, "not a number: " + text);
+  }
+  const std::string unit = text.substr(pos);
+  if (unit.empty() || unit == "us") return value;
+  if (unit == "ms") return value * 1e3;
+  if (unit == "s") return value * 1e6;
+  bad_spec(spec, "unknown time unit: " + unit);
+}
+
+double parse_number(const std::string& spec, const std::string& text) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    bad_spec(spec, "not a number: " + text);
+  }
+  if (pos != text.size()) bad_spec(spec, "trailing characters in: " + text);
+  return value;
+}
+
+std::int32_t parse_target(const std::string& spec, const std::string& text) {
+  if (text == "all" || text == "-1") return -1;
+  const double v = parse_number(spec, text);
+  const auto i = static_cast<std::int32_t>(v);
+  if (static_cast<double>(i) != v || i < 0) bad_spec(spec, "target must be 'all' or >= 0");
+  return i;
+}
+
+}  // namespace
+
+const char* to_string(FaultType t) noexcept {
+  switch (t) {
+    case FaultType::DaemonStall:
+      return "daemon_stall";
+    case FaultType::DaemonCrash:
+      return "daemon_crash";
+    case FaultType::LinkSlowdown:
+      return "link_slow";
+    case FaultType::SampleDrop:
+      return "sample_drop";
+    case FaultType::PipeBackpressure:
+      return "pipe_backpressure";
+  }
+  return "?";
+}
+
+std::string FaultSpec::describe() const {
+  char buf[160];
+  if (type == FaultType::LinkSlowdown) {
+    std::snprintf(buf, sizeof(buf), "%s x%g @ [%g, %g) us", to_string(type), magnitude, start_us,
+                  end_us());
+    return buf;
+  }
+  const char* target_kind = type == FaultType::SampleDrop ? "node" : "daemon";
+  char who[32];
+  if (target < 0) {
+    std::snprintf(who, sizeof(who), "%s all", target_kind);
+  } else {
+    std::snprintf(who, sizeof(who), "%s %d", target_kind, target);
+  }
+  // Stall/crash carry no magnitude; drop shows p, backpressure the clamp.
+  if (type == FaultType::SampleDrop) {
+    std::snprintf(buf, sizeof(buf), "%s %s p=%g @ [%g, %g) us", to_string(type), who, magnitude,
+                  start_us, end_us());
+  } else if (type == FaultType::PipeBackpressure) {
+    std::snprintf(buf, sizeof(buf), "%s %s cap=%g @ [%g, %g) us", to_string(type), who, magnitude,
+                  start_us, end_us());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s %s @ [%g, %g) us", to_string(type), who, start_us,
+                  end_us());
+  }
+  return buf;
+}
+
+FaultSpec FaultPlan::parse_spec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) bad_spec(spec, "expected TYPE:key=value,...");
+  const std::string type_name = spec.substr(0, colon);
+
+  FaultSpec f;
+  if (type_name == "daemon_stall") {
+    f.type = FaultType::DaemonStall;
+  } else if (type_name == "daemon_crash") {
+    f.type = FaultType::DaemonCrash;
+  } else if (type_name == "link_slow") {
+    f.type = FaultType::LinkSlowdown;
+  } else if (type_name == "sample_drop") {
+    f.type = FaultType::SampleDrop;
+  } else if (type_name == "pipe_backpressure") {
+    f.type = FaultType::PipeBackpressure;
+  } else {
+    bad_spec(spec, "unknown fault type: " + type_name);
+  }
+
+  bool saw_start = false;
+  bool saw_duration = false;
+  std::string rest = spec.substr(colon + 1);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string kv = rest.substr(0, comma);
+    rest = comma == std::string::npos ? std::string{} : rest.substr(comma + 1);
+    if (kv.empty()) continue;
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) bad_spec(spec, "expected key=value, got: " + kv);
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    if (key == "start") {
+      f.start_us = parse_time_us(spec, value);
+      saw_start = true;
+    } else if (key == "dur" || key == "duration") {
+      f.duration_us = parse_time_us(spec, value);
+      saw_duration = true;
+    } else if (key == "daemon" || key == "node") {
+      f.target = parse_target(spec, value);
+    } else if (key == "factor" || key == "p" || key == "capacity") {
+      f.magnitude = parse_number(spec, value);
+    } else {
+      bad_spec(spec, "unknown key: " + key);
+    }
+  }
+  if (!saw_start || !saw_duration) bad_spec(spec, "start and dur are required");
+  return f;
+}
+
+FaultPlan FaultPlan::parse(const std::string& specs) {
+  FaultPlan plan;
+  std::string rest = specs;
+  while (!rest.empty()) {
+    const auto semi = rest.find(';');
+    const std::string one = rest.substr(0, semi);
+    rest = semi == std::string::npos ? std::string{} : rest.substr(semi + 1);
+    if (one.empty()) continue;
+    plan.faults.push_back(parse_spec(one));
+  }
+  if (plan.faults.empty()) {
+    throw std::invalid_argument("FaultPlan: no fault specs in \"" + specs + "\"");
+  }
+  return plan;
+}
+
+void FaultPlan::validate(std::int32_t daemon_count, std::int32_t nodes,
+                         SimTime sim_duration_us, std::int32_t pipe_capacity) const {
+  for (const FaultSpec& f : faults) {
+    const std::string what = f.describe();
+    if (f.start_us < 0.0) {
+      throw std::invalid_argument("FaultPlan: start must be >= 0: " + what);
+    }
+    if (!(f.duration_us > 0.0)) {
+      throw std::invalid_argument("FaultPlan: duration must be > 0: " + what);
+    }
+    if (f.start_us >= sim_duration_us) {
+      throw std::invalid_argument("FaultPlan: window starts after sim end: " + what);
+    }
+    switch (f.type) {
+      case FaultType::DaemonStall:
+      case FaultType::DaemonCrash:
+      case FaultType::PipeBackpressure:
+        if (daemon_count <= 0) {
+          throw std::invalid_argument(
+              "FaultPlan: daemon fault requires instrumentation enabled: " + what);
+        }
+        if (f.target >= daemon_count) {
+          throw std::invalid_argument("FaultPlan: daemon index out of range: " + what);
+        }
+        break;
+      case FaultType::SampleDrop:
+        if (daemon_count <= 0) {
+          throw std::invalid_argument(
+              "FaultPlan: sample_drop requires instrumentation enabled: " + what);
+        }
+        if (f.target >= nodes) {
+          throw std::invalid_argument("FaultPlan: node index out of range: " + what);
+        }
+        break;
+      case FaultType::LinkSlowdown:
+        break;
+    }
+    switch (f.type) {
+      case FaultType::LinkSlowdown:
+        if (!(f.magnitude >= 1.0)) {
+          throw std::invalid_argument("FaultPlan: link_slow factor must be >= 1: " + what);
+        }
+        break;
+      case FaultType::SampleDrop:
+        if (!(f.magnitude > 0.0) || f.magnitude > 1.0) {
+          throw std::invalid_argument("FaultPlan: sample_drop p must be in (0, 1]: " + what);
+        }
+        break;
+      case FaultType::PipeBackpressure:
+        if (!(f.magnitude >= 1.0) || f.magnitude >= static_cast<double>(pipe_capacity)) {
+          throw std::invalid_argument(
+              "FaultPlan: pipe_backpressure capacity must be in [1, pipe_capacity): " + what);
+        }
+        break;
+      case FaultType::DaemonStall:
+      case FaultType::DaemonCrash:
+        break;
+    }
+  }
+}
+
+void FaultGate::add_drop(std::int32_t node, double probability) {
+  windows_.emplace_back(node, probability);
+}
+
+void FaultGate::remove_drop(std::int32_t node, double probability) {
+  for (auto it = windows_.begin(); it != windows_.end(); ++it) {
+    if (it->first == node && it->second == probability) {
+      windows_.erase(it);
+      return;
+    }
+  }
+}
+
+bool FaultGate::should_drop(std::int32_t node) {
+  bool drop = false;
+  for (const auto& [target, p] : windows_) {
+    if ((target < 0 || target == node) && rng_.next_double() < p) drop = true;
+  }
+  return drop;
+}
+
+std::vector<SimTime> FaultPlan::schedule_points() const {
+  std::vector<SimTime> points;
+  points.reserve(faults.size() * 2);
+  for (const FaultSpec& f : faults) {
+    points.push_back(f.start_us);
+    points.push_back(f.end_us());
+  }
+  return points;
+}
+
+}  // namespace paradyn::rocc

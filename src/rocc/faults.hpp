@@ -1,0 +1,127 @@
+// Fault / perturbation injection subsystem.
+//
+// The paper measures monitoring latency and perturbation under nominal
+// operation; this module injects *off-nominal* behavior — stalled or
+// crashed daemons, degraded links, lossy sampling, shrunken pipes — so the
+// instrumentation system's detection latency and recovery behavior become
+// measurable outputs (in the spirit of ParaVerser's fault-detection
+// evaluation, DSN'25).  A FaultPlan is a list of typed, scheduled
+// perturbations validated at configuration time and compiled into ordinary
+// calendar-queue events at simulation start, so fault runs are
+// deterministic across --jobs values and bit-identical under both event
+// queue implementations (the schedule is plain (time, seq) events; the
+// only fault RNG is a dedicated stream independent of every model stream).
+//
+// Spec grammar (one fault; join several with ';'):
+//
+//   daemon_stall:daemon=0,start=1s,dur=500ms
+//   daemon_crash:daemon=0,start=1s,dur=250ms
+//   link_slow:start=2s,dur=1s,factor=8
+//   sample_drop:node=all,start=1s,dur=2s,p=0.25
+//   pipe_backpressure:daemon=0,start=1s,dur=1s,capacity=2
+//
+// Durations accept us / ms / s suffixes (bare numbers are microseconds).
+// `daemon=all` / `node=all` (or -1) targets every daemon / node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "des/random.hpp"
+#include "rocc/types.hpp"
+
+namespace paradyn::rocc {
+
+enum class FaultType : std::uint8_t {
+  DaemonStall,       ///< Daemon stops draining/forwarding for the window.
+  DaemonCrash,       ///< Daemon dies (in-memory batches lost), restarts after.
+  LinkSlowdown,      ///< Network occupancies stretched by `magnitude`.
+  SampleDrop,        ///< Samples dropped at pipe ingress with prob `magnitude`.
+  PipeBackpressure,  ///< Pipe capacity clamped to `magnitude` samples.
+};
+
+[[nodiscard]] const char* to_string(FaultType t) noexcept;
+
+/// One scheduled perturbation.
+struct FaultSpec {
+  FaultType type = FaultType::DaemonStall;
+  /// Target daemon (stall/crash/backpressure) or node (sample_drop); -1 =
+  /// all.  Ignored by link_slow (the interconnect is a shared resource).
+  std::int32_t target = -1;
+  SimTime start_us = 0.0;
+  SimTime duration_us = 0.0;
+  /// Type-dependent: slowdown factor (>= 1), drop probability (0, 1], or
+  /// clamped pipe capacity (>= 1).  Unused for stall/crash.
+  double magnitude = 0.0;
+
+  [[nodiscard]] SimTime end_us() const noexcept { return start_us + duration_us; }
+  /// "daemon_stall daemon 0 @ [1e+06, 1.5e+06) us" — for stamps and tables.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Scheduled set of perturbations for one run.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+
+  /// Parse one spec (the grammar above, without ';').  Throws
+  /// std::invalid_argument with the offending token on malformed input.
+  [[nodiscard]] static FaultSpec parse_spec(const std::string& spec);
+
+  /// Parse a ';'-joined spec list (the --fault flag payload).
+  [[nodiscard]] static FaultPlan parse(const std::string& specs);
+
+  /// Structural validation against the static shape of the system:
+  /// windows must be non-degenerate, start inside [0, sim_duration), and
+  /// target an existing daemon/node.  Throws std::invalid_argument.
+  /// `daemon_count` is the number of daemons the architecture will build
+  /// (0 when instrumentation is disabled).
+  void validate(std::int32_t daemon_count, std::int32_t nodes, SimTime sim_duration_us,
+                std::int32_t pipe_capacity) const;
+
+  /// Injection schedule boundaries (start and end of every window) in
+  /// declaration order — what Simulation compiles into events, and what the
+  /// differential queue tests replay against both queue implementations.
+  [[nodiscard]] std::vector<SimTime> schedule_points() const;
+};
+
+/// Runtime sample-drop gate shared by one run's application processes:
+/// the currently active drop windows plus the dedicated fault RNG stream.
+/// Bernoulli draws happen only while a window covers the emitting node, so
+/// a fault-free run consumes no randomness and every model entity's stream
+/// is untouched by the presence of this object.
+class FaultGate {
+ public:
+  explicit FaultGate(des::RngStream rng) noexcept : rng_(rng) {}
+
+  /// Activate / deactivate a drop window (node -1 = all nodes).
+  void add_drop(std::int32_t node, double probability);
+  void remove_drop(std::int32_t node, double probability);
+
+  [[nodiscard]] bool active() const noexcept { return !windows_.empty(); }
+
+  /// One Bernoulli draw per active window covering `node`; true if any
+  /// window claims the sample.
+  [[nodiscard]] bool should_drop(std::int32_t node);
+
+ private:
+  des::RngStream rng_;
+  std::vector<std::pair<std::int32_t, double>> windows_;
+};
+
+/// Post-run record of one injected fault.  Simulation fills the injection
+/// side; the consultant's FaultDetector fills detection/recovery (negative
+/// latency = not observed within the run).
+struct FaultOutcome {
+  FaultSpec spec;
+  bool injected = false;
+  bool detected = false;
+  SimTime detection_latency_us = -1.0;
+  bool recovered = false;
+  SimTime recovery_latency_us = -1.0;
+};
+
+}  // namespace paradyn::rocc

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "rocc/faults.hpp"
 #include "rocc/types.hpp"
 #include "stats/summary.hpp"
 
@@ -28,6 +29,9 @@ struct MetricsCollector {
   /// steady-state analysis in stats/timeseries.hpp).
   std::vector<double> latency_series_us;
   bool record_latency_series = false;
+  /// Samples lost to injected faults: the sample_drop gate plus in-memory
+  /// batches destroyed by a daemon crash.
+  std::uint64_t samples_dropped = 0;
 };
 
 /// One adaptive-cost-model decision (see rocc/cost_model.hpp).
@@ -102,6 +106,21 @@ struct SimulationResult {
   // --- Adaptive cost model (empty/0 when not enabled) ---
   double final_sampling_period_us = 0.0;
   std::vector<CostModelAdjustment> cost_adjustments;
+
+  // --- Fault injection (empty/0 when no fault plan) ---
+  /// Samples lost to injected faults (drop gate + crash-destroyed batches).
+  std::uint64_t samples_dropped = 0;
+  /// One record per injected fault.  Simulation fills the injection side;
+  /// detection/recovery latencies are filled by the consultant's
+  /// FaultDetector when one is attached (negative = not observed).
+  std::vector<FaultOutcome> fault_outcomes;
+
+  // --- Per-daemon adaptive throttle (empty/1 when not enabled) ---
+  /// Final per-domain sampling-period multipliers (one per daemon).
+  std::vector<double> throttle_factors;
+  /// Largest multiplier any domain reached during the run.
+  double max_throttle_factor = 1.0;
+  std::uint64_t throttle_adjustments = 0;
 
   /// Monitoring latency per received sample, in seconds (figure units).
   [[nodiscard]] double latency_sec() const {

@@ -16,6 +16,7 @@ SimTime NetworkResource::busy_time_total() const noexcept {
 
 void NetworkResource::submit(NetRequest request) {
   if (request.duration < 0.0) throw std::invalid_argument("NetworkResource: negative duration");
+  request.duration *= slowdown_;
   busy_[static_cast<std::size_t>(request.pclass)] += request.duration;
 
   if (contention_ == NetworkContention::ContentionFree) {

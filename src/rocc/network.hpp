@@ -49,6 +49,12 @@ class NetworkResource {
   /// Zero the per-class busy-time accounting (warm-up deletion).
   void reset_accounting() noexcept { busy_.fill(0.0); }
 
+  /// Fault injection: stretch every subsequently submitted occupancy by
+  /// `factor` (a degraded link).  In-flight occupancies are unaffected;
+  /// restore with factor 1.
+  void set_slowdown(double factor) noexcept { slowdown_ = factor; }
+  [[nodiscard]] double slowdown() const noexcept { return slowdown_; }
+
   [[nodiscard]] NetworkContention contention() const noexcept { return contention_; }
   /// Requests waiting or in service (shared mode only; 0 when idle).
   [[nodiscard]] std::size_t backlog() const noexcept {
@@ -80,6 +86,7 @@ class NetworkResource {
   /// {this, slot}.
   std::vector<SmallCallback> inflight_;
   std::vector<std::uint32_t> inflight_free_;
+  double slowdown_ = 1.0;
   std::array<SimTime, trace::kNumProcessClasses> busy_{};
   obs::Tracer* tracer_ = nullptr;
   std::int32_t track_ = 0;

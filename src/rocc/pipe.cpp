@@ -35,6 +35,23 @@ std::optional<Sample> Pipe::try_get() {
   return s;
 }
 
+void Pipe::set_capacity_limit(std::int32_t limit) {
+  if (limit <= 0) throw std::invalid_argument("Pipe: capacity limit must be > 0");
+  limit_ = limit;
+  if (!full() && on_space_) {
+    auto cb = std::exchange(on_space_, nullptr);
+    cb();
+  }
+}
+
+void Pipe::clear_capacity_limit() {
+  limit_ = INT32_MAX;
+  if (!full() && on_space_) {
+    auto cb = std::exchange(on_space_, nullptr);
+    cb();
+  }
+}
+
 void Pipe::notify_on_data(SmallCallback cb) { on_data_ = std::move(cb); }
 
 void Pipe::notify_on_space(SmallCallback cb) { on_space_ = std::move(cb); }

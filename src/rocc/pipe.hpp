@@ -9,6 +9,7 @@
 // samples" (Section 4.3.3).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 
@@ -35,11 +36,20 @@ class Pipe {
   /// Used by a blocked producer.
   void notify_on_space(SmallCallback cb);
 
+  /// Fault injection: clamp the effective capacity to `limit` samples
+  /// (already-buffered samples stay; new puts see the clamp).  Raising the
+  /// limit back fires a pending space callback if room appeared.
+  void set_capacity_limit(std::int32_t limit);
+  void clear_capacity_limit();
+
   [[nodiscard]] std::int32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::int32_t effective_capacity() const noexcept {
+    return limit_ < capacity_ ? limit_ : capacity_;
+  }
   [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
   [[nodiscard]] bool empty() const noexcept { return buffer_.empty(); }
   [[nodiscard]] bool full() const noexcept {
-    return buffer_.size() >= static_cast<std::size_t>(capacity_);
+    return buffer_.size() >= static_cast<std::size_t>(effective_capacity());
   }
 
   /// Total samples ever accepted (for accounting/tests).
@@ -49,6 +59,8 @@ class Pipe {
 
  private:
   std::int32_t capacity_;
+  /// Fault clamp; effective capacity is min(capacity_, limit_).
+  std::int32_t limit_ = INT32_MAX;
   std::deque<Sample> buffer_;
   SmallCallback on_data_;
   SmallCallback on_space_;

@@ -17,6 +17,7 @@ enum RoleTag : std::uint64_t {
   kTagPvmdNet = 5,
   kTagOtherCpu = 6,
   kTagOtherNet = 7,
+  kTagFault = 8,
 };
 
 }  // namespace
@@ -107,6 +108,7 @@ void Simulation::build() {
                                            ? app_global % daemons_.size()
                                            : static_cast<std::size_t>(n);
         daemons_[daemon_idx]->attach_pipe(*pipe);
+        pipe_daemon_.push_back(daemon_idx);
       }
       const auto app_tag =
           static_cast<std::uint64_t>(n) * 4096 + static_cast<std::uint64_t>(a);
@@ -141,9 +143,146 @@ void Simulation::build() {
           network_.get(), des::RngStream(config_.seed, node_tag, kTagOtherNet), backend));
     }
   }
+
+  // Per-daemon adaptive throttle: one domain per daemon (its host CPU plus
+  // the application processes whose pipes it drains).
+  if (config_.instrumentation_enabled && config_.adaptive_throttle.enabled &&
+      !daemons_.empty()) {
+    throttle_ = std::make_unique<PerDaemonThrottle>(engine_, config_.adaptive_throttle);
+    std::vector<std::int32_t> daemons_on_host(node_cpus_.size(), 0);
+    for (const auto& daemon : daemons_) {
+      ++daemons_on_host[static_cast<std::size_t>(daemon->node())];
+    }
+    for (const auto& daemon : daemons_) {
+      const auto host = static_cast<std::size_t>(daemon->node());
+      throttle_->add_domain(node_cpus_[host].get(),
+                            1.0 / static_cast<double>(daemons_on_host[host]),
+                            static_cast<double>(config_.cpus_per_node));
+    }
+    // Instrumented apps and pipes are created pairwise, so apps_[i]'s pipe
+    // is pipes_[i] and its daemon is pipe_daemon_[i].
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      const auto domain = static_cast<std::int32_t>(pipe_daemon_[i]);
+      throttle_->add_app(domain, apps_[i].get());
+      apps_[i]->set_throttle(throttle_.get(), domain);
+    }
+  }
+
+  // Fault plan: resolved once at build time; the drop gate exists (and its
+  // dedicated RNG stream is derived) only when a sample_drop window is
+  // planned, so fault-free runs touch no extra randomness.
+  plan_ = effective_fault_plan();
+  bool any_drop = false;
+  for (const FaultSpec& f : plan_.faults) any_drop |= f.type == FaultType::SampleDrop;
+  if (any_drop) {
+    fault_gate_ = std::make_unique<FaultGate>(des::RngStream(config_.seed, 0, kTagFault));
+    for (auto& app : apps_) app->set_fault_gate(fault_gate_.get());
+  }
+}
+
+FaultPlan Simulation::effective_fault_plan() const {
+  FaultPlan plan = config_.faults;
+  const auto& stall = config_.fault_daemon_stall;
+  if (stall.duration_us > 0.0) {
+    FaultSpec f;
+    f.type = FaultType::DaemonStall;
+    f.target = stall.daemon_index;
+    f.start_us = stall.start_us;
+    f.duration_us = stall.duration_us;
+    plan.faults.push_back(f);
+  }
+  return plan;
+}
+
+void Simulation::schedule_faults() {
+  if (plan_.empty()) return;
+  fault_outcomes_.clear();
+  fault_outcomes_.reserve(plan_.faults.size());
+  for (const FaultSpec& f : plan_.faults) {
+    FaultOutcome outcome;
+    outcome.spec = f;
+    fault_outcomes_.push_back(outcome);
+  }
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    engine_.schedule_at(plan_.faults[i].start_us, [this, i] { apply_fault(i); });
+    engine_.schedule_at(plan_.faults[i].end_us(), [this, i] { revert_fault(i); });
+  }
+}
+
+void Simulation::recompute_slowdown() {
+  double factor = 1.0;
+  for (const double f : active_slowdowns_) factor *= f;
+  network_->set_slowdown(factor);
+}
+
+void Simulation::apply_fault(std::size_t fault_index) {
+  const FaultSpec& f = plan_.faults[fault_index];
+  fault_outcomes_[fault_index].injected = true;
+  if (tracer_ != nullptr) {
+    tracer_->instant("fault", to_string(f.type), obs::kEngineTrack, engine_.now(), "window",
+                     1.0);
+  }
+  switch (f.type) {
+    case FaultType::DaemonStall:
+    case FaultType::DaemonCrash:
+      for (std::size_t d = 0; d < daemons_.size(); ++d) {
+        if (f.target >= 0 && static_cast<std::size_t>(f.target) != d) continue;
+        if (f.type == FaultType::DaemonStall) {
+          daemons_[d]->stall_until(f.end_us());
+        } else {
+          daemons_[d]->crash_until(f.end_us());
+        }
+      }
+      break;
+    case FaultType::LinkSlowdown:
+      active_slowdowns_.push_back(f.magnitude);
+      recompute_slowdown();
+      break;
+    case FaultType::SampleDrop:
+      fault_gate_->add_drop(f.target, f.magnitude);
+      break;
+    case FaultType::PipeBackpressure:
+      for (std::size_t p = 0; p < pipes_.size(); ++p) {
+        if (f.target >= 0 && pipe_daemon_[p] != static_cast<std::size_t>(f.target)) continue;
+        pipes_[p]->set_capacity_limit(static_cast<std::int32_t>(f.magnitude));
+      }
+      break;
+  }
+}
+
+void Simulation::revert_fault(std::size_t fault_index) {
+  const FaultSpec& f = plan_.faults[fault_index];
+  if (tracer_ != nullptr) {
+    tracer_->instant("fault", to_string(f.type), obs::kEngineTrack, engine_.now(), "window",
+                     0.0);
+  }
+  switch (f.type) {
+    case FaultType::DaemonStall:
+    case FaultType::DaemonCrash:
+      break;  // stall_until / crash_until resume on their own
+    case FaultType::LinkSlowdown:
+      for (auto it = active_slowdowns_.begin(); it != active_slowdowns_.end(); ++it) {
+        if (*it == f.magnitude) {
+          active_slowdowns_.erase(it);
+          break;
+        }
+      }
+      recompute_slowdown();
+      break;
+    case FaultType::SampleDrop:
+      fault_gate_->remove_drop(f.target, f.magnitude);
+      break;
+    case FaultType::PipeBackpressure:
+      for (std::size_t p = 0; p < pipes_.size(); ++p) {
+        if (f.target >= 0 && pipe_daemon_[p] != static_cast<std::size_t>(f.target)) continue;
+        pipes_[p]->clear_capacity_limit();
+      }
+      break;
+  }
 }
 
 void Simulation::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
   // Fixed track ids: 0 = engine, 1 = network, 2 = main, then one per CPU
   // resource, daemon, and application process.  Labels become Perfetto
   // thread names via trace metadata.
@@ -202,6 +341,14 @@ void Simulation::enable_metrics(obs::MetricsRegistry& registry, SimTime tick_us)
                      [this] { return static_cast<double>(metrics_.samples_delivered); });
   registry.add_probe("batches.delivered",
                      [this] { return static_cast<double>(metrics_.batches_delivered); });
+  if (!plan_.empty()) {
+    registry.add_probe("samples.dropped",
+                       [this] { return static_cast<double>(metrics_.samples_dropped); });
+    registry.add_probe("net.slowdown", [this] { return network_->slowdown(); });
+  }
+  if (throttle_) {
+    registry.add_probe("throttle.max_factor", [this] { return throttle_->max_factor(); });
+  }
 
   // Busy fraction of the whole CPU pool per process class: accumulated busy
   // time over elapsed capacity.  Warm-up deletion resets the numerator, so
@@ -259,20 +406,13 @@ SimulationResult Simulation::run() {
   for (auto& daemon : daemons_) daemon->start();
   for (auto& app : apps_) app->start();
   if (controller_) controller_->start();
+  if (throttle_) throttle_->start();
   // First probe row at t = 0, then one every tick of simulated time.
   if (registry_ != nullptr) schedule_metrics_tick();
 
-  // Fault injection: schedule the daemon stall window.
-  const auto& stall = config_.fault_daemon_stall;
-  if (stall.duration_us > 0.0 && !daemons_.empty()) {
-    if (static_cast<std::size_t>(stall.daemon_index) >= daemons_.size()) {
-      throw std::invalid_argument("Simulation: daemon stall index out of range");
-    }
-    ParadynDaemon* victim = daemons_[static_cast<std::size_t>(stall.daemon_index)].get();
-    engine_.schedule_at(stall.start_us, [victim, &stall] {
-      victim->stall_until(stall.start_us + stall.duration_us);
-    });
-  }
+  // Fault injection: compile the plan (config.faults + the legacy stall
+  // shorthand) into ordinary timed events.
+  schedule_faults();
 
   if (config_.warmup_us > 0.0) {
     // Transient deletion: run the warm-up, then zero every accumulator so
@@ -360,6 +500,13 @@ SimulationResult Simulation::collect() const {
   if (controller_) {
     r.final_sampling_period_us = controller_->current_period_us();
     r.cost_adjustments = controller_->adjustments();
+  }
+  r.samples_dropped = metrics_.samples_dropped;
+  r.fault_outcomes = fault_outcomes_;
+  if (throttle_) {
+    r.throttle_factors = throttle_->factors();
+    r.max_throttle_factor = throttle_->max_factor();
+    r.throttle_adjustments = throttle_->adjustments();
   }
   return r;
 }

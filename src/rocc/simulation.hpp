@@ -28,6 +28,7 @@
 #include "rocc/cost_model.hpp"
 #include "rocc/cpu.hpp"
 #include "rocc/daemon.hpp"
+#include "rocc/faults.hpp"
 #include "rocc/main_paradyn.hpp"
 #include "rocc/metrics.hpp"
 #include "rocc/network.hpp"
@@ -56,6 +57,11 @@ class Simulation {
   /// instrumentation is disabled).  Call before run().
   [[nodiscard]] MainParadyn* main_process() noexcept { return main_.get(); }
 
+  /// The fault plan this run will inject: config.faults plus the legacy
+  /// fault_daemon_stall shorthand folded in as a DaemonStall spec.  Empty
+  /// when no faults are configured (or instrumentation is disabled).
+  [[nodiscard]] FaultPlan effective_fault_plan() const;
+
   /// Attach a trace recorder handle: engine spans, CPU/network occupancy
   /// intervals, daemon/main activity, and sample lifecycles all record into
   /// it on fixed tracks (0 = engine, 1 = network, 2 = main, then CPUs,
@@ -72,23 +78,36 @@ class Simulation {
  private:
   void build();
   void schedule_metrics_tick();
+  void schedule_faults();
+  void apply_fault(std::size_t fault_index);
+  void revert_fault(std::size_t fault_index);
+  void recompute_slowdown();
   [[nodiscard]] SimulationResult collect() const;
 
   SystemConfig config_;
   des::Engine engine_;
   MetricsCollector metrics_;
   obs::MetricsRegistry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   SimTime metrics_tick_us_ = 0.0;
 
   std::vector<std::unique_ptr<CpuResource>> node_cpus_;
   std::unique_ptr<NetworkResource> network_;
   std::unique_ptr<SamplingController> controller_;
+  std::unique_ptr<PerDaemonThrottle> throttle_;
   std::unique_ptr<BarrierManager> barrier_;
   std::vector<std::unique_ptr<Pipe>> pipes_;
+  /// Index of the daemon draining pipes_[i] (backpressure targeting).
+  std::vector<std::size_t> pipe_daemon_;
   std::vector<std::unique_ptr<ApplicationProcess>> apps_;
   std::vector<std::unique_ptr<ParadynDaemon>> daemons_;
   std::unique_ptr<MainParadyn> main_;
   std::vector<std::unique_ptr<OpenArrivalStream>> background_;
+  /// Runtime fault state (allocated only when the plan is non-empty).
+  FaultPlan plan_;
+  std::unique_ptr<FaultGate> fault_gate_;
+  std::vector<FaultOutcome> fault_outcomes_;
+  std::vector<double> active_slowdowns_;
   bool ran_ = false;
 };
 

@@ -36,6 +36,9 @@ class Empirical final : public Distribution {
   [[nodiscard]] std::size_t observations() const noexcept { return sorted_.size(); }
   [[nodiscard]] double min() const noexcept { return sorted_.front(); }
   [[nodiscard]] double max() const noexcept { return sorted_.back(); }
+  /// The sorted order statistics (FrozenSampler compiles these into its
+  /// inline interpolation table).
+  [[nodiscard]] std::span<const double> values() const noexcept { return sorted_; }
 
  private:
   std::vector<double> sorted_;

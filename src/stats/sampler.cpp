@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "stats/empirical.hpp"
+
 namespace paradyn::stats {
 
 const char* to_string(SamplerBackend backend) noexcept {
@@ -47,11 +49,16 @@ FrozenSampler FrozenSampler::compile(const DistributionPtr& dist, SamplerBackend
     s.b_ = 1.0 / w->shape();
     return s;
   }
+  if (const auto* e = dynamic_cast<const Empirical*>(dist.get())) {
+    // Backend-independent (pure inverse CDF), like the virtual sample().
+    s.kind_ = Kind::kEmpirical;
+    const auto values = e->values();
+    s.table_ = std::make_shared<const std::vector<double>>(values.begin(), values.end());
+    return s;
+  }
 
-  // Unknown subclass: keep the distribution alive and sample virtually.
-  s.kind_ = Kind::kVirtual;
-  s.fallback_ = dist;
-  return s;
+  throw std::invalid_argument("FrozenSampler::compile: unknown distribution family: " +
+                              dist->describe());
 }
 
 }  // namespace paradyn::stats

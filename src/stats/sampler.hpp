@@ -21,6 +21,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "des/random.hpp"
 #include "stats/distributions.hpp"
@@ -36,17 +38,18 @@ enum class SamplerBackend : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SamplerBackend backend) noexcept;
 
-/// A Distribution frozen into an inline-dispatch sampler.  Trivially
-/// copyable for the known families; unknown Distribution subclasses fall
-/// back to retaining the pointer and calling the virtual sample().
+/// A Distribution frozen into an inline-dispatch sampler.  Every family —
+/// including Empirical, whose sorted order statistics are shared into an
+/// interpolation table — compiles to an inline switch; compile() rejects
+/// unknown Distribution subclasses rather than fall back to the virtual
+/// sample() (the retired kVirtual path).
 class FrozenSampler {
  public:
   /// Default: deterministic 0 (a placeholder that draws nothing).
   FrozenSampler() noexcept = default;
 
-  /// Freeze `dist` for `backend`.  Known families (exponential, lognormal,
-  /// weibull, uniform, deterministic) compile to inline dispatch; anything
-  /// else is retained and sampled virtually.
+  /// Freeze `dist` for `backend`.  Throws std::invalid_argument for a
+  /// Distribution subclass outside the known families.
   [[nodiscard]] static FrozenSampler compile(const DistributionPtr& dist,
                                              SamplerBackend backend = SamplerBackend::Ziggurat);
 
@@ -69,14 +72,15 @@ class FrozenSampler {
         return a_ * std::pow(ziggurat_exponential(rng), b_);
       case Kind::kWeibullRef:
         return a_ * std::pow(-std::log(rng.next_open_double()), b_);
-      case Kind::kVirtual:
-        return fallback_->sample(rng);
+      case Kind::kEmpirical:
+        return empirical_draw(rng);
     }
     return a_;  // unreachable
   }
 
-  /// True when the sampler dispatches inline (no virtual fallback).
-  [[nodiscard]] bool devirtualized() const noexcept { return kind_ != Kind::kVirtual; }
+  /// True when the sampler dispatches inline.  Always the case since the
+  /// virtual fallback was retired; kept for tests and introspection.
+  [[nodiscard]] bool devirtualized() const noexcept { return true; }
 
  private:
   enum class Kind : std::uint8_t {
@@ -88,8 +92,20 @@ class FrozenSampler {
     kLognormalRef,
     kWeibullZig,
     kWeibullRef,
-    kVirtual,
+    kEmpirical,
   };
+
+  /// Inverse-CDF over the shared order-statistics table — the exact
+  /// arithmetic of Empirical::quantile(rng.next_double()), so streams are
+  /// bit-identical to the virtual path under both backends.
+  [[nodiscard]] double empirical_draw(des::Pcg32& rng) const {
+    const std::vector<double>& v = *table_;
+    const double h = rng.next_double() * static_cast<double>(v.size() - 1);
+    const auto i = static_cast<std::size_t>(std::floor(h));
+    if (i + 1 >= v.size()) return v.back();
+    const double frac = h - std::floor(h);
+    return v[i] + frac * (v[i + 1] - v[i]);
+  }
 
   /// Box-Muller, inlined with the exact draw order of
   /// sample_standard_normal so Reference streams match history.
@@ -103,7 +119,8 @@ class FrozenSampler {
   Kind kind_ = Kind::kDeterministic;
   double a_ = 0.0;
   double b_ = 0.0;
-  DistributionPtr fallback_;  ///< Only set for Kind::kVirtual.
+  /// Shared sorted order statistics; only set for Kind::kEmpirical.
+  std::shared_ptr<const std::vector<double>> table_;
 };
 
 }  // namespace paradyn::stats

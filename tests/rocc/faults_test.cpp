@@ -1,0 +1,294 @@
+// Unit and integration tests of the fault/perturbation injection
+// subsystem: spec parsing, plan validation, the sample-drop gate, and the
+// observable effect of each fault type on an assembled simulation.
+#include "rocc/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rocc/simulation.hpp"
+
+namespace paradyn::rocc {
+namespace {
+
+SystemConfig quick_now(std::int32_t nodes, std::int32_t batch) {
+  auto c = SystemConfig::now(nodes);
+  c.batch_size = batch;
+  c.duration_us = 2e6;
+  c.sampling_period_us = 10'000.0;
+  return c;
+}
+
+TEST(FaultSpecParse, DaemonStallWithUnits) {
+  const auto f = FaultPlan::parse_spec("daemon_stall:daemon=0,start=1s,dur=500ms");
+  EXPECT_EQ(f.type, FaultType::DaemonStall);
+  EXPECT_EQ(f.target, 0);
+  EXPECT_DOUBLE_EQ(f.start_us, 1e6);
+  EXPECT_DOUBLE_EQ(f.duration_us, 5e5);
+  EXPECT_DOUBLE_EQ(f.end_us(), 1.5e6);
+}
+
+TEST(FaultSpecParse, BareNumbersAreMicroseconds) {
+  const auto f = FaultPlan::parse_spec("daemon_crash:daemon=1,start=250000,dur=125us");
+  EXPECT_EQ(f.type, FaultType::DaemonCrash);
+  EXPECT_DOUBLE_EQ(f.start_us, 250'000.0);
+  EXPECT_DOUBLE_EQ(f.duration_us, 125.0);
+}
+
+TEST(FaultSpecParse, LinkSlowFactorAndAllTargets) {
+  const auto f = FaultPlan::parse_spec("link_slow:start=2s,dur=1s,factor=8");
+  EXPECT_EQ(f.type, FaultType::LinkSlowdown);
+  EXPECT_DOUBLE_EQ(f.magnitude, 8.0);
+
+  const auto d = FaultPlan::parse_spec("sample_drop:node=all,start=1s,dur=2s,p=0.25");
+  EXPECT_EQ(d.type, FaultType::SampleDrop);
+  EXPECT_EQ(d.target, -1);
+  EXPECT_DOUBLE_EQ(d.magnitude, 0.25);
+
+  const auto b = FaultPlan::parse_spec("pipe_backpressure:daemon=0,start=1s,dur=1s,capacity=2");
+  EXPECT_EQ(b.type, FaultType::PipeBackpressure);
+  EXPECT_DOUBLE_EQ(b.magnitude, 2.0);
+}
+
+TEST(FaultSpecParse, SemicolonJoinsSpecs) {
+  const auto plan =
+      FaultPlan::parse("daemon_stall:daemon=0,start=1s,dur=100ms;link_slow:start=0,dur=1s,factor=2");
+  ASSERT_EQ(plan.faults.size(), 2u);
+  EXPECT_EQ(plan.faults[0].type, FaultType::DaemonStall);
+  EXPECT_EQ(plan.faults[1].type, FaultType::LinkSlowdown);
+}
+
+TEST(FaultSpecParse, MalformedSpecsThrow) {
+  EXPECT_THROW((void)FaultPlan::parse_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse_spec("bogus_type:start=0,dur=1"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse_spec("daemon_stall"), std::invalid_argument);
+  // Missing required start/dur.
+  EXPECT_THROW((void)FaultPlan::parse_spec("daemon_stall:daemon=0"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse_spec("daemon_stall:daemon=0,start=1s"),
+               std::invalid_argument);
+  // Unknown key and unparsable value.
+  EXPECT_THROW((void)FaultPlan::parse_spec("daemon_stall:start=1s,dur=1s,frobnicate=3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse_spec("daemon_stall:daemon=x,start=1s,dur=1s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse(""), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, WindowAndTargetChecks) {
+  FaultPlan plan;
+  FaultSpec f;
+  f.type = FaultType::DaemonStall;
+  f.target = 0;
+  f.start_us = 1e6;
+  f.duration_us = 1e5;
+  plan.faults = {f};
+  EXPECT_NO_THROW(plan.validate(2, 2, 2e6, 16));
+
+  // Start at/after sim end can never fire.
+  plan.faults[0].start_us = 2e6;
+  EXPECT_THROW(plan.validate(2, 2, 2e6, 16), std::invalid_argument);
+  // Degenerate window.
+  plan.faults[0].start_us = 0.0;
+  plan.faults[0].duration_us = 0.0;
+  EXPECT_THROW(plan.validate(2, 2, 2e6, 16), std::invalid_argument);
+  // Daemon target out of range; and no daemons at all when
+  // instrumentation is disabled.
+  plan.faults[0].duration_us = 1e5;
+  plan.faults[0].target = 2;
+  EXPECT_THROW(plan.validate(2, 2, 2e6, 16), std::invalid_argument);
+  plan.faults[0].target = 0;
+  EXPECT_THROW(plan.validate(0, 2, 2e6, 16), std::invalid_argument);
+
+  // sample_drop: p must be in (0, 1], node must exist.
+  plan.faults[0].type = FaultType::SampleDrop;
+  plan.faults[0].magnitude = 0.5;
+  EXPECT_NO_THROW(plan.validate(2, 2, 2e6, 16));
+  plan.faults[0].magnitude = 0.0;
+  EXPECT_THROW(plan.validate(2, 2, 2e6, 16), std::invalid_argument);
+  plan.faults[0].magnitude = 1.5;
+  EXPECT_THROW(plan.validate(2, 2, 2e6, 16), std::invalid_argument);
+  plan.faults[0].magnitude = 0.5;
+  plan.faults[0].target = 7;
+  EXPECT_THROW(plan.validate(2, 2, 2e6, 16), std::invalid_argument);
+
+  // link_slow: factor >= 1.
+  plan.faults[0] = f;
+  plan.faults[0].type = FaultType::LinkSlowdown;
+  plan.faults[0].magnitude = 0.5;
+  EXPECT_THROW(plan.validate(2, 2, 2e6, 16), std::invalid_argument);
+
+  // pipe_backpressure: clamped capacity in [1, pipe_capacity).
+  plan.faults[0].type = FaultType::PipeBackpressure;
+  plan.faults[0].magnitude = 16.0;
+  EXPECT_THROW(plan.validate(2, 2, 2e6, 16), std::invalid_argument);
+  plan.faults[0].magnitude = 0.0;
+  EXPECT_THROW(plan.validate(2, 2, 2e6, 16), std::invalid_argument);
+  plan.faults[0].magnitude = 2.0;
+  EXPECT_NO_THROW(plan.validate(2, 2, 2e6, 16));
+}
+
+TEST(FaultPlan, SchedulePointsInDeclarationOrder) {
+  const auto plan = FaultPlan::parse(
+      "daemon_stall:daemon=0,start=1s,dur=100ms;link_slow:start=500ms,dur=1s,factor=2");
+  const auto pts = plan.schedule_points();
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_DOUBLE_EQ(pts[0], 1e6);
+  EXPECT_DOUBLE_EQ(pts[1], 1.1e6);
+  EXPECT_DOUBLE_EQ(pts[2], 5e5);
+  EXPECT_DOUBLE_EQ(pts[3], 1.5e6);
+}
+
+TEST(FaultGate, DrawsOnlyInsideWindowsAndRespectsTarget) {
+  FaultGate gate(des::RngStream(7, 0, 8));
+  EXPECT_FALSE(gate.active());
+
+  gate.add_drop(/*node=*/1, /*probability=*/1.0);
+  EXPECT_TRUE(gate.active());
+  EXPECT_TRUE(gate.should_drop(1));
+  EXPECT_FALSE(gate.should_drop(0));  // other node untouched
+
+  gate.remove_drop(1, 1.0);
+  EXPECT_FALSE(gate.active());
+
+  // node -1 covers everyone.
+  gate.add_drop(-1, 1.0);
+  EXPECT_TRUE(gate.should_drop(0));
+  EXPECT_TRUE(gate.should_drop(3));
+}
+
+TEST(FaultGate, BernoulliRateTracksProbability) {
+  FaultGate gate(des::RngStream(11, 0, 8));
+  gate.add_drop(-1, 0.25);
+  int dropped = 0;
+  constexpr int kTrials = 20'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (gate.should_drop(0)) ++dropped;
+  }
+  const double rate = static_cast<double>(dropped) / kTrials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(FaultDescribe, MentionsTypeAndWindow) {
+  const auto f = FaultPlan::parse_spec("daemon_stall:daemon=0,start=1s,dur=500ms");
+  const std::string d = f.describe();
+  EXPECT_NE(d.find("daemon_stall"), std::string::npos) << d;
+  EXPECT_NE(d.find('0'), std::string::npos) << d;
+}
+
+// ---- Integration: each fault type produces its observable signature. ----
+
+TEST(FaultSimulation, SampleDropReducesDeliveryAndCountsDrops) {
+  auto c = quick_now(2, 1);
+  c.faults = FaultPlan::parse("sample_drop:node=all,start=0,dur=2s,p=0.5");
+  const auto rf = run_simulation(c);
+  auto h = quick_now(2, 1);
+  const auto rh = run_simulation(h);
+
+  EXPECT_GT(rf.samples_dropped, 0u);
+  EXPECT_LT(rf.samples_delivered, rh.samples_delivered);
+  ASSERT_EQ(rf.fault_outcomes.size(), 1u);
+  EXPECT_TRUE(rf.fault_outcomes[0].injected);
+  // Roughly half the healthy volume survives (generous band).
+  const auto delivered = static_cast<double>(rf.samples_delivered);
+  const auto healthy = static_cast<double>(rh.samples_delivered);
+  EXPECT_GT(delivered, 0.35 * healthy);
+  EXPECT_LT(delivered, 0.65 * healthy);
+}
+
+TEST(FaultSimulation, DaemonCrashLosesBufferedSamples) {
+  auto c = quick_now(1, 8);  // batching so the daemon holds state to lose
+  c.pipe_capacity = 64;
+  // Two crashes so the destroyed pending batches cannot hide inside one
+  // batch's worth of end-of-run in-flight slack.
+  c.faults = FaultPlan::parse(
+      "daemon_crash:daemon=0,start=600ms,dur=200ms;daemon_crash:daemon=0,start=1200ms,dur=200ms");
+  const auto rf = run_simulation(c);
+
+  EXPECT_GT(rf.samples_dropped, 0u);  // in-memory batches destroyed
+  // Dropped samples are really gone: they are not also counted delivered.
+  EXPECT_LE(rf.samples_delivered + rf.samples_dropped, rf.samples_generated);
+  // The daemon restarts: delivery resumes after both windows.
+  EXPECT_GT(rf.samples_delivered, 100u);
+}
+
+TEST(FaultSimulation, LinkSlowdownStretchesLatencyThenRecovers) {
+  auto c = quick_now(2, 1);
+  c.faults = FaultPlan::parse("link_slow:start=500ms,dur=1s,factor=32");
+  const auto rf = run_simulation(c);
+  const auto rh = run_simulation(quick_now(2, 1));
+
+  EXPECT_GT(rf.latency_us.max(), rh.latency_us.max());
+  // The window ends inside the run, so delivery continues afterwards.
+  EXPECT_GT(rf.samples_delivered, 0.5 * static_cast<double>(rh.samples_delivered));
+}
+
+TEST(FaultSimulation, PipeBackpressureThrottlesProducer) {
+  // Stall the daemon mid-run in both configurations; the clamped pipe
+  // buffers 1 sample during the stall where the healthy pipe buffers 8,
+  // so the producer blocks earlier and generates strictly less.
+  auto base = quick_now(1, 1);
+  base.pipe_capacity = 8;
+  base.faults = FaultPlan::parse("daemon_stall:daemon=0,start=500ms,dur=500ms");
+  auto clamped = base;
+  clamped.faults = FaultPlan::parse(
+      "daemon_stall:daemon=0,start=500ms,dur=500ms;"
+      "pipe_backpressure:daemon=0,start=0,dur=2s,capacity=1");
+  const auto rf = run_simulation(clamped);
+  const auto rh = run_simulation(base);
+
+  EXPECT_LT(rf.samples_generated, rh.samples_generated);
+  ASSERT_EQ(rf.fault_outcomes.size(), 2u);
+  EXPECT_TRUE(rf.fault_outcomes[1].injected);
+}
+
+TEST(FaultSimulation, FaultRunsAreDeterministic) {
+  auto c = quick_now(2, 1);
+  c.faults = FaultPlan::parse(
+      "sample_drop:node=all,start=250ms,dur=1s,p=0.3;link_slow:start=1s,dur=500ms,factor=4");
+  const auto a = run_simulation(c);
+  const auto b = run_simulation(c);
+  EXPECT_EQ(a.samples_generated, b.samples_generated);
+  EXPECT_EQ(a.samples_delivered, b.samples_delivered);
+  EXPECT_EQ(a.samples_dropped, b.samples_dropped);
+  EXPECT_DOUBLE_EQ(a.latency_us.mean(), b.latency_us.mean());
+  EXPECT_DOUBLE_EQ(a.pd_cpu_time_per_node_us, b.pd_cpu_time_per_node_us);
+}
+
+TEST(FaultSimulation, FaultFreeStreamsUntouchedByFaultMachinery) {
+  // A plan whose windows never cover any node must reproduce the healthy
+  // run bit-for-bit: the fault RNG stream is dedicated, and no model
+  // stream advances differently because faults exist.
+  auto c = quick_now(2, 1);
+  const auto rh = run_simulation(c);
+  c.faults = FaultPlan::parse("sample_drop:node=1,start=1s,dur=1ms,p=1e-9");
+  const auto rf = run_simulation(c);
+  EXPECT_EQ(rf.samples_generated, rh.samples_generated);
+  EXPECT_DOUBLE_EQ(rf.latency_us.mean(), rh.latency_us.mean());
+  EXPECT_DOUBLE_EQ(rf.app_cpu_time_per_node_us, rh.app_cpu_time_per_node_us);
+}
+
+TEST(FaultSimulation, AdaptiveThrottleSlowsSamplingUnderBudget) {
+  auto c = quick_now(2, 1);
+  c.sampling_period_us = 2'000.0;  // aggressive sampling -> perturbation
+  c.adaptive_throttle.enabled = true;
+  c.adaptive_throttle.perturbation_budget_pct = 0.5;  // tight budget
+  const auto rt = run_simulation(c);
+  auto h = quick_now(2, 1);
+  h.sampling_period_us = 2'000.0;
+  const auto rh = run_simulation(h);
+
+  EXPECT_GT(rt.max_throttle_factor, 1.0);
+  EXPECT_GT(rt.throttle_adjustments, 0u);
+  EXPECT_LT(rt.samples_generated, rh.samples_generated);
+}
+
+TEST(FaultSimulation, ThrottleDisabledByDefault) {
+  const auto r = run_simulation(quick_now(1, 1));
+  EXPECT_DOUBLE_EQ(r.max_throttle_factor, 1.0);
+  EXPECT_EQ(r.throttle_adjustments, 0u);
+  EXPECT_TRUE(r.throttle_factors.empty());
+}
+
+}  // namespace
+}  // namespace paradyn::rocc

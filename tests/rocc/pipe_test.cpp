@@ -113,5 +113,45 @@ TEST(Pipe, BlockedProducerPattern) {
   EXPECT_DOUBLE_EQ(p.try_get()->generated_at, 2.0);
 }
 
+TEST(Pipe, CapacityLimitClampsWithoutEvictingBufferedSamples) {
+  Pipe p(4);
+  EXPECT_TRUE(p.try_put(make_sample(1.0)));
+  EXPECT_TRUE(p.try_put(make_sample(2.0)));
+  EXPECT_TRUE(p.try_put(make_sample(3.0)));
+
+  p.set_capacity_limit(1);
+  EXPECT_EQ(p.effective_capacity(), 1);
+  EXPECT_EQ(p.size(), 3u);  // already-buffered samples survive
+  EXPECT_TRUE(p.full());
+  EXPECT_FALSE(p.try_put(make_sample(4.0)));
+
+  // Draining below the clamp still leaves the pipe full at size 1 ...
+  (void)p.try_get();
+  (void)p.try_get();
+  EXPECT_TRUE(p.full());
+  // ... and lifting the clamp restores the declared capacity.
+  p.clear_capacity_limit();
+  EXPECT_EQ(p.effective_capacity(), 4);
+  EXPECT_FALSE(p.full());
+  EXPECT_TRUE(p.try_put(make_sample(4.0)));
+}
+
+TEST(Pipe, LiftingCapacityLimitWakesBlockedProducer) {
+  Pipe p(2);
+  p.set_capacity_limit(1);
+  EXPECT_TRUE(p.try_put(make_sample(1.0)));
+  EXPECT_FALSE(p.try_put(make_sample(2.0)));  // clamped full: block
+  bool resumed = false;
+  p.notify_on_space([&] { resumed = true; });
+  p.clear_capacity_limit();  // room appeared without a get
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Pipe, CapacityLimitRejectsNonPositive) {
+  Pipe p(2);
+  EXPECT_THROW(p.set_capacity_limit(0), std::invalid_argument);
+  EXPECT_THROW(p.set_capacity_limit(-3), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace paradyn::rocc

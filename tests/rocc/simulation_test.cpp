@@ -225,8 +225,17 @@ TEST(SimulationFault, StallValidation) {
   EXPECT_THROW(c.validate(), std::invalid_argument);
   c = quick_now(2, 1);
   c.fault_daemon_stall = {5, 0.0, 1.0};  // only 2 daemons exist
-  EXPECT_NO_THROW(c.validate());         // static validation cannot know
-  EXPECT_THROW((void)run_simulation(c), std::invalid_argument);
+  // The daemon count is statically derivable from the architecture, so the
+  // range check lives in validate() — not deferred to Simulation::build.
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.fault_daemon_stall = {1, 0.0, 1.0};
+  EXPECT_NO_THROW(c.validate());
+  // A stall that starts after the run ends can never fire.
+  c.fault_daemon_stall = {0, c.duration_us, 1.0};
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  // Zero duration means "no fault" and must not be range-checked.
+  c.fault_daemon_stall = {99, 0.0, 0.0};
+  EXPECT_NO_THROW(c.validate());
 }
 
 TEST(Simulation, LatencySeriesRecordedOnDemand) {

@@ -1,7 +1,7 @@
 // Unit tests of FrozenSampler: devirtualization of the known families,
 // bit-exact reproduction of historical streams under the Reference backend,
-// distributional agreement of the Ziggurat backend, and the virtual
-// fallback for unknown Distribution subclasses.
+// distributional agreement of the Ziggurat backend, and rejection of
+// unknown Distribution subclasses (the retired virtual fallback).
 #include "stats/sampler.hpp"
 
 #include <gtest/gtest.h>
@@ -105,15 +105,59 @@ TEST(FrozenSampler, UniformStaysInRange) {
   }
 }
 
-TEST(FrozenSampler, UnknownSubclassFallsBackToVirtualSample) {
+// Empirical compiles to an inline interpolation table (no virtual fallback
+// since the kVirtual retirement) and must bit-match the historical
+// Distribution::sample() stream — the same --reference-rng oracle that the
+// parametric families satisfy — under BOTH backends, since inverse-CDF
+// sampling never touches the ziggurat.
+TEST(FrozenSampler, EmpiricalCompilesToInlineTableBitExact) {
   const std::vector<double> data{1.0, 2.0, 4.0, 8.0, 16.0};
   const DistributionPtr dist = std::make_shared<Empirical>(data);
-  const auto sampler = FrozenSampler::compile(dist, SamplerBackend::Ziggurat);
-  EXPECT_FALSE(sampler.devirtualized());
-  des::RngStream rng_frozen(9, 9);
-  des::RngStream rng_virtual(9, 9);
+  for (const auto backend : {SamplerBackend::Ziggurat, SamplerBackend::Reference}) {
+    const auto sampler = FrozenSampler::compile(dist, backend);
+    EXPECT_TRUE(sampler.devirtualized()) << to_string(backend);
+    des::RngStream rng_frozen(9, 9);
+    des::RngStream rng_virtual(9, 9);
+    for (int i = 0; i < 1'000; ++i) {
+      ASSERT_EQ(sampler(rng_frozen), dist->sample(rng_virtual))
+          << to_string(backend) << " draw " << i;
+    }
+  }
+}
+
+// The compiled table is a snapshot: the sampler stays valid after the
+// source Distribution is destroyed.
+TEST(FrozenSampler, EmpiricalTableOutlivesSourceDistribution) {
+  FrozenSampler sampler;
+  {
+    const std::vector<double> data{3.0, 1.0, 2.0};
+    sampler = FrozenSampler::compile(std::make_shared<Empirical>(data));
+  }
+  des::RngStream rng(11, 4);
   for (int i = 0; i < 100; ++i) {
-    ASSERT_EQ(sampler(rng_frozen), dist->sample(rng_virtual));
+    const double x = sampler(rng);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 3.0);
+  }
+}
+
+// A Distribution subclass outside the known families is a configuration
+// error, not something to silently slow-path.
+TEST(FrozenSampler, UnknownSubclassIsRejected) {
+  class Mystery final : public Distribution {
+   public:
+    [[nodiscard]] std::string name() const override { return "mystery"; }
+    [[nodiscard]] std::string describe() const override { return "mystery()"; }
+    [[nodiscard]] double mean() const override { return 0.0; }
+    [[nodiscard]] double variance() const override { return 1.0; }
+    [[nodiscard]] double pdf(double) const override { return 0.0; }
+    [[nodiscard]] double cdf(double) const override { return 0.5; }
+    [[nodiscard]] double quantile(double) const override { return 0.0; }
+    [[nodiscard]] double sample(des::Pcg32&) const override { return 0.0; }
+  };
+  for (const auto backend : {SamplerBackend::Ziggurat, SamplerBackend::Reference}) {
+    EXPECT_THROW((void)FrozenSampler::compile(std::make_shared<Mystery>(), backend),
+                 std::invalid_argument);
   }
 }
 

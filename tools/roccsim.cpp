@@ -10,12 +10,14 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli_args.hpp"
+#include "consultant/fault_detector.hpp"
 #include "experiments/report_json.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
@@ -44,6 +46,13 @@ void print_help() {
       "  --warmup X              warm-up seconds excluded from metrics; default 0\n"
       "  --adaptive-budget X     enable the dynamic cost model with an IS overhead\n"
       "                          budget of X%% of CPU capacity; default off\n"
+      "  --fault SPEC            inject perturbations; SPEC is ';'-joined entries like\n"
+      "                          daemon_stall:daemon=0,start=1s,dur=500ms\n"
+      "                          (types: daemon_stall daemon_crash link_slow\n"
+      "                          sample_drop pipe_backpressure; see EXPERIMENTS.md).\n"
+      "                          Detection/recovery latency is measured per fault\n"
+      "  --adaptive-sampling [X] closed-loop per-daemon sampling throttle; optional X\n"
+      "                          = predicted-perturbation budget in %% (default 5)\n"
       "  --seed N                RNG seed; default 1\n"
       "  --reference-rng         draw variates with the pre-ziggurat reference\n"
       "                          backend (bit-reproduces pre-PR-5 streams)\n"
@@ -74,6 +83,30 @@ std::ofstream open_or_throw(const std::string& path) {
   return os;
 }
 
+/// One line per fault: injection window plus measured latencies.
+void print_fault_outcomes(const std::vector<paradyn::rocc::FaultOutcome>& outcomes) {
+  if (outcomes.empty()) return;
+  std::printf("\n  faults:\n");
+  for (const auto& o : outcomes) {
+    std::string line = "    " + o.spec.describe() + ": ";
+    line += o.injected ? "injected" : "not injected";
+    if (o.detected) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ", detected +%.1f ms", o.detection_latency_us / 1e3);
+      line += buf;
+      if (o.recovered) {
+        std::snprintf(buf, sizeof(buf), ", recovered +%.1f ms", o.recovery_latency_us / 1e3);
+        line += buf;
+      } else {
+        line += ", not recovered";
+      }
+    } else {
+      line += ", not detected";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,8 +117,8 @@ int main(int argc, char** argv) {
         {"arch", "nodes", "apps", "daemons", "sampling-ms", "batch", "topology", "barrier-ms",
          "pipe", "seconds", "warmup", "seed", "reference-rng", "reps", "jobs", "uninstrumented",
          "dedicated-main",
-         "adaptive-budget", "trace", "trace-events", "metrics", "metrics-tick-ms", "progress",
-         "report-json", "help"});
+         "adaptive-budget", "fault", "adaptive-sampling", "trace", "trace-events", "metrics",
+         "metrics-tick-ms", "progress", "report-json", "help"});
     if (args.get_bool("help")) {
       print_help();
       return 0;
@@ -117,6 +150,14 @@ int main(int argc, char** argv) {
     if (args.has("adaptive-budget")) {
       cfg.adaptive.enabled = true;
       cfg.adaptive.overhead_budget_pct = args.get_double("adaptive-budget", 1.0);
+    }
+    if (args.has("fault")) cfg.faults = rocc::FaultPlan::parse(args.get_string("fault", ""));
+    if (args.has("adaptive-sampling")) {
+      cfg.adaptive_throttle.enabled = true;
+      // Bare switch uses the default budget; --adaptive-sampling=X sets it.
+      if (args.get_string("adaptive-sampling", "true") != "true") {
+        cfg.adaptive_throttle.perturbation_budget_pct = args.get_double("adaptive-sampling", 5.0);
+      }
     }
     cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
     cfg.reference_rng = args.get_bool("reference-rng");
@@ -159,6 +200,9 @@ int main(int argc, char** argv) {
       // slot, and only rep 0 (seed == base seed) carries the metrics probes
       // — a registry belongs to a single simulation.
       std::vector<obs::Tracer> tracers(reps);
+      // Per-rep detection harnesses (each owns a consultant fed by that
+      // rep's delivered samples); slots are disjoint so no lock is needed.
+      std::vector<std::unique_ptr<consultant::DetectionHarness>> harnesses(reps);
       const experiments::RunHook hook = [&](rocc::Simulation& sim, std::size_t /*cell*/,
                                             std::size_t rep) {
         if (recorder) {
@@ -166,6 +210,8 @@ int main(int argc, char** argv) {
           sim.set_tracer(&tracers[rep]);
         }
         if (!metrics_file.empty() && rep == 0) sim.enable_metrics(registry, metrics_tick_us);
+        // No-op when the effective fault plan is empty.
+        harnesses[rep] = std::make_unique<consultant::DetectionHarness>(sim);
       };
       const experiments::ReplicationSet rs(cfg, reps, jobs, hook);
       const auto row = [&](const char* label, const experiments::MetricFn& fn, int digits) {
@@ -182,10 +228,52 @@ int main(int argc, char** argv) {
           [](const rocc::SimulationResult& r) { return r.app_cpu_util_pct; }, 3);
       row("monitoring latency/sample (ms)", experiments::latency_ms, 3);
       row("throughput (samples/s)", experiments::throughput, 1);
+      // Detection/recovery latencies live in the harnesses; fold them into
+      // a finalized copy of the results for the report and the summary.
+      std::vector<rocc::SimulationResult> finalized = rs.results();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        if (harnesses[rep]) harnesses[rep]->finalize(finalized[rep]);
+      }
+      if (!finalized.empty() && !finalized.front().fault_outcomes.empty()) {
+        row("samples dropped by faults",
+            [](const rocc::SimulationResult& r) {
+              return static_cast<double>(r.samples_dropped);
+            },
+            1);
+        const std::size_t nfaults = finalized.front().fault_outcomes.size();
+        std::printf("\n  per-fault detection latency, mean over %zu rep(s) (ms):\n", reps);
+        for (std::size_t f = 0; f < nfaults; ++f) {
+          double det_sum = 0.0;
+          double rec_sum = 0.0;
+          std::size_t det_n = 0;
+          std::size_t rec_n = 0;
+          for (const auto& r : finalized) {
+            const auto& o = r.fault_outcomes[f];
+            if (o.detected) {
+              det_sum += o.detection_latency_us;
+              ++det_n;
+            }
+            if (o.recovered) {
+              rec_sum += o.recovery_latency_us;
+              ++rec_n;
+            }
+          }
+          std::printf("    %s: detected %zu/%zu", finalized.front().fault_outcomes[f].spec.describe().c_str(),
+                      det_n, reps);
+          if (det_n > 0) std::printf(", mean +%.1f ms", det_sum / static_cast<double>(det_n) / 1e3);
+          std::printf(", recovered %zu/%zu", rec_n, reps);
+          if (rec_n > 0) std::printf(", mean +%.1f ms", rec_sum / static_cast<double>(rec_n) / 1e3);
+          std::printf("\n");
+        }
+      }
+      if (cfg.adaptive_throttle.enabled) {
+        row("max sampling throttle factor",
+            [](const rocc::SimulationResult& r) { return r.max_throttle_factor; }, 2);
+      }
       rs.report().print(std::cerr, "roccsim");
       if (!report_file.empty()) {
         auto os = open_or_throw(report_file);
-        experiments::write_report_json(os, stamp, rs.results(), &rs.report());
+        experiments::write_report_json(os, stamp, finalized, &rs.report());
       }
     } else {
       rocc::Simulation sim(cfg);
@@ -195,7 +283,10 @@ int main(int argc, char** argv) {
         sim.set_tracer(&tracer);
       }
       if (!metrics_file.empty()) sim.enable_metrics(registry, metrics_tick_us);
-      const auto r = sim.run();
+      // No-op when the effective fault plan is empty.
+      const consultant::DetectionHarness harness(sim);
+      auto r = sim.run();
+      harness.finalize(r);
       std::printf("  %-36s %.4f\n", "Pd CPU time/node (s)", r.pd_cpu_time_sec());
       std::printf("  %-36s %.3f\n", "Pd CPU utilization/node (%)", r.pd_cpu_util_pct);
       std::printf("  %-36s %.3f\n", "main Paradyn CPU utilization (%)", r.main_cpu_util_pct);
@@ -209,6 +300,16 @@ int main(int argc, char** argv) {
         std::printf("  %-36s %.2f\n", "final sampling period (ms)",
                     r.final_sampling_period_us / 1e3);
       }
+      if (!r.fault_outcomes.empty()) {
+        std::printf("  %-36s %llu\n", "samples dropped by faults",
+                    static_cast<unsigned long long>(r.samples_dropped));
+      }
+      if (cfg.adaptive_throttle.enabled) {
+        std::printf("  %-36s %.2f (%llu adjustment(s))\n", "max sampling throttle factor",
+                    r.max_throttle_factor,
+                    static_cast<unsigned long long>(r.throttle_adjustments));
+      }
+      print_fault_outcomes(r.fault_outcomes);
       if (!report_file.empty()) {
         auto os = open_or_throw(report_file);
         experiments::write_report_json(os, stamp, {r}, nullptr);

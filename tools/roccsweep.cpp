@@ -10,14 +10,19 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "cli_args.hpp"
+#include "consultant/fault_detector.hpp"
 #include "experiments/report_json.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
 #include "obs/repro.hpp"
 #include "rocc/config.hpp"
+#include "rocc/faults.hpp"
 
 namespace {
 
@@ -37,6 +42,9 @@ void print_help() {
       "                     hardware threads, 1 = serial (results identical)\n"
       "  --progress         heartbeat lines on stderr as runs finish\n"
       "  --report-json FILE full SimulationResult of every run as JSON\n"
+      "  --fault-grid       instead of an axis sweep, run the canonical fault grid\n"
+      "                     (every fault type at two severities + a fault-free\n"
+      "                     baseline) and emit a detection/recovery-latency CSV\n"
       "  --help             this text\n");
 }
 
@@ -77,6 +85,99 @@ void apply_axis(paradyn::rocc::SystemConfig& cfg, const std::string& axis, doubl
   }
 }
 
+/// One row of the fault grid: a label plus the --fault spec string (empty
+/// = the fault-free baseline).
+struct GridEntry {
+  std::string label;
+  std::string spec;
+};
+
+/// The canonical fault grid (Tables 4-6 style): every fault type at a mild
+/// and a severe setting, windows placed relative to the simulated length.
+std::vector<GridEntry> fault_grid(double duration_us) {
+  const double start = 0.4 * duration_us;
+  const double dur = 0.2 * duration_us;
+  const auto window = [&](const char* extra) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "start=%.0f,dur=%.0f%s", start, dur, extra);
+    return std::string(buf);
+  };
+  return {
+      {"none", ""},
+      {"daemon_stall", "daemon_stall:daemon=0," + window("")},
+      {"daemon_crash", "daemon_crash:daemon=0," + window("")},
+      {"link_slow_x4", "link_slow:" + window(",factor=4")},
+      {"link_slow_x16", "link_slow:" + window(",factor=16")},
+      {"sample_drop_10", "sample_drop:node=all," + window(",p=0.1")},
+      {"sample_drop_50", "sample_drop:node=all," + window(",p=0.5")},
+      {"pipe_backpressure", "pipe_backpressure:daemon=0," + window(",capacity=1")},
+  };
+}
+
+/// Run the grid and print a CSV of per-fault detection/recovery metrics.
+void run_fault_grid(const paradyn::rocc::SystemConfig& base, std::size_t reps, std::size_t jobs,
+                    const std::string& report_file, const paradyn::obs::ReproStamp& stamp) {
+  using namespace paradyn;
+  std::printf("fault,detected_frac,detection_ms,recovered_frac,recovery_ms,dropped,delivered,latency_ms\n");
+  std::vector<rocc::SimulationResult> all_results;
+  experiments::RunReport grid_report;
+  for (const GridEntry& entry : fault_grid(base.duration_us)) {
+    rocc::SystemConfig cfg = base;
+    if (!entry.spec.empty()) cfg.faults = rocc::FaultPlan::parse(entry.spec);
+    cfg.validate();
+    std::vector<std::unique_ptr<consultant::DetectionHarness>> harnesses(reps);
+    const experiments::RunHook hook = [&](rocc::Simulation& sim, std::size_t, std::size_t rep) {
+      harnesses[rep] = std::make_unique<consultant::DetectionHarness>(sim);
+    };
+    const experiments::ReplicationSet rs(cfg, reps, jobs, hook);
+    grid_report += rs.report();
+    std::vector<rocc::SimulationResult> finalized = rs.results();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      if (harnesses[rep]) harnesses[rep]->finalize(finalized[rep]);
+    }
+
+    double det_sum = 0.0;
+    double rec_sum = 0.0;
+    double dropped = 0.0;
+    double delivered = 0.0;
+    double latency_ms = 0.0;
+    std::size_t det_n = 0;
+    std::size_t rec_n = 0;
+    for (const auto& r : finalized) {
+      for (const auto& o : r.fault_outcomes) {
+        if (o.detected) {
+          det_sum += o.detection_latency_us;
+          ++det_n;
+        }
+        if (o.recovered) {
+          rec_sum += o.recovery_latency_us;
+          ++rec_n;
+        }
+      }
+      dropped += static_cast<double>(r.samples_dropped);
+      delivered += static_cast<double>(r.samples_delivered);
+      latency_ms += r.latency_us.count() ? r.latency_us.mean() / 1e3 : 0.0;
+    }
+    const auto n = static_cast<double>(reps);
+    const std::size_t outcome_slots = finalized.front().fault_outcomes.size() * reps;
+    std::printf("%s,%.2f,%.3f,%.2f,%.3f,%.1f,%.1f,%.3f\n", entry.label.c_str(),
+                outcome_slots ? static_cast<double>(det_n) / static_cast<double>(outcome_slots) : 0.0,
+                det_n ? det_sum / static_cast<double>(det_n) / 1e3 : -1.0,
+                outcome_slots ? static_cast<double>(rec_n) / static_cast<double>(outcome_slots) : 0.0,
+                rec_n ? rec_sum / static_cast<double>(rec_n) / 1e3 : -1.0, dropped / n,
+                delivered / n, latency_ms / n);
+    if (!report_file.empty()) {
+      all_results.insert(all_results.end(), finalized.begin(), finalized.end());
+    }
+  }
+  grid_report.print(std::cerr, "roccsweep --fault-grid");
+  if (!report_file.empty()) {
+    std::ofstream os(report_file);
+    if (!os) throw std::runtime_error("cannot open for writing: " + report_file);
+    experiments::write_report_json(os, stamp, all_results, &grid_report);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,14 +187,15 @@ int main(int argc, char** argv) {
         argc, argv,
         {"axis", "values", "arch", "nodes", "apps", "daemons", "sampling-ms", "batch",
          "topology", "seconds", "reps", "seed", "reference-rng", "jobs", "progress",
-         "report-json", "help"});
-    if (args.get_bool("help") || !args.has("axis") || !args.has("values")) {
+         "report-json", "fault-grid", "help"});
+    const bool grid_mode = args.get_bool("fault-grid");
+    if (args.get_bool("help") || (!grid_mode && (!args.has("axis") || !args.has("values")))) {
       print_help();
       return args.get_bool("help") ? 0 : 1;
     }
 
     const std::string axis = args.get_string("axis", "");
-    const auto values = parse_values(args.get_string("values", ""));
+    const auto values = grid_mode ? std::vector<double>{} : parse_values(args.get_string("values", ""));
     const std::string arch = args.get_string("arch", "now");
     const auto nodes = static_cast<std::int32_t>(args.get_long("nodes", 8));
     const auto apps = static_cast<std::int32_t>(args.get_long("apps", arch == "smp" ? nodes : 1));
@@ -128,11 +230,17 @@ int main(int argc, char** argv) {
     stamp.seed = base.seed;
     stamp.has_seed = true;
     stamp.jobs = jobs == 0 ? experiments::default_jobs() : jobs;
-    stamp.extra = "axis=" + axis + " values=" + args.get_string("values", "") +
-                  " reps=" + std::to_string(reps);
+    stamp.extra = grid_mode ? "fault-grid reps=" + std::to_string(reps)
+                            : "axis=" + axis + " values=" + args.get_string("values", "") +
+                                  " reps=" + std::to_string(reps);
     // '#'-prefixed header on the CSV itself: plotting scripts skip it,
     // humans can always trace the file back to the run that made it.
     stamp.write(std::cout);
+
+    if (grid_mode) {
+      run_fault_grid(base, reps, jobs, report_file, stamp);
+      return 0;
+    }
 
     std::vector<std::vector<double>> series(5);
     std::vector<rocc::SimulationResult> all_results;
