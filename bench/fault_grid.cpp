@@ -10,13 +10,18 @@
 //   fault_off_overhead_pct zero-cost envelope: carrying an armed-but-inert
 //                          fault plan (a drop window that never claims a
 //                          sample) must cost < 2% versus no plan at all.
+//   repair_off_overhead_pct the same envelope for the repair layer: a
+//                          detection run carrying an armed repair policy
+//                          that never matches a fault must cost < 2%
+//                          versus the same run with repair off.
 //
-// Both are emitted through --bench-json for tools/bench_compare.
+// All are emitted through --bench-json for tools/bench_compare.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench_json_common.hpp"
+#include "consultant/fault_detector.hpp"
 #include "repro_common.hpp"
 #include "rocc/simulation.hpp"
 
@@ -34,6 +39,16 @@ paradyn::rocc::SystemConfig base_config() {
 double run_eps(const paradyn::rocc::SystemConfig& cfg) {
   const paradyn::bench::WallTimer t;
   const auto r = paradyn::rocc::run_simulation(cfg);
+  const double sec = t.seconds();
+  return sec > 0.0 ? static_cast<double>(r.events_processed) / sec : 0.0;
+}
+
+/// Events per wall second of one detection run, optionally with a repair
+/// policy armed.
+double run_detect_eps(const paradyn::rocc::SystemConfig& cfg,
+                      paradyn::consultant::RepairPolicy policy = {}) {
+  const paradyn::bench::WallTimer t;
+  const auto r = paradyn::consultant::run_with_detection(cfg, {}, std::move(policy));
   const double sec = t.seconds();
   return sec > 0.0 ? static_cast<double>(r.events_processed) / sec : 0.0;
 }
@@ -63,30 +78,45 @@ int main(int argc, char** argv) {
       "sample_drop:node=all,start=3s,dur=1s,p=0.25;"
       "pipe_backpressure:daemon=2,start=4s,dur=500ms,capacity=2");
 
+  // Repair-off vs armed-but-inert repair: both runs carry the detection
+  // harness over the active grid; the policy's only action is gated behind
+  // a threshold no fault reaches, so zero repair events are scheduled and
+  // zero draws leave the repair stream.
+  const auto inert_repair = consultant::RepairPolicy::parse("reroute_link:threshold=64");
+
   (void)run_eps(plain);  // warm-up: page in code and the event pool
 
   constexpr int kRounds = 5;
   double plain_eps = 0.0;
   double inert_eps = 0.0;
   double active_eps = 0.0;
+  double repair_off_eps = 0.0;
+  double repair_inert_eps = 0.0;
   for (int i = 0; i < kRounds; ++i) {
-    // Interleaved so drift (thermal, scheduler) hits all three equally;
+    // Interleaved so drift (thermal, scheduler) hits all five equally;
     // best-of cancels transient stalls.
     plain_eps = std::max(plain_eps, run_eps(plain));
     inert_eps = std::max(inert_eps, run_eps(inert));
     active_eps = std::max(active_eps, run_eps(active));
+    repair_off_eps = std::max(repair_off_eps, run_detect_eps(active));
+    repair_inert_eps = std::max(repair_inert_eps, run_detect_eps(active, inert_repair));
   }
 
   const double speedup = plain_eps > 0.0 ? active_eps / plain_eps : 0.0;
   const double overhead_pct = inert_eps > 0.0 ? (plain_eps / inert_eps - 1.0) * 100.0 : 0.0;
+  const double repair_overhead_pct =
+      repair_inert_eps > 0.0 ? (repair_off_eps / repair_inert_eps - 1.0) * 100.0 : 0.0;
 
   std::printf("=== Fault-injection hot path (NOW 4 nodes, SP = 5 ms, 5 s run, best of %d) ===\n",
               kRounds);
   std::printf("  %-28s %12.0f ev/s\n", "plain (no fault plan)", plain_eps);
   std::printf("  %-28s %12.0f ev/s\n", "armed but inert plan", inert_eps);
   std::printf("  %-28s %12.0f ev/s\n", "active 5-fault grid", active_eps);
+  std::printf("  %-28s %12.0f ev/s\n", "detect, repair off", repair_off_eps);
+  std::printf("  %-28s %12.0f ev/s\n", "detect, inert repair", repair_inert_eps);
   std::printf("  %-28s %12.3f\n", "speedup_fault_grid", speedup);
   std::printf("  %-28s %12.3f %%\n", "fault_off_overhead_pct", overhead_pct);
+  std::printf("  %-28s %12.3f %%\n", "repair_off_overhead_pct", repair_overhead_pct);
 
   if (!json_path.empty()) {
     bench::write_bench_json(json_path, {
@@ -94,6 +124,7 @@ int main(int argc, char** argv) {
                                            {"fault_grid_active_eps", active_eps},
                                            {"speedup_fault_grid", speedup},
                                            {"fault_off_overhead_pct", overhead_pct},
+                                           {"repair_off_overhead_pct", repair_overhead_pct},
                                            {"fault_grid_wall_seconds", total.seconds()},
                                        });
   }

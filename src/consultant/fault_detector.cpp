@@ -39,13 +39,15 @@ std::string FaultDetector::signature(rocc::SimTime now) const {
 
 void FaultDetector::evaluate(rocc::SimTime now) {
   const std::string sig = signature(now);
-  for (Tracked& t : tracked_) {
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    Tracked& t = tracked_[i];
     if (now < t.spec.start_us) {
       t.baseline = sig;
     } else if (!t.detected) {
       if (sig != t.baseline) {
         t.detected = true;
         t.detected_at = now;
+        if (on_detect_) on_detect_(i, now);
       }
     } else if (!t.recovered && now >= t.spec.end_us() && sig == t.baseline) {
       t.recovered = true;
@@ -71,8 +73,9 @@ void FaultDetector::finalize(std::vector<rocc::FaultOutcome>& outcomes) const {
   }
 }
 
-DetectionHarness::DetectionHarness(rocc::Simulation& sim, DetectorConfig config) {
-  const rocc::FaultPlan plan = sim.effective_fault_plan();
+DetectionHarness::DetectionHarness(rocc::Simulation& sim, DetectorConfig config,
+                                   RepairPolicy policy) {
+  const rocc::FaultPlan& plan = sim.effective_fault_plan();
   if (plan.empty() || sim.main_process() == nullptr) return;
   config.sampling_period_us = sim.config().sampling_period_us;
   detector_ = std::make_unique<FaultDetector>(plan, config);
@@ -81,16 +84,26 @@ DetectionHarness::DetectionHarness(rocc::Simulation& sim, DetectorConfig config)
   // Replaces any previously attached sample sink.
   sim.main_process()->set_sample_sink(
       [detector, engine](const rocc::Sample& s) { detector->observe(s, engine->now()); });
+  if (!policy.empty()) {
+    policy.validate();
+    repair_ = std::make_unique<RepairEngine>(sim, std::move(policy));
+    detector_->set_detection_callback(
+        [repair = repair_.get()](std::size_t fault_index, rocc::SimTime now) {
+          repair->on_detected(fault_index, now);
+        });
+  }
 }
 
 void DetectionHarness::finalize(rocc::SimulationResult& result) const {
   if (detector_) detector_->finalize(result.fault_outcomes);
+  if (repair_) repair_->finalize(result.fault_outcomes);
 }
 
 rocc::SimulationResult run_with_detection(const rocc::SystemConfig& config,
-                                          DetectorConfig detector_config) {
+                                          DetectorConfig detector_config,
+                                          RepairPolicy repair_policy) {
   rocc::Simulation sim(config);
-  const DetectionHarness harness(sim, detector_config);
+  const DetectionHarness harness(sim, detector_config, std::move(repair_policy));
   rocc::SimulationResult result = sim.run();
   harness.finalize(result);
   return result;

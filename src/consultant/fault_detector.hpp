@@ -16,10 +16,12 @@
 // treating latency as a first-class IS metric).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "consultant/consultant.hpp"
+#include "consultant/repair.hpp"
 #include "rocc/faults.hpp"
 #include "rocc/metrics.hpp"
 #include "rocc/simulation.hpp"
@@ -49,6 +51,12 @@ class FaultDetector {
   /// simulation's fault_outcomes, in plan order).
   void finalize(std::vector<rocc::FaultOutcome>& outcomes) const;
 
+  /// Invoked once per tracked fault at its first signature divergence —
+  /// the hook the RepairEngine hangs its first attempt on.  Runs inside
+  /// observe(), so it may schedule engine events.
+  using DetectionCallback = std::function<void(std::size_t fault_index, rocc::SimTime now)>;
+  void set_detection_callback(DetectionCallback cb) { on_detect_ = std::move(cb); }
+
   [[nodiscard]] const PerformanceConsultant& consultant() const noexcept {
     return consultant_;
   }
@@ -70,29 +78,39 @@ class FaultDetector {
   DetectorConfig config_;
   PerformanceConsultant consultant_;
   std::vector<Tracked> tracked_;
+  DetectionCallback on_detect_;
   /// Last delivery time per node (starvation bookkeeping).
   std::map<std::int32_t, rocc::SimTime> last_seen_;
 };
 
 /// Ties a FaultDetector to a Simulation for one run: attaches the main
-/// process's sample sink before run(), and copies the measured latencies
+/// process's sample sink before run(), arms the repair engine when a
+/// policy is given, and copies the measured latencies (and repair records)
 /// into the result afterwards.  Keep the harness alive across run().
 class DetectionHarness {
  public:
   /// No-op when instrumentation is disabled or the fault plan is empty.
-  explicit DetectionHarness(rocc::Simulation& sim, DetectorConfig config = {});
+  /// A non-empty `policy` closes the loop: detections trigger repair
+  /// attempts through the simulation's repair API.
+  explicit DetectionHarness(rocc::Simulation& sim, DetectorConfig config = {},
+                            RepairPolicy policy = {});
 
-  /// Fill result.fault_outcomes with detection/recovery latencies.
+  /// Fill result.fault_outcomes with detection/recovery latencies plus the
+  /// per-fault repair block when a policy was armed.
   void finalize(rocc::SimulationResult& result) const;
 
   [[nodiscard]] const FaultDetector* detector() const noexcept { return detector_.get(); }
+  [[nodiscard]] const RepairEngine* repair_engine() const noexcept { return repair_.get(); }
 
  private:
   std::unique_ptr<FaultDetector> detector_;
+  std::unique_ptr<RepairEngine> repair_;
 };
 
-/// Convenience: run one simulation with fault detection attached.
+/// Convenience: run one simulation with fault detection (and optionally
+/// the repair loop) attached.
 [[nodiscard]] rocc::SimulationResult run_with_detection(const rocc::SystemConfig& config,
-                                                        DetectorConfig detector_config = {});
+                                                        DetectorConfig detector_config = {},
+                                                        RepairPolicy repair_policy = {});
 
 }  // namespace paradyn::consultant

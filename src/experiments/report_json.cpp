@@ -170,9 +170,39 @@ void write_result_json(std::ostream& os, const rocc::SimulationResult& r, int in
       os << ", \"recovered\": " << (fo.recovered ? "true" : "false");
       os << ", \"recovery_latency_us\": ";
       number(os, fo.recovery_latency_us);
+      // The cascade marker appears only on induced rows, so fault reports
+      // from cascade-free runs keep the pre-cascade byte layout.
+      if (fo.cascaded_from >= 0) {
+        os << ", \"cascaded_from\": " << fo.cascaded_from;
+      }
       os << '}';
     }
     os << ']';
+    // The repairs[] block is emitted only when a repair policy was armed,
+    // so repair-free fault reports are byte-identical to the pre-repair
+    // format.  One entry per plan fault with at least one attempt.
+    bool any_repair = false;
+    for (const auto& fo : r.fault_outcomes) any_repair |= fo.repair_attempted;
+    if (any_repair) {
+      o.key("repairs") << '[';
+      bool first_repair = true;
+      for (std::size_t f = 0; f < r.fault_outcomes.size(); ++f) {
+        const auto& fo = r.fault_outcomes[f];
+        if (!fo.repair_attempted) continue;
+        if (!first_repair) os << ", ";
+        first_repair = false;
+        os << "{\"fault\": " << f;
+        os << ", \"attempts\": " << fo.repair_attempts;
+        os << ", \"repaired\": " << (fo.repaired ? "true" : "false");
+        os << ", \"gave_up\": " << (fo.gave_up ? "true" : "false");
+        os << ", \"time_to_repair_us\": ";
+        number(os, fo.time_to_repair_us);
+        os << ", \"backoff_us\": ";
+        number(os, fo.repair_backoff_us);
+        os << '}';
+      }
+      os << ']';
+    }
   }
   if (!r.throttle_factors.empty()) {
     o.key("throttle_factors") << '[';

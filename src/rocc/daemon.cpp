@@ -51,13 +51,15 @@ void ParadynDaemon::receive_from_child(Batch batch) {
 }
 
 void ParadynDaemon::stall_until(SimTime until) {
-  stalled_until_ = until;
+  // Overlapping windows extend, never shrink: a second stall ending before
+  // an active one must not wake the daemon early (commutative overlap).
+  stalled_until_ = std::max(stalled_until_, until);
   engine_.schedule_at(until, [this] { try_start(); });
 }
 
 bool ParadynDaemon::stalled() const noexcept { return engine_.now() < stalled_until_; }
 
-void ParadynDaemon::crash_until(SimTime until) {
+std::uint64_t ParadynDaemon::kill_buffers() {
   std::uint64_t lost = pending_batch_.size() + merged_pending_.size();
   for (const Batch& b : merge_queue_) lost += b.sample_count();
   metrics_.samples_dropped += lost;
@@ -66,7 +68,19 @@ void ParadynDaemon::crash_until(SimTime until) {
   merge_queue_.clear();
   flush_due_ = false;
   engine_.cancel(flush_timer_);
+  return lost;
+}
+
+void ParadynDaemon::crash_until(SimTime until) {
+  kill_buffers();
   stall_until(until);
+}
+
+std::uint64_t ParadynDaemon::restart_now() {
+  const std::uint64_t lost = kill_buffers();
+  stalled_until_ = engine_.now();
+  try_start();  // no-op if an in-flight operation still holds busy_
+  return lost;
 }
 
 void ParadynDaemon::try_start() {
@@ -189,9 +203,12 @@ void ParadynDaemon::forward_batch(Batch batch) {
       [this, batch = std::move(batch), t0]() mutable {
         // The paper assumes a merged/batched unit occupies the network like
         // a single sample; net_per_extra_sample_us generalizes that.
+        // net_penalty_ is exactly 1.0 outside cascade windows, so the
+        // multiply is bit-neutral for cascade-free runs.
         const double occupancy =
-            net_occupancy_(rng_) +
-            config_.pd.net_per_extra_sample_us * static_cast<double>(batch.sample_count() - 1);
+            (net_occupancy_(rng_) +
+             config_.pd.net_per_extra_sample_us * static_cast<double>(batch.sample_count() - 1)) *
+            net_penalty_;
         network_.submit(NetRequest{occupancy, ProcessClass::ParadynDaemon,
                                    [this, batch = std::move(batch), t0] {
                                      ++batches_forwarded_;

@@ -54,7 +54,8 @@ class ParadynDaemon {
 
   /// Fault injection: stop draining/forwarding until `until` (simulated
   /// time).  An in-flight operation completes; new work waits.  The daemon
-  /// resumes automatically.
+  /// resumes automatically.  Overlapping stalls extend to the latest
+  /// deadline (max), so same-target windows compose order-independently.
   void stall_until(SimTime until);
   [[nodiscard]] bool stalled() const noexcept;
 
@@ -63,6 +64,18 @@ class ParadynDaemon {
   /// child samples, and queued child batches — is destroyed (counted into
   /// MetricsCollector::samples_dropped); pipes survive (kernel buffers).
   void crash_until(SimTime until);
+
+  /// Fault repair (restart_daemon): kill and re-warm the process *now* —
+  /// buffered in-memory samples are lost exactly as in crash_until, any
+  /// pending stall/crash deadline is cleared, and draining resumes
+  /// immediately.  Returns the number of buffered samples lost.
+  std::uint64_t restart_now();
+
+  /// Cascade fault: multiply this daemon's forwarding network occupancy by
+  /// `factor` (1 = nominal).  Models a stalled neighbor degrading this
+  /// daemon's uplink without touching the shared interconnect resource.
+  void set_net_penalty(double factor) noexcept { net_penalty_ = factor; }
+  [[nodiscard]] double net_penalty() const noexcept { return net_penalty_; }
 
   [[nodiscard]] std::int32_t node() const noexcept { return node_; }
   [[nodiscard]] std::uint64_t samples_collected() const noexcept { return samples_collected_; }
@@ -77,6 +90,9 @@ class ParadynDaemon {
   }
 
  private:
+  /// Kill the process image: count and discard all buffered in-memory
+  /// samples, cancel the flush timer.  Shared by crash_until/restart_now.
+  std::uint64_t kill_buffers();
   /// Pick the next piece of work if idle: a due flush of en-route data, a
   /// child batch to merge, else a sample from the pipes (round-robin),
   /// else go idle.
@@ -116,6 +132,7 @@ class ParadynDaemon {
   bool flush_due_ = false;
   bool busy_ = false;
   SimTime stalled_until_ = 0.0;
+  double net_penalty_ = 1.0;
 
   MainParadyn* main_ = nullptr;
   ParadynDaemon* parent_ = nullptr;

@@ -1,51 +1,185 @@
 #include "rocc/faults.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <memory>
+#include <set>
 #include <stdexcept>
+
+#include "util/spec_grammar.hpp"
+#include "util/suggest.hpp"
 
 namespace paradyn::rocc {
 namespace {
 
-[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
-  throw std::invalid_argument("FaultPlan: bad spec \"" + spec + "\": " + why);
+using util::SpecCtx;
+using util::parse_number;
+using util::parse_time_us;
+
+[[noreturn]] void bad(const SpecCtx& c, std::size_t local_pos, const std::string& why) {
+  util::bad_spec(c, local_pos, why);
 }
 
-/// "500ms" -> 500'000; "2s" -> 2'000'000; "750" / "750us" -> 750.
-double parse_time_us(const std::string& spec, const std::string& text) {
-  if (text.empty()) bad_spec(spec, "empty time value");
-  std::size_t pos = 0;
-  double value = 0.0;
-  try {
-    value = std::stod(text, &pos);
-  } catch (const std::exception&) {
-    bad_spec(spec, "not a number: " + text);
-  }
-  const std::string unit = text.substr(pos);
-  if (unit.empty() || unit == "us") return value;
-  if (unit == "ms") return value * 1e3;
-  if (unit == "s") return value * 1e6;
-  bad_spec(spec, "unknown time unit: " + unit);
-}
-
-double parse_number(const std::string& spec, const std::string& text) {
-  std::size_t pos = 0;
-  double value = 0.0;
-  try {
-    value = std::stod(text, &pos);
-  } catch (const std::exception&) {
-    bad_spec(spec, "not a number: " + text);
-  }
-  if (pos != text.size()) bad_spec(spec, "trailing characters in: " + text);
-  return value;
-}
-
-std::int32_t parse_target(const std::string& spec, const std::string& text) {
+std::int32_t parse_target(const SpecCtx& c, std::size_t pos, const std::string& text) {
   if (text == "all" || text == "-1") return -1;
-  const double v = parse_number(spec, text);
+  const double v = parse_number(c, pos, text);
   const auto i = static_cast<std::int32_t>(v);
-  if (static_cast<double>(i) != v || i < 0) bad_spec(spec, "target must be 'all' or >= 0");
+  if (static_cast<double>(i) != v || i < 0) bad(c, pos, "target must be 'all' or >= 0");
   return i;
+}
+
+std::int32_t parse_count(const SpecCtx& c, std::size_t pos, const std::string& text) {
+  const double v = parse_number(c, pos, text);
+  const auto i = static_cast<std::int32_t>(v);
+  if (static_cast<double>(i) != v || i < 1) bad(c, pos, "expected an integer >= 1: " + text);
+  return i;
+}
+
+const std::set<std::string>& known_dist_names() {
+  static const std::set<std::string> names = {"exp", "exponential", "uniform", "lognormal",
+                                              "weibull"};
+  return names;
+}
+
+/// "exp:1s" / "uniform:200ms:800ms" / "lognormal:300ms:100ms" /
+/// "weibull:2:300ms" — parameters are times (weibull's SHAPE is bare).
+stats::DistributionPtr parse_dist(const SpecCtx& c, std::size_t pos, const std::string& text) {
+  std::vector<std::string> parts;
+  std::vector<std::size_t> offsets;
+  std::size_t at = 0;
+  while (at <= text.size()) {
+    const auto colon = text.find(':', at);
+    const std::size_t end = colon == std::string::npos ? text.size() : colon;
+    parts.push_back(text.substr(at, end - at));
+    offsets.push_back(at);
+    if (colon == std::string::npos) break;
+    at = colon + 1;
+  }
+  const std::string& name = parts[0];
+  const auto need = [&](std::size_t n) {
+    if (parts.size() != n + 1) {
+      bad(c, pos, name + " takes " + std::to_string(n) + " ':'-separated parameter(s), got " +
+                      std::to_string(parts.size() - 1));
+    }
+  };
+  try {
+    if (name == "exp" || name == "exponential") {
+      need(1);
+      return std::make_shared<stats::Exponential>(parse_time_us(c, pos + offsets[1], parts[1]));
+    }
+    if (name == "uniform") {
+      need(2);
+      const double lo = parse_time_us(c, pos + offsets[1], parts[1]);
+      const double hi = parse_time_us(c, pos + offsets[2], parts[2]);
+      return std::make_shared<stats::Uniform>(lo, hi);
+    }
+    if (name == "lognormal") {
+      need(2);
+      const double mean = parse_time_us(c, pos + offsets[1], parts[1]);
+      const double stddev = parse_time_us(c, pos + offsets[2], parts[2]);
+      return std::make_shared<stats::Lognormal>(stats::Lognormal::from_mean_stddev(mean, stddev));
+    }
+    if (name == "weibull") {
+      need(2);
+      const double shape = parse_number(c, pos + offsets[1], parts[1]);
+      const double scale = parse_time_us(c, pos + offsets[2], parts[2]);
+      return std::make_shared<stats::Weibull>(shape, scale);
+    }
+  } catch (const std::invalid_argument& e) {
+    // Distribution constructors validate their parameters; re-cite the
+    // clause position so the shell error still points at the token.
+    const std::string what = e.what();
+    if (what.rfind("FaultPlan:", 0) == 0) throw;
+    bad(c, pos, what);
+  }
+  bad(c, pos, "unknown distribution: " + name + util::did_you_mean(name, known_dist_names()));
+}
+
+const std::set<std::string>& known_fault_types() {
+  static const std::set<std::string> names = {"daemon_stall", "daemon_crash", "link_slow",
+                                              "sample_drop", "pipe_backpressure"};
+  return names;
+}
+
+const std::set<std::string>& known_fault_keys() {
+  static const std::set<std::string> names = {
+      "start",   "dur",     "duration",      "daemon",        "node",
+      "factor",  "p",       "capacity",      "cascade",       "cascade_delay",
+      "cascade_hops", "cascade_factor"};
+  return names;
+}
+
+FaultSpec parse_spec_impl(const SpecCtx& c) {
+  const std::string& spec = c.spec;
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) bad(c, 0, "expected TYPE:key=value,...");
+  const std::string type_name = spec.substr(0, colon);
+
+  FaultSpec f;
+  if (type_name == "daemon_stall") {
+    f.type = FaultType::DaemonStall;
+  } else if (type_name == "daemon_crash") {
+    f.type = FaultType::DaemonCrash;
+  } else if (type_name == "link_slow") {
+    f.type = FaultType::LinkSlowdown;
+  } else if (type_name == "sample_drop") {
+    f.type = FaultType::SampleDrop;
+  } else if (type_name == "pipe_backpressure") {
+    f.type = FaultType::PipeBackpressure;
+  } else {
+    bad(c, 0,
+        "unknown fault type: " + type_name + util::did_you_mean(type_name, known_fault_types()));
+  }
+
+  bool saw_start = false;
+  bool saw_duration = false;
+  std::size_t pos = colon + 1;
+  while (pos < spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string kv = spec.substr(pos, end - pos);
+    const std::size_t kv_pos = pos;
+    pos = end + 1;
+    if (kv.empty()) continue;
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) bad(c, kv_pos, "expected key=value, got: " + kv);
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    const std::size_t value_pos = kv_pos + eq + 1;
+    // `start` / `dur` values containing ':' are distribution specs.
+    if (key == "start") {
+      if (value.find(':') != std::string::npos) {
+        f.start_dist = parse_dist(c, value_pos, value);
+      } else {
+        f.start_us = parse_time_us(c, value_pos, value);
+      }
+      saw_start = true;
+    } else if (key == "dur" || key == "duration") {
+      if (value.find(':') != std::string::npos) {
+        f.duration_dist = parse_dist(c, value_pos, value);
+      } else {
+        f.duration_us = parse_time_us(c, value_pos, value);
+      }
+      saw_duration = true;
+    } else if (key == "daemon" || key == "node") {
+      f.target = parse_target(c, value_pos, value);
+    } else if (key == "factor" || key == "p" || key == "capacity") {
+      f.magnitude = parse_number(c, value_pos, value);
+    } else if (key == "cascade") {
+      f.cascade_p = parse_number(c, value_pos, value);
+    } else if (key == "cascade_delay") {
+      f.cascade_delay_us = parse_time_us(c, value_pos, value);
+    } else if (key == "cascade_hops") {
+      f.cascade_hops = parse_count(c, value_pos, value);
+    } else if (key == "cascade_factor") {
+      f.cascade_factor = parse_number(c, value_pos, value);
+    } else {
+      bad(c, kv_pos, "unknown key: " + key + util::did_you_mean(key, known_fault_keys()));
+    }
+  }
+  if (!saw_start || !saw_duration) bad(c, 0, "start and dur are required");
+  return f;
 }
 
 }  // namespace
@@ -68,91 +202,59 @@ const char* to_string(FaultType t) noexcept {
 
 std::string FaultSpec::describe() const {
   char buf[160];
+  std::string out;
   if (type == FaultType::LinkSlowdown) {
     std::snprintf(buf, sizeof(buf), "%s x%g @ [%g, %g) us", to_string(type), magnitude, start_us,
                   end_us());
-    return buf;
-  }
-  const char* target_kind = type == FaultType::SampleDrop ? "node" : "daemon";
-  char who[32];
-  if (target < 0) {
-    std::snprintf(who, sizeof(who), "%s all", target_kind);
+    out = buf;
   } else {
-    std::snprintf(who, sizeof(who), "%s %d", target_kind, target);
+    const char* target_kind = type == FaultType::SampleDrop ? "node" : "daemon";
+    char who[32];
+    if (target < 0) {
+      std::snprintf(who, sizeof(who), "%s all", target_kind);
+    } else {
+      std::snprintf(who, sizeof(who), "%s %d", target_kind, target);
+    }
+    // Stall/crash carry no magnitude; drop shows p, backpressure the clamp.
+    if (type == FaultType::SampleDrop) {
+      std::snprintf(buf, sizeof(buf), "%s %s p=%g @ [%g, %g) us", to_string(type), who, magnitude,
+                    start_us, end_us());
+    } else if (type == FaultType::PipeBackpressure) {
+      std::snprintf(buf, sizeof(buf), "%s %s cap=%g @ [%g, %g) us", to_string(type), who,
+                    magnitude, start_us, end_us());
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s %s @ [%g, %g) us", to_string(type), who, start_us,
+                    end_us());
+    }
+    out = buf;
   }
-  // Stall/crash carry no magnitude; drop shows p, backpressure the clamp.
-  if (type == FaultType::SampleDrop) {
-    std::snprintf(buf, sizeof(buf), "%s %s p=%g @ [%g, %g) us", to_string(type), who, magnitude,
-                  start_us, end_us());
-  } else if (type == FaultType::PipeBackpressure) {
-    std::snprintf(buf, sizeof(buf), "%s %s cap=%g @ [%g, %g) us", to_string(type), who, magnitude,
-                  start_us, end_us());
-  } else {
-    std::snprintf(buf, sizeof(buf), "%s %s @ [%g, %g) us", to_string(type), who, start_us,
-                  end_us());
+  if (cascade_p > 0.0) {
+    std::snprintf(buf, sizeof(buf), " +cascade(p=%g, x%g, %d hop(s))", cascade_p, cascade_factor,
+                  cascade_hops);
+    out += buf;
   }
-  return buf;
+  if (stochastic()) out += " [stochastic window]";
+  return out;
 }
 
 FaultSpec FaultPlan::parse_spec(const std::string& spec) {
-  const auto colon = spec.find(':');
-  if (colon == std::string::npos) bad_spec(spec, "expected TYPE:key=value,...");
-  const std::string type_name = spec.substr(0, colon);
-
-  FaultSpec f;
-  if (type_name == "daemon_stall") {
-    f.type = FaultType::DaemonStall;
-  } else if (type_name == "daemon_crash") {
-    f.type = FaultType::DaemonCrash;
-  } else if (type_name == "link_slow") {
-    f.type = FaultType::LinkSlowdown;
-  } else if (type_name == "sample_drop") {
-    f.type = FaultType::SampleDrop;
-  } else if (type_name == "pipe_backpressure") {
-    f.type = FaultType::PipeBackpressure;
-  } else {
-    bad_spec(spec, "unknown fault type: " + type_name);
-  }
-
-  bool saw_start = false;
-  bool saw_duration = false;
-  std::string rest = spec.substr(colon + 1);
-  while (!rest.empty()) {
-    const auto comma = rest.find(',');
-    const std::string kv = rest.substr(0, comma);
-    rest = comma == std::string::npos ? std::string{} : rest.substr(comma + 1);
-    if (kv.empty()) continue;
-    const auto eq = kv.find('=');
-    if (eq == std::string::npos) bad_spec(spec, "expected key=value, got: " + kv);
-    const std::string key = kv.substr(0, eq);
-    const std::string value = kv.substr(eq + 1);
-    if (key == "start") {
-      f.start_us = parse_time_us(spec, value);
-      saw_start = true;
-    } else if (key == "dur" || key == "duration") {
-      f.duration_us = parse_time_us(spec, value);
-      saw_duration = true;
-    } else if (key == "daemon" || key == "node") {
-      f.target = parse_target(spec, value);
-    } else if (key == "factor" || key == "p" || key == "capacity") {
-      f.magnitude = parse_number(spec, value);
-    } else {
-      bad_spec(spec, "unknown key: " + key);
-    }
-  }
-  if (!saw_start || !saw_duration) bad_spec(spec, "start and dur are required");
-  return f;
+  return parse_spec_impl(SpecCtx{"FaultPlan", spec, 1, 0});
 }
 
 FaultPlan FaultPlan::parse(const std::string& specs) {
   FaultPlan plan;
-  std::string rest = specs;
-  while (!rest.empty()) {
-    const auto semi = rest.find(';');
-    const std::string one = rest.substr(0, semi);
-    rest = semi == std::string::npos ? std::string{} : rest.substr(semi + 1);
-    if (one.empty()) continue;
-    plan.faults.push_back(parse_spec(one));
+  std::size_t at = 0;
+  std::size_t clause_no = 0;
+  while (at <= specs.size()) {
+    const auto semi = specs.find(';', at);
+    const std::size_t end = semi == std::string::npos ? specs.size() : semi;
+    const std::string one = specs.substr(at, end - at);
+    if (!one.empty()) {
+      ++clause_no;
+      plan.faults.push_back(parse_spec_impl(SpecCtx{"FaultPlan", one, clause_no, at}));
+    }
+    if (semi == std::string::npos) break;
+    at = semi + 1;
   }
   if (plan.faults.empty()) {
     throw std::invalid_argument("FaultPlan: no fault specs in \"" + specs + "\"");
@@ -164,14 +266,18 @@ void FaultPlan::validate(std::int32_t daemon_count, std::int32_t nodes,
                          SimTime sim_duration_us, std::int32_t pipe_capacity) const {
   for (const FaultSpec& f : faults) {
     const std::string what = f.describe();
-    if (f.start_us < 0.0) {
-      throw std::invalid_argument("FaultPlan: start must be >= 0: " + what);
+    // Stochastic windows are drawn (and clamped) at resolve time; only
+    // fixed values can be range-checked here.
+    if (f.start_dist == nullptr) {
+      if (f.start_us < 0.0) {
+        throw std::invalid_argument("FaultPlan: start must be >= 0: " + what);
+      }
+      if (f.start_us >= sim_duration_us) {
+        throw std::invalid_argument("FaultPlan: window starts after sim end: " + what);
+      }
     }
-    if (!(f.duration_us > 0.0)) {
+    if (f.duration_dist == nullptr && !(f.duration_us > 0.0)) {
       throw std::invalid_argument("FaultPlan: duration must be > 0: " + what);
-    }
-    if (f.start_us >= sim_duration_us) {
-      throw std::invalid_argument("FaultPlan: window starts after sim end: " + what);
     }
     switch (f.type) {
       case FaultType::DaemonStall:
@@ -217,6 +323,47 @@ void FaultPlan::validate(std::int32_t daemon_count, std::int32_t nodes,
       case FaultType::DaemonStall:
       case FaultType::DaemonCrash:
         break;
+    }
+    if (f.cascade_p != 0.0) {
+      if (f.type != FaultType::DaemonStall && f.type != FaultType::DaemonCrash) {
+        throw std::invalid_argument(
+            "FaultPlan: cascade requires daemon_stall or daemon_crash: " + what);
+      }
+      if (f.target < 0) {
+        throw std::invalid_argument(
+            "FaultPlan: cascade requires a concrete daemon target (not 'all'): " + what);
+      }
+      if (!(f.cascade_p > 0.0) || f.cascade_p > 1.0) {
+        throw std::invalid_argument("FaultPlan: cascade p must be in (0, 1]: " + what);
+      }
+      if (!(f.cascade_delay_us > 0.0)) {
+        throw std::invalid_argument("FaultPlan: cascade_delay must be > 0: " + what);
+      }
+      if (!(f.cascade_factor >= 1.0)) {
+        throw std::invalid_argument("FaultPlan: cascade_factor must be >= 1: " + what);
+      }
+    }
+  }
+}
+
+bool FaultPlan::any_stochastic() const noexcept {
+  for (const FaultSpec& f : faults) {
+    if (f.stochastic()) return true;
+  }
+  return false;
+}
+
+void FaultPlan::resolve(des::Pcg32& rng, stats::SamplerBackend backend) {
+  for (FaultSpec& f : faults) {
+    if (f.start_dist != nullptr) {
+      const auto sampler = stats::FrozenSampler::compile(f.start_dist, backend);
+      f.start_us = std::max(0.0, sampler(rng));
+      f.start_dist = nullptr;
+    }
+    if (f.duration_dist != nullptr) {
+      const auto sampler = stats::FrozenSampler::compile(f.duration_dist, backend);
+      f.duration_us = std::max(1.0, sampler(rng));
+      f.duration_dist = nullptr;
     }
   }
 }

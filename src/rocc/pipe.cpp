@@ -52,6 +52,16 @@ void Pipe::clear_capacity_limit() {
   }
 }
 
+std::size_t Pipe::drain() {
+  const std::size_t discarded = buffer_.size();
+  buffer_.clear();
+  if (discarded != 0 && on_space_) {
+    auto cb = std::exchange(on_space_, nullptr);
+    cb();
+  }
+  return discarded;
+}
+
 void Pipe::notify_on_data(SmallCallback cb) { on_data_ = std::move(cb); }
 
 void Pipe::notify_on_space(SmallCallback cb) { on_space_ = std::move(cb); }

@@ -42,6 +42,12 @@ class Pipe {
   void set_capacity_limit(std::int32_t limit);
   void clear_capacity_limit();
 
+  /// Fault repair (reset_pipe): discard every buffered sample and fire a
+  /// pending space callback — flushing a wedged kernel buffer loses its
+  /// contents.  Returns the number of samples discarded so the caller can
+  /// account them as dropped.
+  std::size_t drain();
+
   [[nodiscard]] std::int32_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::int32_t effective_capacity() const noexcept {
     return limit_ < capacity_ ? limit_ : capacity_;

@@ -8,7 +8,10 @@ namespace paradyn::rocc {
 namespace {
 
 /// Role tags for RNG stream derivation — keep stable so results are
-/// reproducible across code changes that add entities.
+/// reproducible across code changes that add entities.  The fault/repair
+/// machinery tags (8..11) are defined in faults.hpp (kFaultDropRngTag and
+/// friends) so the consultant's RepairEngine derives from the same table;
+/// kTagFault must equal kFaultDropRngTag.
 enum RoleTag : std::uint64_t {
   kTagApp = 1,
   kTagDaemon = 2,
@@ -17,7 +20,7 @@ enum RoleTag : std::uint64_t {
   kTagPvmdNet = 5,
   kTagOtherCpu = 6,
   kTagOtherNet = 7,
-  kTagFault = 8,
+  kTagFault = kFaultDropRngTag,
 };
 
 }  // namespace
@@ -168,19 +171,34 @@ void Simulation::build() {
     }
   }
 
-  // Fault plan: resolved once at build time; the drop gate exists (and its
-  // dedicated RNG stream is derived) only when a sample_drop window is
-  // planned, so fault-free runs touch no extra randomness.
-  plan_ = effective_fault_plan();
+  // Fault plan: resolved once at build time.  Every auxiliary stream (drop
+  // gate, stochastic windows, cascade Bernoulli) is derived only when the
+  // matching feature appears in the plan, so fault-free runs — and runs
+  // without that feature — touch no extra randomness.
+  plan_ = compose_fault_plan();
+  if (plan_.any_stochastic()) {
+    des::RngStream window_rng(config_.seed, 0, kFaultWindowRngTag);
+    plan_.resolve(window_rng, config_.sampler_backend());
+  }
   bool any_drop = false;
-  for (const FaultSpec& f : plan_.faults) any_drop |= f.type == FaultType::SampleDrop;
+  bool any_cascade = false;
+  for (const FaultSpec& f : plan_.faults) {
+    any_drop |= f.type == FaultType::SampleDrop;
+    any_cascade |= f.cascade_p > 0.0;
+  }
   if (any_drop) {
     fault_gate_ = std::make_unique<FaultGate>(des::RngStream(config_.seed, 0, kTagFault));
     for (auto& app : apps_) app->set_fault_gate(fault_gate_.get());
   }
+  if (any_cascade && !daemons_.empty()) {
+    cascade_rng_ =
+        std::make_unique<des::RngStream>(config_.seed, 0, kCascadeRngTag);
+    cascade_visited_.assign(plan_.faults.size(), {});
+    daemon_net_penalties_.assign(daemons_.size(), {});
+  }
 }
 
-FaultPlan Simulation::effective_fault_plan() const {
+FaultPlan Simulation::compose_fault_plan() const {
   FaultPlan plan = config_.faults;
   const auto& stall = config_.fault_daemon_stall;
   if (stall.duration_us > 0.0) {
@@ -210,9 +228,95 @@ void Simulation::schedule_faults() {
 }
 
 void Simulation::recompute_slowdown() {
+  // Factors multiply in insertion order, so reverting one fault leaves the
+  // exact double the remaining set would have produced on its own.
   double factor = 1.0;
-  for (const double f : active_slowdowns_) factor *= f;
+  for (const auto& [fault_index, f] : active_slowdowns_) factor *= f;
   network_->set_slowdown(factor);
+}
+
+void Simulation::recompute_pipe_clamps() {
+  // Per-pipe limit = min over active clamps covering it.  Only touch pipes
+  // whose effective capacity actually changes: set/clear fire a pending
+  // space callback unconditionally, so a redundant call would inject a
+  // spurious wake-up event and shift the stream.
+  for (std::size_t p = 0; p < pipes_.size(); ++p) {
+    std::int32_t limit = INT32_MAX;
+    for (const auto& [fault_index, cap] : active_clamps_) {
+      const FaultSpec& f = plan_.faults[fault_index];
+      if (f.target >= 0 && pipe_daemon_[p] != static_cast<std::size_t>(f.target)) continue;
+      limit = std::min(limit, cap);
+    }
+    const std::int32_t desired = std::min(pipes_[p]->capacity(), limit);
+    if (desired == pipes_[p]->effective_capacity()) continue;
+    if (limit == INT32_MAX) {
+      pipes_[p]->clear_capacity_limit();
+    } else {
+      pipes_[p]->set_capacity_limit(limit);
+    }
+  }
+}
+
+std::vector<std::size_t> Simulation::topology_neighbors(std::size_t d) const {
+  std::vector<std::size_t> out;
+  if (config_.topology == ForwardingTopology::BinaryTree) {
+    if (d > 0) out.push_back((d - 1) / 2);
+    if (2 * d + 1 < daemons_.size()) out.push_back(2 * d + 1);
+    if (2 * d + 2 < daemons_.size()) out.push_back(2 * d + 2);
+  } else {
+    // Direct forwarding has no daemon-to-daemon edges; treat the index
+    // chain as adjacency (d-1, d+1) so cascades still have a topology.
+    if (d > 0) out.push_back(d - 1);
+    if (d + 1 < daemons_.size()) out.push_back(d + 1);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Simulation::propagate_cascade(std::size_t fault_index, std::size_t from,
+                                   std::int32_t hop) {
+  const FaultSpec& f = plan_.faults[fault_index];
+  // Each neighbor is tested at most once per cascade, in ascending index
+  // order, from the dedicated cascade stream — deterministic regardless of
+  // how the BFS frontier interleaves with model events.
+  for (const std::size_t nb : topology_neighbors(from)) {
+    if (cascade_visited_[fault_index][nb] != 0) continue;
+    cascade_visited_[fault_index][nb] = 1;
+    if (cascade_rng_->next_double() >= f.cascade_p) continue;
+    engine_.schedule_after(f.cascade_delay_us,
+                           [this, fault_index, nb, hop] { apply_cascade_hit(fault_index, nb, hop); });
+  }
+}
+
+void Simulation::apply_cascade_hit(std::size_t fault_index, std::size_t daemon,
+                                   std::int32_t hop) {
+  const FaultSpec& f = plan_.faults[fault_index];
+  const SimTime end = f.end_us();
+  if (engine_.now() >= end) return;  // parent window already lifted
+  daemon_net_penalties_[daemon].emplace_back(fault_index, f.cascade_factor);
+  recompute_net_penalty(daemon);
+  if (tracer_ != nullptr) {
+    tracer_->instant("fault", "cascade", obs::kEngineTrack, engine_.now(), "daemon",
+                     static_cast<double>(daemon));
+  }
+  // Record the induced effect as its own outcome row: an uplink slowdown
+  // on the hit daemon for the remainder of the parent window.
+  FaultOutcome induced;
+  induced.spec.type = FaultType::LinkSlowdown;
+  induced.spec.target = static_cast<std::int32_t>(daemon);
+  induced.spec.start_us = engine_.now();
+  induced.spec.duration_us = end - engine_.now();
+  induced.spec.magnitude = f.cascade_factor;
+  induced.injected = true;
+  induced.cascaded_from = static_cast<std::int32_t>(fault_index);
+  fault_outcomes_.push_back(induced);
+  if (hop < f.cascade_hops) propagate_cascade(fault_index, daemon, hop + 1);
+}
+
+void Simulation::recompute_net_penalty(std::size_t daemon) {
+  double factor = 1.0;
+  for (const auto& [fault_index, f] : daemon_net_penalties_[daemon]) factor *= f;
+  daemons_[daemon]->set_net_penalty(factor);
 }
 
 void Simulation::apply_fault(std::size_t fault_index) {
@@ -233,19 +337,23 @@ void Simulation::apply_fault(std::size_t fault_index) {
           daemons_[d]->crash_until(f.end_us());
         }
       }
+      if (f.cascade_p > 0.0 && cascade_rng_ != nullptr) {
+        const auto origin = static_cast<std::size_t>(f.target);
+        cascade_visited_[fault_index].assign(daemons_.size(), 0);
+        cascade_visited_[fault_index][origin] = 1;
+        propagate_cascade(fault_index, origin, 1);
+      }
       break;
     case FaultType::LinkSlowdown:
-      active_slowdowns_.push_back(f.magnitude);
+      active_slowdowns_.emplace_back(fault_index, f.magnitude);
       recompute_slowdown();
       break;
     case FaultType::SampleDrop:
       fault_gate_->add_drop(f.target, f.magnitude);
       break;
     case FaultType::PipeBackpressure:
-      for (std::size_t p = 0; p < pipes_.size(); ++p) {
-        if (f.target >= 0 && pipe_daemon_[p] != static_cast<std::size_t>(f.target)) continue;
-        pipes_[p]->set_capacity_limit(static_cast<std::int32_t>(f.magnitude));
-      }
+      active_clamps_.emplace_back(fault_index, static_cast<std::int32_t>(f.magnitude));
+      recompute_pipe_clamps();
       break;
   }
 }
@@ -259,10 +367,24 @@ void Simulation::revert_fault(std::size_t fault_index) {
   switch (f.type) {
     case FaultType::DaemonStall:
     case FaultType::DaemonCrash:
-      break;  // stall_until / crash_until resume on their own
+      // stall_until / crash_until resume on their own; lift any uplink
+      // penalties this fault's cascade applied.
+      if (f.cascade_p > 0.0 && cascade_rng_ != nullptr) {
+        for (std::size_t d = 0; d < daemons_.size(); ++d) {
+          auto& penalties = daemon_net_penalties_[d];
+          const std::size_t before = penalties.size();
+          penalties.erase(std::remove_if(penalties.begin(), penalties.end(),
+                                         [fault_index](const auto& entry) {
+                                           return entry.first == fault_index;
+                                         }),
+                          penalties.end());
+          if (penalties.size() != before) recompute_net_penalty(d);
+        }
+      }
+      break;
     case FaultType::LinkSlowdown:
       for (auto it = active_slowdowns_.begin(); it != active_slowdowns_.end(); ++it) {
-        if (*it == f.magnitude) {
+        if (it->first == fault_index) {
           active_slowdowns_.erase(it);
           break;
         }
@@ -272,13 +394,76 @@ void Simulation::revert_fault(std::size_t fault_index) {
     case FaultType::SampleDrop:
       fault_gate_->remove_drop(f.target, f.magnitude);
       break;
-    case FaultType::PipeBackpressure:
-      for (std::size_t p = 0; p < pipes_.size(); ++p) {
-        if (f.target >= 0 && pipe_daemon_[p] != static_cast<std::size_t>(f.target)) continue;
-        pipes_[p]->clear_capacity_limit();
+    case FaultType::PipeBackpressure: {
+      bool removed = false;
+      for (auto it = active_clamps_.begin(); it != active_clamps_.end(); ++it) {
+        if (it->first == fault_index) {
+          active_clamps_.erase(it);
+          removed = true;
+          break;
+        }
       }
+      // A reset_pipe repair may have lifted the clamp already; the window
+      // end is then a no-op (no spurious pipe callbacks).
+      if (removed) recompute_pipe_clamps();
       break;
+    }
   }
+}
+
+bool Simulation::repair_restart_daemon(std::size_t fault_index) {
+  const FaultSpec& f = plan_.faults[fault_index];
+  bool any = false;
+  for (std::size_t d = 0; d < daemons_.size(); ++d) {
+    if (f.target >= 0 && static_cast<std::size_t>(f.target) != d) continue;
+    if (!daemons_[d]->stalled()) continue;
+    daemons_[d]->restart_now();
+    any = true;
+  }
+  if (any && tracer_ != nullptr) {
+    tracer_->instant("repair", "restart_daemon", obs::kEngineTrack, engine_.now(), "fault",
+                     static_cast<double>(fault_index));
+  }
+  return any;
+}
+
+bool Simulation::repair_reroute_link(std::size_t fault_index, double penalty_factor) {
+  for (auto& [index, factor] : active_slowdowns_) {
+    if (index != fault_index) continue;
+    factor = penalty_factor;
+    recompute_slowdown();
+    if (tracer_ != nullptr) {
+      tracer_->instant("repair", "reroute_link", obs::kEngineTrack, engine_.now(), "fault",
+                       static_cast<double>(fault_index));
+    }
+    return true;
+  }
+  return false;  // window already ended
+}
+
+bool Simulation::repair_reset_pipe(std::size_t fault_index) {
+  bool removed = false;
+  for (auto it = active_clamps_.begin(); it != active_clamps_.end(); ++it) {
+    if (it->first == fault_index) {
+      active_clamps_.erase(it);
+      removed = true;
+      break;
+    }
+  }
+  if (!removed) return false;
+  recompute_pipe_clamps();
+  const FaultSpec& f = plan_.faults[fault_index];
+  std::uint64_t drained = 0;
+  for (std::size_t p = 0; p < pipes_.size(); ++p) {
+    if (f.target >= 0 && pipe_daemon_[p] != static_cast<std::size_t>(f.target)) continue;
+    drained += pipes_[p]->drain();
+  }
+  metrics_.samples_dropped += drained;
+  if (tracer_ != nullptr) {
+    tracer_->instant("repair", "reset_pipe", obs::kEngineTrack, engine_.now(), "fault",
+                     static_cast<double>(fault_index));
+  }
+  return true;
 }
 
 void Simulation::set_tracer(obs::Tracer* tracer) {

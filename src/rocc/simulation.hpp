@@ -58,9 +58,29 @@ class Simulation {
   [[nodiscard]] MainParadyn* main_process() noexcept { return main_.get(); }
 
   /// The fault plan this run will inject: config.faults plus the legacy
-  /// fault_daemon_stall shorthand folded in as a DaemonStall spec.  Empty
+  /// fault_daemon_stall shorthand folded in as a DaemonStall spec, with
+  /// stochastic windows already resolved to concrete values (drawn once at
+  /// construction from the dedicated kFaultWindowRngTag stream).  Empty
   /// when no faults are configured (or instrumentation is disabled).
-  [[nodiscard]] FaultPlan effective_fault_plan() const;
+  [[nodiscard]] const FaultPlan& effective_fault_plan() const noexcept { return plan_; }
+
+  // --- Consultant-driven repair actions (consultant/repair.hpp).  Each
+  // returns true when the fault's effect was actually lifted; callable only
+  // from inside the run (they schedule follow-up events). ---
+
+  /// restart_daemon: kill + re-warm the daemons covered by plan fault
+  /// `fault_index` (stall/crash) — buffered samples are lost (counted as
+  /// dropped) and draining resumes now, pre-empting the rest of the fault
+  /// window.  False when no covered daemon was still stalled.
+  bool repair_restart_daemon(std::size_t fault_index);
+  /// reroute_link: replace the fault's active slowdown factor with the
+  /// fallback path's capacity penalty (>= 1).  False when the window
+  /// already ended.
+  bool repair_reroute_link(std::size_t fault_index, double penalty_factor);
+  /// reset_pipe: lift the fault's capacity clamp and drain the covered
+  /// pipes (drained samples count as dropped).  False when the clamp is
+  /// no longer active.
+  bool repair_reset_pipe(std::size_t fault_index);
 
   /// Attach a trace recorder handle: engine spans, CPU/network occupancy
   /// intervals, daemon/main activity, and sample lifecycles all record into
@@ -77,11 +97,20 @@ class Simulation {
 
  private:
   void build();
+  /// config.faults + the legacy stall shorthand, before resolution.
+  [[nodiscard]] FaultPlan compose_fault_plan() const;
   void schedule_metrics_tick();
   void schedule_faults();
   void apply_fault(std::size_t fault_index);
   void revert_fault(std::size_t fault_index);
   void recompute_slowdown();
+  void recompute_pipe_clamps();
+  /// Daemon indices adjacent to `d` under the forwarding topology (tree:
+  /// parent + children; direct: d-1 and d+1), ascending.
+  [[nodiscard]] std::vector<std::size_t> topology_neighbors(std::size_t d) const;
+  void propagate_cascade(std::size_t fault_index, std::size_t from, std::int32_t hop);
+  void apply_cascade_hit(std::size_t fault_index, std::size_t daemon, std::int32_t hop);
+  void recompute_net_penalty(std::size_t daemon);
   [[nodiscard]] SimulationResult collect() const;
 
   SystemConfig config_;
@@ -104,10 +133,25 @@ class Simulation {
   std::unique_ptr<MainParadyn> main_;
   std::vector<std::unique_ptr<OpenArrivalStream>> background_;
   /// Runtime fault state (allocated only when the plan is non-empty).
+  /// Effects are keyed by plan fault index so overlapping same-target
+  /// windows revert exactly what they applied (satellite: deterministic
+  /// overlap normalization) and repairs can retarget a single fault.
   FaultPlan plan_;
   std::unique_ptr<FaultGate> fault_gate_;
   std::vector<FaultOutcome> fault_outcomes_;
-  std::vector<double> active_slowdowns_;
+  /// Active link slowdowns as (plan fault index, factor); the factor of a
+  /// rerouted fault is replaced by the fallback penalty in place.
+  std::vector<std::pair<std::size_t, double>> active_slowdowns_;
+  /// Active pipe clamps as (plan fault index, capacity); per-pipe limit is
+  /// the min over clamps covering it.
+  std::vector<std::pair<std::size_t, std::int32_t>> active_clamps_;
+  /// Cascade state: per-fault visited set (each daemon is tested at most
+  /// once per cascade) and per-daemon active uplink penalties as
+  /// (plan fault index, factor) so the parent window's revert lifts
+  /// exactly the penalties its cascade applied.
+  std::vector<std::vector<char>> cascade_visited_;
+  std::vector<std::vector<std::pair<std::size_t, double>>> daemon_net_penalties_;
+  std::unique_ptr<des::RngStream> cascade_rng_;
   bool ran_ = false;
 };
 

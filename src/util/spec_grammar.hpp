@@ -1,0 +1,61 @@
+// Shared clause/position-aware parsing for CLI spec grammars of the form
+// TYPE:key=value,...;... (the --fault and --repair payloads).
+//
+// Both parsers report errors that cite the offending clause, the token's
+// character position within the full payload, and — via util/suggest.hpp —
+// the nearest known name for misspelled types and keys.  Header-only so
+// rocc and consultant share it without a new link edge.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace paradyn::util {
+
+/// Where a clause sits inside the full spec payload, for error messages
+/// that cite the clause and the offending token's position.
+struct SpecCtx {
+  const char* prefix;       ///< Error prefix, e.g. "FaultPlan".
+  const std::string& spec;  ///< The clause text (one TYPE:k=v,... entry).
+  std::size_t clause_no;    ///< 1-based clause index within the payload.
+  std::size_t base;         ///< Clause offset within the full payload.
+};
+
+[[noreturn]] inline void bad_spec(const SpecCtx& c, std::size_t local_pos,
+                                  const std::string& why) {
+  throw std::invalid_argument(std::string(c.prefix) + ": bad spec \"" + c.spec + "\" (clause " +
+                              std::to_string(c.clause_no) + ", char " +
+                              std::to_string(c.base + local_pos) + "): " + why);
+}
+
+/// "500ms" -> 500'000; "2s" -> 2'000'000; "750" / "750us" -> 750.
+inline double parse_time_us(const SpecCtx& c, std::size_t pos, const std::string& text) {
+  if (text.empty()) bad_spec(c, pos, "empty time value");
+  std::size_t parsed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &parsed);
+  } catch (const std::exception&) {
+    bad_spec(c, pos, "not a number: " + text);
+  }
+  const std::string unit = text.substr(parsed);
+  if (unit.empty() || unit == "us") return value;
+  if (unit == "ms") return value * 1e3;
+  if (unit == "s") return value * 1e6;
+  bad_spec(c, pos + parsed, "unknown time unit: " + unit);
+}
+
+inline double parse_number(const SpecCtx& c, std::size_t pos, const std::string& text) {
+  std::size_t parsed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &parsed);
+  } catch (const std::exception&) {
+    bad_spec(c, pos, "not a number: " + text);
+  }
+  if (parsed != text.size()) bad_spec(c, pos + parsed, "trailing characters in: " + text);
+  return value;
+}
+
+}  // namespace paradyn::util

@@ -1,0 +1,58 @@
+// Did-you-mean suggestions for CLI flags and spec grammars.
+//
+// Factored out of tools/cli_args.cpp (PR 3's unknown-flag rejection) so the
+// --fault / --repair spec parsers can point at the nearest known type or
+// key instead of just rejecting the token.  Header-only: both the tools
+// layer and the rocc/consultant libraries use it without a new link edge.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace paradyn::util {
+
+/// Levenshtein distance, small-string edition (flag names and spec keys
+/// are short, so the O(|a|·|b|) two-row form is plenty).
+[[nodiscard]] inline std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// Closest known string within an edit distance of 2, or empty when
+/// nothing is close enough to be a plausible typo.
+[[nodiscard]] inline std::string suggestion(const std::string& word,
+                                            const std::set<std::string>& known) {
+  std::string best;
+  std::size_t best_dist = 3;  // only suggest close matches
+  for (const std::string& k : known) {
+    const std::size_t d = edit_distance(word, k);
+    if (d < best_dist) {
+      best_dist = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+/// " (did you mean X?)" suffix, or "" when there is no good candidate —
+/// append directly to an error message.
+[[nodiscard]] inline std::string did_you_mean(const std::string& word,
+                                              const std::set<std::string>& known) {
+  const std::string best = suggestion(word, known);
+  return best.empty() ? std::string{} : " (did you mean '" + best + "'?)";
+}
+
+}  // namespace paradyn::util

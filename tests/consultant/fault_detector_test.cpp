@@ -123,6 +123,77 @@ TEST(FaultDetector, DetectionNeverPrecedesInjection) {
   EXPECT_FALSE(outcomes[0].detected);
 }
 
+TEST(FaultDetector, FaultAtTimeZeroDetectsAgainstEmptyBaseline) {
+  // A window opening at t = 0 never sees a pre-fault sample: the baseline
+  // stays the empty signature, and the first starved/diverged signature
+  // counts as the detection.  Latency must be a sane non-negative value.
+  const auto plan = stall_plan(0.0, 5e5);
+  FaultDetector det(plan, quick_config());
+  for (double t = 0.0; t < 1e6; t += 10'000.0) {
+    const bool stalled = t < 5e5;
+    if (!stalled) det.observe(make_sample(0), t);
+    det.observe(make_sample(1), t);
+  }
+  auto outcomes = outcomes_for(plan);
+  det.finalize(outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].detected);
+  EXPECT_GE(outcomes[0].detection_latency_us, 0.0);
+  EXPECT_LE(outcomes[0].detection_latency_us, 100'000.0);
+}
+
+TEST(FaultDetector, WindowPastSimEndReportsSentinelRecovery) {
+  // The fault outlives the run: no post-window sample can ever arrive, so
+  // recovery must stay at the -1 sentinel (not garbage, not "recovered").
+  const auto plan = stall_plan(1.5e6, 1e6);  // ends at 2.5e6, run ends at 2e6
+  FaultDetector det(plan, quick_config());
+  for (double t = 0.0; t < 2e6; t += 10'000.0) {
+    const bool stalled = t >= 1.5e6;
+    if (!stalled) det.observe(make_sample(0), t);
+    det.observe(make_sample(1), t);
+  }
+  auto outcomes = outcomes_for(plan);
+  det.finalize(outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].detected);
+  EXPECT_FALSE(outcomes[0].recovered);
+  EXPECT_DOUBLE_EQ(outcomes[0].recovery_latency_us, -1.0);
+}
+
+TEST(FaultDetector, BackToBackFaultsKeepSentinelsSane) {
+  // Two seamless windows on the same daemon: the silence never breaks
+  // between them, so the second fault's baseline is already the diverged
+  // signature and it records no detection of its own — sentinels, not
+  // stale or negative latencies.
+  rocc::FaultPlan plan = stall_plan(1.0e6, 2e5);
+  {
+    rocc::FaultSpec second = plan.faults[0];
+    second.start_us = 1.2e6;
+    plan.faults.push_back(second);
+  }
+  FaultDetector det(plan, quick_config());
+  // The run ends while the second window is still silent, so neither a
+  // fresh divergence (fault 2) nor a return to baseline (fault 1) is ever
+  // observable.
+  for (double t = 0.0; t < 1.4e6; t += 10'000.0) {
+    const bool stalled = t >= 1.0e6;
+    if (!stalled) det.observe(make_sample(0), t);
+    det.observe(make_sample(1), t);
+  }
+  auto outcomes = outcomes_for(plan);
+  det.finalize(outcomes);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].detected);
+  EXPECT_GE(outcomes[0].detection_latency_us, 40'000.0);
+  EXPECT_LE(outcomes[0].detection_latency_us, 100'000.0);
+  EXPECT_FALSE(outcomes[0].recovered);
+  EXPECT_DOUBLE_EQ(outcomes[0].recovery_latency_us, -1.0);
+  // The second fault saw no fresh divergence: absent, not garbage.
+  EXPECT_FALSE(outcomes[1].detected);
+  EXPECT_DOUBLE_EQ(outcomes[1].detection_latency_us, -1.0);
+  EXPECT_DOUBLE_EQ(outcomes[1].recovery_latency_us, -1.0);
+}
+
 TEST(DetectionHarness, NoOpWithoutFaultPlan) {
   auto c = rocc::SystemConfig::now(2);
   c.duration_us = 1e6;

@@ -97,6 +97,72 @@ TEST(FaultDeterminism, DetectionLatenciesBitIdenticalAcrossJobs) {
   }
 }
 
+std::vector<SimulationResult> run_with_repair_at_jobs(const SystemConfig& c,
+                                                      const consultant::RepairPolicy& policy,
+                                                      std::size_t reps, std::size_t jobs) {
+  std::vector<std::unique_ptr<consultant::DetectionHarness>> harnesses(reps);
+  std::mutex mu;
+  const experiments::RunHook hook = [&](Simulation& sim, std::size_t, std::size_t rep) {
+    auto h = std::make_unique<consultant::DetectionHarness>(sim, consultant::DetectorConfig{},
+                                                            policy);
+    const std::lock_guard<std::mutex> lock(mu);
+    harnesses[rep] = std::move(h);
+  };
+  const experiments::ReplicationSet set(c, reps, jobs, hook);
+  std::vector<SimulationResult> results = set.results();
+  for (std::size_t i = 0; i < reps; ++i) harnesses[i]->finalize(results[i]);
+  return results;
+}
+
+TEST(FaultDeterminism, RepairPlansBitIdenticalAcrossJobs) {
+  constexpr std::size_t kReps = 3;
+  auto c = SystemConfig::now(2);
+  c.duration_us = 2e6;
+  c.sampling_period_us = 10'000.0;
+  c.faults = FaultPlan::parse("daemon_crash:daemon=0,start=500ms,dur=1s");
+  const auto policy = consultant::RepairPolicy::parse(
+      "restart_daemon:timeout=50ms,max_retries=3,backoff=exp:20ms,jitter=0.3,success_p=0.5");
+
+  const auto serial = run_with_repair_at_jobs(c, policy, kReps, 1);
+  const auto parallel = run_with_repair_at_jobs(c, policy, kReps, 4);
+  for (std::size_t i = 0; i < kReps; ++i) {
+    SCOPED_TRACE(i);
+    expect_bit_identical(serial[i], parallel[i]);
+    ASSERT_EQ(serial[i].fault_outcomes.size(), 1u);
+    const auto& a = serial[i].fault_outcomes[0];
+    const auto& b = parallel[i].fault_outcomes[0];
+    EXPECT_EQ(a.repair_attempts, b.repair_attempts);
+    EXPECT_EQ(a.repaired, b.repaired);
+    EXPECT_EQ(a.gave_up, b.gave_up);
+    EXPECT_DOUBLE_EQ(a.time_to_repair_us, b.time_to_repair_us);
+    EXPECT_DOUBLE_EQ(a.repair_backoff_us, b.repair_backoff_us);
+  }
+}
+
+TEST(FaultDeterminism, StochasticCascadePlansBitIdenticalAcrossJobs) {
+  constexpr std::size_t kReps = 3;
+  auto c = SystemConfig::now(4);
+  c.duration_us = 2e6;
+  c.sampling_period_us = 10'000.0;
+  c.faults = FaultPlan::parse(
+      "daemon_stall:daemon=1,start=uniform:300ms:600ms,dur=exp:400ms,cascade=0.7,"
+      "cascade_delay=50ms");
+
+  const auto serial = run_with_detection_at_jobs(c, kReps, 1);
+  const auto parallel = run_with_detection_at_jobs(c, kReps, 4);
+  for (std::size_t i = 0; i < kReps; ++i) {
+    SCOPED_TRACE(i);
+    expect_bit_identical(serial[i], parallel[i]);
+    ASSERT_EQ(serial[i].fault_outcomes.size(), parallel[i].fault_outcomes.size());
+    for (std::size_t f = 0; f < serial[i].fault_outcomes.size(); ++f) {
+      EXPECT_DOUBLE_EQ(serial[i].fault_outcomes[f].spec.start_us,
+                       parallel[i].fault_outcomes[f].spec.start_us);
+      EXPECT_EQ(serial[i].fault_outcomes[f].cascaded_from,
+                parallel[i].fault_outcomes[f].cascaded_from);
+    }
+  }
+}
+
 TEST(FaultDeterminism, SameConfigTwiceBitIdentical) {
   const auto c = faulted_config();
   const auto a = run_simulation(c);
@@ -147,6 +213,35 @@ class LockstepReplay {
   std::vector<Popped> calendar_out_;
   std::vector<Popped> heap_out_;
 };
+
+TEST(FaultDeterminism, RepairEventPatternPopsIdenticallyFromBothQueues) {
+  // The repair engine's event shape: detection fires inside a sampling
+  // tick, attempt 1 resolves one timeout later, and each failed attempt
+  // reschedules at backoff(k) + timeout — with ties against fault
+  // boundaries and other attempts' resolutions.
+  const auto plan = FaultPlan::parse(
+      "daemon_crash:daemon=0,start=200ms,dur=800ms;"
+      "daemon_stall:daemon=1,start=200ms,dur=800ms");
+
+  LockstepReplay replay;
+  for (const des::SimTime t : plan.schedule_points()) replay.push(t);
+  for (double t = 0.0; t <= 1'000'000.0; t += 10'000.0) replay.push(t);
+  // Two interleaved retry chains (timeout = 50 ms, exp backoff base 20 ms),
+  // one starting on a tick boundary, one off-grid.
+  for (const double detect : {250'000.0, 273'000.0}) {
+    double at = detect;
+    double backoff = 20'000.0;
+    for (int attempt = 1; attempt <= 3; ++attempt) {
+      at += 50'000.0;  // timeout window
+      replay.push(at);
+      at += backoff;
+      backoff *= 2.0;
+    }
+  }
+  // A repair completion colliding exactly with a fault boundary.
+  replay.push(1'000'000.0);
+  replay.drain_and_compare();
+}
 
 TEST(FaultDeterminism, SchedulePointsPopIdenticallyFromBothQueues) {
   // The exact event pattern Simulation compiles: every fault boundary,

@@ -128,6 +128,100 @@ TEST(FaultPlanValidate, WindowAndTargetChecks) {
   EXPECT_NO_THROW(plan.validate(2, 2, 2e6, 16));
 }
 
+TEST(FaultSpecParse, StochasticWindows) {
+  const auto f = FaultPlan::parse_spec("daemon_stall:daemon=0,start=exp:1s,dur=uniform:200ms:800ms");
+  EXPECT_TRUE(f.stochastic());
+  ASSERT_NE(f.start_dist, nullptr);
+  ASSERT_NE(f.duration_dist, nullptr);
+
+  const auto g = FaultPlan::parse_spec("link_slow:start=1s,dur=lognormal:500ms:100ms,factor=4");
+  EXPECT_TRUE(g.stochastic());
+  EXPECT_EQ(g.start_dist, nullptr);
+  EXPECT_DOUBLE_EQ(g.start_us, 1e6);
+
+  EXPECT_THROW((void)FaultPlan::parse_spec("daemon_stall:daemon=0,start=exp:,dur=1s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse_spec("daemon_stall:daemon=0,start=zipf:2,dur=1s"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, ResolveDrawsAndClampsStochasticWindows) {
+  auto plan = FaultPlan::parse(
+      "daemon_stall:daemon=0,start=exp:100ms,dur=exp:50ms;"
+      "daemon_crash:daemon=0,start=1s,dur=200ms");
+  EXPECT_TRUE(plan.any_stochastic());
+  // Stochastic windows skip the static timing checks at validate time.
+  EXPECT_NO_THROW(plan.validate(1, 1, 2e6, 16));
+
+  des::Pcg32 rng = des::RngStream(7, 0, kFaultWindowRngTag);
+  plan.resolve(rng, stats::SamplerBackend::Ziggurat);
+  EXPECT_FALSE(plan.any_stochastic());
+  EXPECT_GE(plan.faults[0].start_us, 0.0);
+  EXPECT_GE(plan.faults[0].duration_us, 1.0);  // clamped to a non-degenerate window
+  // Fixed windows pass through untouched.
+  EXPECT_DOUBLE_EQ(plan.faults[1].start_us, 1e6);
+  EXPECT_DOUBLE_EQ(plan.faults[1].duration_us, 2e5);
+
+  // Same seed, same draw: the resolved plan is deterministic.
+  auto again = FaultPlan::parse(
+      "daemon_stall:daemon=0,start=exp:100ms,dur=exp:50ms;"
+      "daemon_crash:daemon=0,start=1s,dur=200ms");
+  des::Pcg32 rng2 = des::RngStream(7, 0, kFaultWindowRngTag);
+  again.resolve(rng2, stats::SamplerBackend::Ziggurat);
+  EXPECT_DOUBLE_EQ(again.faults[0].start_us, plan.faults[0].start_us);
+  EXPECT_DOUBLE_EQ(again.faults[0].duration_us, plan.faults[0].duration_us);
+}
+
+TEST(FaultSpecParse, CascadeClause) {
+  const auto f = FaultPlan::parse_spec(
+      "daemon_stall:daemon=0,start=1s,dur=500ms,cascade=0.5,cascade_delay=100ms,"
+      "cascade_hops=2,cascade_factor=8");
+  EXPECT_DOUBLE_EQ(f.cascade_p, 0.5);
+  EXPECT_DOUBLE_EQ(f.cascade_delay_us, 1e5);
+  EXPECT_EQ(f.cascade_hops, 2);
+  EXPECT_DOUBLE_EQ(f.cascade_factor, 8.0);
+}
+
+TEST(FaultPlanValidate, CascadeChecks) {
+  // Cascades need a stall/crash with a concrete daemon target and sane
+  // parameters; the shape checks live in validate() (parse is per-clause
+  // and cannot see the target/type combination rules).
+  const auto reject = [](const std::string& spec) {
+    const auto plan = FaultPlan::parse(spec);
+    EXPECT_THROW(plan.validate(2, 2, 2e6, 16), std::invalid_argument) << spec;
+  };
+  reject("link_slow:start=1s,dur=1s,factor=2,cascade=0.5");
+  reject("daemon_stall:daemon=all,start=1s,dur=1s,cascade=0.5");
+  reject("daemon_stall:daemon=0,start=1s,dur=1s,cascade=1.5");
+  reject("daemon_stall:daemon=0,start=1s,dur=1s,cascade=-0.5");
+  reject("daemon_stall:daemon=0,start=1s,dur=1s,cascade=0.5,cascade_delay=0");
+  reject("daemon_stall:daemon=0,start=1s,dur=1s,cascade=0.5,cascade_factor=0.5");
+
+  const auto ok = FaultPlan::parse(
+      "daemon_crash:daemon=1,start=1s,dur=500ms,cascade=1,cascade_hops=2");
+  EXPECT_NO_THROW(ok.validate(2, 2, 2e6, 16));
+}
+
+TEST(FaultSpecParse, ErrorsNameClauseAndPositionWithSuggestion) {
+  try {
+    (void)FaultPlan::parse("daemon_stall:daemon=0,start=1s,dur=1s;deamon_crash:start=1s,dur=1s");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("clause 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("char"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("daemon_crash"), std::string::npos) << msg;
+  }
+  try {
+    (void)FaultPlan::parse_spec("daemon_stall:daemon=0,strat=1s,dur=1s");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("did you mean 'start'"), std::string::npos) << msg;
+  }
+}
+
 TEST(FaultPlan, SchedulePointsInDeclarationOrder) {
   const auto plan = FaultPlan::parse(
       "daemon_stall:daemon=0,start=1s,dur=100ms;link_slow:start=500ms,dur=1s,factor=2");
@@ -240,6 +334,140 @@ TEST(FaultSimulation, PipeBackpressureThrottlesProducer) {
   EXPECT_LT(rf.samples_generated, rh.samples_generated);
   ASSERT_EQ(rf.fault_outcomes.size(), 2u);
   EXPECT_TRUE(rf.fault_outcomes[1].injected);
+}
+
+// ---- Overlap normalization: same-target windows compose predictably. ----
+
+TEST(FaultOverlap, SameTargetStallsExtendToMaxDeadline) {
+  // Two overlapping stalls on the same daemon behave as their union: the
+  // daemon stays stalled until the later deadline, then delivery resumes.
+  auto c = quick_now(1, 1);
+  c.faults = FaultPlan::parse(
+      "daemon_stall:daemon=0,start=500ms,dur=400ms;"
+      "daemon_stall:daemon=0,start=700ms,dur=400ms");
+  const auto r = run_simulation(c);
+  ASSERT_EQ(r.fault_outcomes.size(), 2u);
+  EXPECT_TRUE(r.fault_outcomes[0].injected);
+  EXPECT_TRUE(r.fault_outcomes[1].injected);
+  // The first window's end (900 ms) must not wake the daemon early: the
+  // run delivers the same as a single union-window stall.
+  auto u = quick_now(1, 1);
+  u.faults = FaultPlan::parse("daemon_stall:daemon=0,start=500ms,dur=600ms");
+  const auto ru = run_simulation(u);
+  EXPECT_EQ(r.samples_delivered, ru.samples_delivered);
+  EXPECT_DOUBLE_EQ(r.latency_us.max(), ru.latency_us.max());
+}
+
+TEST(FaultOverlap, SlowdownFactorsMultiply) {
+  // Two fully-overlapping x4 slowdowns == one x16 slowdown over the same
+  // window: the composed effective factor is the product.
+  auto two = quick_now(2, 1);
+  two.faults = FaultPlan::parse(
+      "link_slow:start=500ms,dur=1s,factor=4;link_slow:start=500ms,dur=1s,factor=4");
+  auto one = quick_now(2, 1);
+  one.faults = FaultPlan::parse("link_slow:start=500ms,dur=1s,factor=16");
+  const auto rt = run_simulation(two);
+  const auto ro = run_simulation(one);
+  EXPECT_DOUBLE_EQ(rt.latency_us.mean(), ro.latency_us.mean());
+  EXPECT_DOUBLE_EQ(rt.latency_us.max(), ro.latency_us.max());
+  EXPECT_EQ(rt.samples_delivered, ro.samples_delivered);
+}
+
+TEST(FaultOverlap, DeclarationOrderIsBehaviorNeutral) {
+  // Reordering clauses must not change the modeled behavior (the
+  // documented overlap contract): effects are commutative per target.
+  auto fwd = quick_now(2, 1);
+  fwd.faults = FaultPlan::parse(
+      "daemon_stall:daemon=0,start=400ms,dur=600ms;"
+      "link_slow:start=600ms,dur=500ms,factor=4;"
+      "pipe_backpressure:daemon=0,start=500ms,dur=800ms,capacity=2");
+  auto rev = quick_now(2, 1);
+  rev.faults = FaultPlan::parse(
+      "pipe_backpressure:daemon=0,start=500ms,dur=800ms,capacity=2;"
+      "link_slow:start=600ms,dur=500ms,factor=4;"
+      "daemon_stall:daemon=0,start=400ms,dur=600ms");
+  const auto rf = run_simulation(fwd);
+  const auto rr = run_simulation(rev);
+  EXPECT_EQ(rf.samples_generated, rr.samples_generated);
+  EXPECT_EQ(rf.samples_delivered, rr.samples_delivered);
+  EXPECT_DOUBLE_EQ(rf.latency_us.mean(), rr.latency_us.mean());
+  EXPECT_DOUBLE_EQ(rf.pd_cpu_time_per_node_us, rr.pd_cpu_time_per_node_us);
+}
+
+TEST(FaultOverlap, NestedPipeClampsTakeTheMin) {
+  // An inner capacity=1 clamp nested in an outer capacity=4 window must win
+  // while it is active: the stalled pipe holds 1 sample instead of 4, so
+  // fewer samples are generated; reverting the inner clamp afterwards
+  // restores the outer one.  The inner window opens before the stall so the
+  // pipe is already tight when delivery stops.
+  auto nested = quick_now(1, 1);
+  nested.pipe_capacity = 8;
+  nested.faults = FaultPlan::parse(
+      "daemon_stall:daemon=0,start=500ms,dur=1s;"
+      "pipe_backpressure:daemon=0,start=0,dur=2s,capacity=4;"
+      "pipe_backpressure:daemon=0,start=400ms,dur=1200ms,capacity=1");
+  auto outer_only = quick_now(1, 1);
+  outer_only.pipe_capacity = 8;
+  outer_only.faults = FaultPlan::parse(
+      "daemon_stall:daemon=0,start=500ms,dur=1s;"
+      "pipe_backpressure:daemon=0,start=0,dur=2s,capacity=4");
+  const auto rn = run_simulation(nested);
+  const auto ro = run_simulation(outer_only);
+  EXPECT_LT(rn.samples_generated, ro.samples_generated);
+}
+
+TEST(FaultPlanValidate, ZeroLengthWindowRejected) {
+  const auto plan = FaultPlan::parse("daemon_stall:daemon=0,start=1s,dur=0");
+  EXPECT_THROW(plan.validate(1, 1, 2e6, 16), std::invalid_argument);
+  // A zero *drawn* duration is clamped at resolve time instead.
+  auto st = FaultPlan::parse("daemon_stall:daemon=0,start=1s,dur=uniform:0:0.5");
+  des::Pcg32 rng = des::RngStream(3, 0, kFaultWindowRngTag);
+  st.resolve(rng, stats::SamplerBackend::Ziggurat);
+  EXPECT_GE(st.faults[0].duration_us, 1.0);
+}
+
+// ---- Cascading faults: topology-aware secondary link degradation. ----
+
+TEST(FaultCascade, StallPropagatesToNeighborsAndAppendsInducedOutcomes) {
+  auto c = quick_now(4, 1);
+  c.faults = FaultPlan::parse(
+      "daemon_stall:daemon=1,start=500ms,dur=1s,cascade=1,cascade_delay=50ms,cascade_factor=8");
+  const auto r = run_simulation(c);
+  // p = 1 on a direct chain: both neighbors (daemons 0 and 2) are hit, so
+  // two induced rows are appended after the plan's single row.
+  ASSERT_EQ(r.fault_outcomes.size(), 3u);
+  EXPECT_EQ(r.fault_outcomes[0].cascaded_from, -1);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(r.fault_outcomes[i].cascaded_from, 0);
+    EXPECT_EQ(r.fault_outcomes[i].spec.type, FaultType::LinkSlowdown);
+    EXPECT_TRUE(r.fault_outcomes[i].injected);
+    EXPECT_DOUBLE_EQ(r.fault_outcomes[i].spec.magnitude, 8.0);
+    // Induced windows open at the hop delay and close with the parent.
+    EXPECT_DOUBLE_EQ(r.fault_outcomes[i].spec.start_us, 550'000.0);
+    EXPECT_DOUBLE_EQ(r.fault_outcomes[i].spec.end_us(), 1'500'000.0);
+  }
+  // The degraded neighbor uplinks stretch delivery latency beyond the
+  // stall-only run.
+  auto nc = quick_now(4, 1);
+  nc.faults = FaultPlan::parse("daemon_stall:daemon=1,start=500ms,dur=1s");
+  const auto rn = run_simulation(nc);
+  ASSERT_EQ(rn.fault_outcomes.size(), 1u);
+  EXPECT_GT(r.latency_us.mean(), rn.latency_us.mean());
+}
+
+TEST(FaultCascade, CascadeRunsAreDeterministic) {
+  auto c = quick_now(4, 1);
+  c.faults = FaultPlan::parse(
+      "daemon_crash:daemon=0,start=400ms,dur=800ms,cascade=0.5,cascade_hops=2");
+  const auto a = run_simulation(c);
+  const auto b = run_simulation(c);
+  ASSERT_EQ(a.fault_outcomes.size(), b.fault_outcomes.size());
+  for (std::size_t i = 0; i < a.fault_outcomes.size(); ++i) {
+    EXPECT_EQ(a.fault_outcomes[i].cascaded_from, b.fault_outcomes[i].cascaded_from);
+    EXPECT_DOUBLE_EQ(a.fault_outcomes[i].spec.start_us, b.fault_outcomes[i].spec.start_us);
+  }
+  EXPECT_EQ(a.samples_delivered, b.samples_delivered);
+  EXPECT_DOUBLE_EQ(a.latency_us.mean(), b.latency_us.mean());
 }
 
 TEST(FaultSimulation, FaultRunsAreDeterministic) {

@@ -1,42 +1,10 @@
 #include "cli_args.hpp"
 
-#include <algorithm>
 #include <cstdlib>
 
+#include "util/suggest.hpp"
+
 namespace paradyn::tools {
-namespace {
-
-/// Levenshtein distance, small-string edition (flag names are short).
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-  std::vector<std::size_t> prev(b.size() + 1);
-  std::vector<std::size_t> cur(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    cur[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
-    }
-    std::swap(prev, cur);
-  }
-  return prev[b.size()];
-}
-
-/// Closest known flag within an edit distance of 2, or empty.
-std::string suggestion(const std::string& arg, const std::set<std::string>& known) {
-  std::string best;
-  std::size_t best_dist = 3;  // only suggest close matches
-  for (const std::string& k : known) {
-    const std::size_t d = edit_distance(arg, k);
-    if (d < best_dist) {
-      best_dist = d;
-      best = k;
-    }
-  }
-  return best;
-}
-
-}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const argv[], std::set<std::string> known_flags,
                  std::size_t max_positionals) {
@@ -60,7 +28,7 @@ CliArgs::CliArgs(int argc, const char* const argv[], std::set<std::string> known
     }
     if (known_flags.count(arg) == 0) {
       std::string message = "unknown flag: --" + arg;
-      const std::string close = suggestion(arg, known_flags);
+      const std::string close = util::suggestion(arg, known_flags);
       if (!close.empty()) message += " (did you mean --" + close + "?)";
       message += "; see --help";
       throw std::invalid_argument(message);

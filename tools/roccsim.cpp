@@ -6,6 +6,7 @@
 //
 // Prints the paper's metrics for the configuration; --reps N adds 90%
 // confidence intervals over seed-varied replications.
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -50,7 +51,16 @@ void print_help() {
       "                          daemon_stall:daemon=0,start=1s,dur=500ms\n"
       "                          (types: daemon_stall daemon_crash link_slow\n"
       "                          sample_drop pipe_backpressure; see EXPERIMENTS.md).\n"
-      "                          Detection/recovery latency is measured per fault\n"
+      "                          Detection/recovery latency is measured per fault.\n"
+      "                          Windows may be stochastic (start=exp:2s) and stall /\n"
+      "                          crash faults may cascade (cascade=0.5)\n"
+      "  --repair SPEC           close the loop: repair detected faults; SPEC is\n"
+      "                          ';'-joined actions like\n"
+      "                          restart_daemon:timeout=500ms,max_retries=3,backoff=exp:200ms\n"
+      "                          (actions: restart_daemon reroute_link reset_pipe;\n"
+      "                          keys: timeout max_retries backoff jitter success_p\n"
+      "                          penalty threshold; see EXPERIMENTS.md).\n"
+      "                          Reports time-to-repair, attempts, and gave_up per fault\n"
       "  --adaptive-sampling [X] closed-loop per-daemon sampling throttle; optional X\n"
       "                          = predicted-perturbation budget in %% (default 5)\n"
       "  --seed N                RNG seed; default 1\n"
@@ -83,15 +93,19 @@ std::ofstream open_or_throw(const std::string& path) {
   return os;
 }
 
-/// One line per fault: injection window plus measured latencies.
+/// One line per fault: injection window plus measured latencies and — when a
+/// repair policy is armed — the repair outcome.
 void print_fault_outcomes(const std::vector<paradyn::rocc::FaultOutcome>& outcomes) {
   if (outcomes.empty()) return;
   std::printf("\n  faults:\n");
   for (const auto& o : outcomes) {
     std::string line = "    " + o.spec.describe() + ": ";
     line += o.injected ? "injected" : "not injected";
+    if (o.cascaded_from >= 0) {
+      line += " (cascaded from fault " + std::to_string(o.cascaded_from) + ")";
+    }
+    char buf[96];
     if (o.detected) {
-      char buf[64];
       std::snprintf(buf, sizeof(buf), ", detected +%.1f ms", o.detection_latency_us / 1e3);
       line += buf;
       if (o.recovered) {
@@ -102,6 +116,26 @@ void print_fault_outcomes(const std::vector<paradyn::rocc::FaultOutcome>& outcom
       }
     } else {
       line += ", not detected";
+    }
+    if (o.repair_attempted) {
+      if (o.repaired) {
+        std::snprintf(buf, sizeof(buf), ", repaired +%.1f ms (%u attempt(s)",
+                      o.time_to_repair_us / 1e3, o.repair_attempts);
+        line += buf;
+        if (o.repair_backoff_us > 0.0) {
+          std::snprintf(buf, sizeof(buf), ", %.1f ms backoff", o.repair_backoff_us / 1e3);
+          line += buf;
+        }
+        line += ")";
+      } else if (o.gave_up) {
+        std::snprintf(buf, sizeof(buf), ", repair gave up after %u attempt(s)",
+                      o.repair_attempts);
+        line += buf;
+      } else {
+        std::snprintf(buf, sizeof(buf), ", repair abandoned (%u attempt(s), fault lifted)",
+                      o.repair_attempts);
+        line += buf;
+      }
     }
     std::printf("%s\n", line.c_str());
   }
@@ -117,7 +151,8 @@ int main(int argc, char** argv) {
         {"arch", "nodes", "apps", "daemons", "sampling-ms", "batch", "topology", "barrier-ms",
          "pipe", "seconds", "warmup", "seed", "reference-rng", "reps", "jobs", "uninstrumented",
          "dedicated-main",
-         "adaptive-budget", "fault", "adaptive-sampling", "trace", "trace-events", "metrics",
+         "adaptive-budget", "fault", "repair", "adaptive-sampling", "trace", "trace-events",
+         "metrics",
          "metrics-tick-ms", "progress", "report-json", "help"});
     if (args.get_bool("help")) {
       print_help();
@@ -152,6 +187,13 @@ int main(int argc, char** argv) {
       cfg.adaptive.overhead_budget_pct = args.get_double("adaptive-budget", 1.0);
     }
     if (args.has("fault")) cfg.faults = rocc::FaultPlan::parse(args.get_string("fault", ""));
+    consultant::RepairPolicy repair_policy;
+    if (args.has("repair")) {
+      repair_policy = consultant::RepairPolicy::parse(args.get_string("repair", ""));
+      if (cfg.faults.empty()) {
+        throw std::invalid_argument("--repair requires --fault (nothing to repair)");
+      }
+    }
     if (args.has("adaptive-sampling")) {
       cfg.adaptive_throttle.enabled = true;
       // Bare switch uses the default budget; --adaptive-sampling=X sets it.
@@ -211,7 +253,9 @@ int main(int argc, char** argv) {
         }
         if (!metrics_file.empty() && rep == 0) sim.enable_metrics(registry, metrics_tick_us);
         // No-op when the effective fault plan is empty.
-        harnesses[rep] = std::make_unique<consultant::DetectionHarness>(sim);
+        harnesses[rep] =
+            std::make_unique<consultant::DetectionHarness>(sim, consultant::DetectorConfig{},
+                                                           repair_policy);
       };
       const experiments::ReplicationSet rs(cfg, reps, jobs, hook);
       const auto row = [&](const char* label, const experiments::MetricFn& fn, int digits) {
@@ -240,13 +284,25 @@ int main(int argc, char** argv) {
               return static_cast<double>(r.samples_dropped);
             },
             1);
-        const std::size_t nfaults = finalized.front().fault_outcomes.size();
+        // Per-fault rows aggregate the *plan* faults only: cascade-induced
+        // rows are appended per rep and their count can vary with the seed.
+        std::size_t nfaults = finalized.front().fault_outcomes.size();
+        for (const auto& r : finalized) nfaults = std::min(nfaults, r.fault_outcomes.size());
         std::printf("\n  per-fault detection latency, mean over %zu rep(s) (ms):\n", reps);
+        double mttd_sum = 0.0;
+        std::size_t mttd_n = 0;
+        double mttr_sum = 0.0;
+        std::size_t mttr_n = 0;
+        std::size_t gave_up_n = 0;
+        bool any_repair = false;
         for (std::size_t f = 0; f < nfaults; ++f) {
           double det_sum = 0.0;
           double rec_sum = 0.0;
+          double rep_sum = 0.0;
           std::size_t det_n = 0;
           std::size_t rec_n = 0;
+          std::size_t rep_n = 0;
+          std::size_t gu_n = 0;
           for (const auto& r : finalized) {
             const auto& o = r.fault_outcomes[f];
             if (o.detected) {
@@ -257,13 +313,45 @@ int main(int argc, char** argv) {
               rec_sum += o.recovery_latency_us;
               ++rec_n;
             }
+            if (o.repair_attempted) any_repair = true;
+            if (o.repaired) {
+              rep_sum += o.time_to_repair_us;
+              ++rep_n;
+            }
+            if (o.gave_up) ++gu_n;
           }
+          mttd_sum += det_sum;
+          mttd_n += det_n;
+          mttr_sum += rep_sum;
+          mttr_n += rep_n;
+          gave_up_n += gu_n;
           std::printf("    %s: detected %zu/%zu", finalized.front().fault_outcomes[f].spec.describe().c_str(),
                       det_n, reps);
           if (det_n > 0) std::printf(", mean +%.1f ms", det_sum / static_cast<double>(det_n) / 1e3);
           std::printf(", recovered %zu/%zu", rec_n, reps);
           if (rec_n > 0) std::printf(", mean +%.1f ms", rec_sum / static_cast<double>(rec_n) / 1e3);
+          if (rep_n > 0 || gu_n > 0) {
+            std::printf(", repaired %zu/%zu", rep_n, reps);
+            if (rep_n > 0) {
+              std::printf(", mean TTR +%.1f ms", rep_sum / static_cast<double>(rep_n) / 1e3);
+            }
+            if (gu_n > 0) std::printf(", gave up %zu/%zu", gu_n, reps);
+          }
           std::printf("\n");
+        }
+        if (any_repair) {
+          char mttd[32] = "n/a";
+          char mttr[32] = "n/a";
+          if (mttd_n > 0) {
+            std::snprintf(mttd, sizeof(mttd), "%.1f",
+                          mttd_sum / static_cast<double>(mttd_n) / 1e3);
+          }
+          if (mttr_n > 0) {
+            std::snprintf(mttr, sizeof(mttr), "%.1f",
+                          mttr_sum / static_cast<double>(mttr_n) / 1e3);
+          }
+          std::printf("\n  MTTD (ms): %s   MTTR (ms): %s   gave up: %zu\n", mttd, mttr,
+                      gave_up_n);
         }
       }
       if (cfg.adaptive_throttle.enabled) {
@@ -284,7 +372,8 @@ int main(int argc, char** argv) {
       }
       if (!metrics_file.empty()) sim.enable_metrics(registry, metrics_tick_us);
       // No-op when the effective fault plan is empty.
-      const consultant::DetectionHarness harness(sim);
+      const consultant::DetectionHarness harness(sim, consultant::DetectorConfig{},
+                                                 repair_policy);
       auto r = sim.run();
       harness.finalize(r);
       std::printf("  %-36s %.4f\n", "Pd CPU time/node (s)", r.pd_cpu_time_sec());

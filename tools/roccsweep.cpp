@@ -45,6 +45,9 @@ void print_help() {
       "  --fault-grid       instead of an axis sweep, run the canonical fault grid\n"
       "                     (every fault type at two severities + a fault-free\n"
       "                     baseline) and emit a detection/recovery-latency CSV\n"
+      "  --repair-grid      instead of an axis sweep, cross every repairable fault\n"
+      "                     flavor with the canonical repair policies (off, eager,\n"
+      "                     flaky, hopeless) and emit a repair/MTTR CSV\n"
       "  --help             this text\n");
 }
 
@@ -178,6 +181,138 @@ void run_fault_grid(const paradyn::rocc::SystemConfig& base, std::size_t reps, s
   }
 }
 
+/// The canonical repair grid: every repairable fault flavor crossed with a
+/// policy ladder from "no repair" through "never succeeds", so MTTR and
+/// gave_up rates are comparable across fault types the way the fault grid
+/// makes detection latency comparable.
+struct RepairGridEntry {
+  std::string fault_label;
+  std::string fault_spec;
+  std::string policy_label;
+  std::string policy_spec;
+};
+
+std::vector<RepairGridEntry> repair_grid(double duration_us) {
+  const double start = 0.4 * duration_us;
+  const double dur = 0.4 * duration_us;
+  const auto window = [&](const char* extra) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "start=%.0f,dur=%.0f%s", start, dur, extra);
+    return std::string(buf);
+  };
+  const std::vector<std::pair<std::string, std::string>> faults = {
+      {"daemon_stall", "daemon_stall:daemon=0," + window("")},
+      {"daemon_crash", "daemon_crash:daemon=0," + window("")},
+      {"link_slow_x4", "link_slow:" + window(",factor=4")},
+      {"pipe_backpressure", "pipe_backpressure:daemon=0," + window(",capacity=1")},
+  };
+  // Per-fault matching action; timeout/backoff scale with the window so the
+  // grid stays meaningful at any --seconds value.
+  const auto action_for = [](const std::string& label) {
+    if (label.rfind("daemon", 0) == 0) return std::string("restart_daemon");
+    if (label.rfind("link", 0) == 0) return std::string("reroute_link");
+    return std::string("reset_pipe");
+  };
+  const double timeout = 0.02 * duration_us;
+  const double backoff = 0.01 * duration_us;
+  const auto policy = [&](const std::string& action, const char* extra) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s:timeout=%.0f,max_retries=3,backoff=exp:%.0f%s",
+                  action.c_str(), timeout, backoff, extra);
+    return std::string(buf);
+  };
+  std::vector<RepairGridEntry> grid;
+  for (const auto& [flabel, fspec] : faults) {
+    const std::string action = action_for(flabel);
+    grid.push_back({flabel, fspec, "off", ""});
+    grid.push_back({flabel, fspec, "eager", policy(action, "")});
+    grid.push_back({flabel, fspec, "flaky", policy(action, ",success_p=0.5")});
+    grid.push_back({flabel, fspec, "hopeless", policy(action, ",success_p=0")});
+  }
+  return grid;
+}
+
+/// Run the repair grid and print a CSV of per-cell repair/MTTR metrics.
+void run_repair_grid(const paradyn::rocc::SystemConfig& base, std::size_t reps, std::size_t jobs,
+                     const std::string& report_file, const paradyn::obs::ReproStamp& stamp) {
+  using namespace paradyn;
+  std::printf(
+      "fault,policy,detected_frac,detection_ms,repaired_frac,ttr_ms,gave_up_frac,"
+      "attempts_mean,backoff_ms,dropped\n");
+  std::vector<rocc::SimulationResult> all_results;
+  experiments::RunReport grid_report;
+  for (const RepairGridEntry& entry : repair_grid(base.duration_us)) {
+    rocc::SystemConfig cfg = base;
+    cfg.faults = rocc::FaultPlan::parse(entry.fault_spec);
+    cfg.validate();
+    consultant::RepairPolicy policy;
+    if (!entry.policy_spec.empty()) policy = consultant::RepairPolicy::parse(entry.policy_spec);
+    std::vector<std::unique_ptr<consultant::DetectionHarness>> harnesses(reps);
+    const experiments::RunHook hook = [&](rocc::Simulation& sim, std::size_t, std::size_t rep) {
+      harnesses[rep] =
+          std::make_unique<consultant::DetectionHarness>(sim, consultant::DetectorConfig{},
+                                                         policy);
+    };
+    const experiments::ReplicationSet rs(cfg, reps, jobs, hook);
+    grid_report += rs.report();
+    std::vector<rocc::SimulationResult> finalized = rs.results();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      if (harnesses[rep]) harnesses[rep]->finalize(finalized[rep]);
+    }
+
+    double det_sum = 0.0;
+    double ttr_sum = 0.0;
+    double backoff_sum = 0.0;
+    double attempts_sum = 0.0;
+    double dropped = 0.0;
+    std::size_t det_n = 0;
+    std::size_t rep_n = 0;
+    std::size_t gave_up_n = 0;
+    std::size_t attempted_n = 0;
+    std::size_t slots = 0;
+    for (const auto& r : finalized) {
+      for (const auto& o : r.fault_outcomes) {
+        if (o.cascaded_from >= 0) continue;  // induced rows have no policy row
+        ++slots;
+        if (o.detected) {
+          det_sum += o.detection_latency_us;
+          ++det_n;
+        }
+        if (o.repair_attempted) {
+          ++attempted_n;
+          attempts_sum += o.repair_attempts;
+          backoff_sum += o.repair_backoff_us;
+        }
+        if (o.repaired) {
+          ttr_sum += o.time_to_repair_us;
+          ++rep_n;
+        }
+        if (o.gave_up) ++gave_up_n;
+      }
+      dropped += static_cast<double>(r.samples_dropped);
+    }
+    const auto frac = [&](std::size_t k) {
+      return slots ? static_cast<double>(k) / static_cast<double>(slots) : 0.0;
+    };
+    std::printf("%s,%s,%.2f,%.3f,%.2f,%.3f,%.2f,%.2f,%.3f,%.1f\n", entry.fault_label.c_str(),
+                entry.policy_label.c_str(), frac(det_n),
+                det_n ? det_sum / static_cast<double>(det_n) / 1e3 : -1.0, frac(rep_n),
+                rep_n ? ttr_sum / static_cast<double>(rep_n) / 1e3 : -1.0, frac(gave_up_n),
+                attempted_n ? attempts_sum / static_cast<double>(attempted_n) : 0.0,
+                attempted_n ? backoff_sum / static_cast<double>(attempted_n) / 1e3 : 0.0,
+                dropped / static_cast<double>(reps));
+    if (!report_file.empty()) {
+      all_results.insert(all_results.end(), finalized.begin(), finalized.end());
+    }
+  }
+  grid_report.print(std::cerr, "roccsweep --repair-grid");
+  if (!report_file.empty()) {
+    std::ofstream os(report_file);
+    if (!os) throw std::runtime_error("cannot open for writing: " + report_file);
+    experiments::write_report_json(os, stamp, all_results, &grid_report);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,15 +322,22 @@ int main(int argc, char** argv) {
         argc, argv,
         {"axis", "values", "arch", "nodes", "apps", "daemons", "sampling-ms", "batch",
          "topology", "seconds", "reps", "seed", "reference-rng", "jobs", "progress",
-         "report-json", "fault-grid", "help"});
+         "report-json", "fault-grid", "repair-grid", "help"});
     const bool grid_mode = args.get_bool("fault-grid");
-    if (args.get_bool("help") || (!grid_mode && (!args.has("axis") || !args.has("values")))) {
+    const bool repair_grid_mode = args.get_bool("repair-grid");
+    if (args.get_bool("help") ||
+        (!grid_mode && !repair_grid_mode && (!args.has("axis") || !args.has("values")))) {
       print_help();
       return args.get_bool("help") ? 0 : 1;
     }
+    if (grid_mode && repair_grid_mode) {
+      throw std::invalid_argument("--fault-grid and --repair-grid are mutually exclusive");
+    }
 
     const std::string axis = args.get_string("axis", "");
-    const auto values = grid_mode ? std::vector<double>{} : parse_values(args.get_string("values", ""));
+    const auto values = grid_mode || repair_grid_mode
+                            ? std::vector<double>{}
+                            : parse_values(args.get_string("values", ""));
     const std::string arch = args.get_string("arch", "now");
     const auto nodes = static_cast<std::int32_t>(args.get_long("nodes", 8));
     const auto apps = static_cast<std::int32_t>(args.get_long("apps", arch == "smp" ? nodes : 1));
@@ -231,14 +373,20 @@ int main(int argc, char** argv) {
     stamp.has_seed = true;
     stamp.jobs = jobs == 0 ? experiments::default_jobs() : jobs;
     stamp.extra = grid_mode ? "fault-grid reps=" + std::to_string(reps)
-                            : "axis=" + axis + " values=" + args.get_string("values", "") +
-                                  " reps=" + std::to_string(reps);
+                  : repair_grid_mode
+                      ? "repair-grid reps=" + std::to_string(reps)
+                      : "axis=" + axis + " values=" + args.get_string("values", "") +
+                            " reps=" + std::to_string(reps);
     // '#'-prefixed header on the CSV itself: plotting scripts skip it,
     // humans can always trace the file back to the run that made it.
     stamp.write(std::cout);
 
     if (grid_mode) {
       run_fault_grid(base, reps, jobs, report_file, stamp);
+      return 0;
+    }
+    if (repair_grid_mode) {
+      run_repair_grid(base, reps, jobs, report_file, stamp);
       return 0;
     }
 
