@@ -1,83 +1,20 @@
 #include "experiments/report_json.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <ostream>
 #include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "util/json_writer.hpp"
 
 namespace paradyn::experiments {
 namespace {
 
-/// Shortest round-trip-safe representation; non-finite values (possible in
-/// degenerate configs) become null so the document stays valid JSON.
-void number(std::ostream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << "null";
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  double parsed = 0.0;
-  std::sscanf(buf, "%lf", &parsed);
-  if (parsed == v) {
-    // Try progressively shorter forms for readability.
-    for (int prec = 6; prec < 17; ++prec) {
-      char shorter[32];
-      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
-      std::sscanf(shorter, "%lf", &parsed);
-      if (parsed == v) {
-        os << shorter;
-        return;
-      }
-    }
-  }
-  os << buf;
-}
-
-void quoted(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-struct Obj {
-  std::ostream& os;
-  std::string pad;
-  bool first = true;
-
-  Obj(std::ostream& s, int indent) : os(s), pad(static_cast<std::size_t>(indent), ' ') {
-    os << "{";
-  }
-  std::ostream& key(const char* name) {
-    os << (first ? "\n" : ",\n") << pad << "  \"" << name << "\": ";
-    first = false;
-    return os;
-  }
-  void close() { os << '\n' << pad << '}'; }
-};
+// Shared writer helpers (also used by --metrics-json and roccprof --json),
+// so every JSON document formats numbers/strings identically.
+using util::json::number;
+using util::json::Obj;
+using util::json::quoted;
 
 void summary_json(std::ostream& os, const stats::SummaryStats& s, int indent) {
   Obj o(os, indent);
@@ -238,7 +175,7 @@ void write_result_json(std::ostream& os, const rocc::SimulationResult& r, int in
 
 void write_report_json(std::ostream& os, const obs::ReproStamp& stamp,
                        const std::vector<rocc::SimulationResult>& results,
-                       const RunReport* report) {
+                       const RunReport* report, const obs::ProfileReport* profile) {
   Obj doc(os, 0);
 
   doc.key("stamp");
@@ -286,6 +223,89 @@ void write_report_json(std::ostream& os, const obs::ReproStamp& stamp,
     p.key("events") << report->events;
     p.close();
   }
+
+  // Emitted only under --profile, so profiling-off reports stay
+  // byte-identical to the pre-profiler format.
+  if (profile != nullptr) {
+    doc.key("bottlenecks") << "[";
+    for (std::size_t i = 0; i < profile->hypotheses.size(); ++i) {
+      os << (i > 0 ? "," : "") << "\n    ";
+      const obs::HypothesisFinding& f = profile->hypotheses[i];
+      Obj hyp(os, 4);
+      hyp.key("hypothesis");
+      quoted(os, f.name);
+      hyp.key("target");
+      quoted(os, f.target);
+      hyp.key("hop");
+      if (f.hop >= 0) {
+        quoted(os, obs::hop_name(f.hop));
+      } else {
+        os << "null";
+      }
+      hyp.key("held") << (f.held ? "true" : "false");
+      if (f.held) {
+        number(hyp.key("first_held_start_us"), f.first_held_start_us);
+        number(hyp.key("first_held_end_us"), f.first_held_end_us);
+        number(hyp.key("peak"), f.peak);
+        number(hyp.key("windows_held"), static_cast<double>(f.windows_held));
+      }
+      hyp.close();
+    }
+    os << "\n  ]";
+    doc.key("dominant_hop");
+    if (profile->dominant_hop >= 0) {
+      quoted(os, obs::hop_name(profile->dominant_hop));
+    } else {
+      os << "null";
+    }
+  }
+
+  doc.close();
+  os << '\n';
+}
+
+void write_metrics_json(std::ostream& os, const obs::MetricsRegistry& metrics) {
+  Obj doc(os, 0);
+
+  doc.key("histograms") << "{";
+  bool first_hist = true;
+  metrics.for_each_histogram([&](const std::string& name, const obs::Histogram& h) {
+    os << (first_hist ? "" : ",") << "\n    ";
+    first_hist = false;
+    quoted(os, name);
+    os << ": ";
+    Obj hist(os, 4);
+    hist.key("count") << h.count();
+    number(hist.key("mean"), h.mean());
+    number(hist.key("min"), h.min());
+    number(hist.key("p50"), h.percentile(0.50));
+    number(hist.key("p90"), h.percentile(0.90));
+    number(hist.key("p99"), h.percentile(0.99));
+    number(hist.key("max"), h.max());
+    hist.close();
+  });
+  os << (first_hist ? "}" : "\n  }");
+
+  doc.key("columns") << "[";
+  const auto& columns = metrics.column_names();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    os << (i > 0 ? ", " : "");
+    quoted(os, columns[i]);
+  }
+  os << "]";
+
+  doc.key("rows") << "[";
+  for (std::size_t i = 0; i < metrics.rows(); ++i) {
+    const auto [t, values] = metrics.row(i);
+    os << (i > 0 ? "," : "") << "\n    [";
+    number(os, t);
+    for (const double v : *values) {
+      os << ", ";
+      number(os, v);
+    }
+    os << "]";
+  }
+  os << (metrics.rows() == 0 ? "]" : "\n  ]");
 
   doc.close();
   os << '\n';

@@ -1,0 +1,125 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+
+namespace paradyn::obs {
+
+const char* hop_name(int hop) noexcept {
+  switch (static_cast<Hop>(hop)) {
+    case Hop::App:
+      return "app";
+    case Hop::Pipe:
+      return "pipe";
+    case Hop::Daemon:
+      return "daemon";
+    case Hop::Network:
+      return "network";
+    case Hop::Main:
+      return "main";
+  }
+  return "?";
+}
+
+ChainRecord reduce_chain(std::int64_t pid, std::uint64_t id, const ChainTimes& t,
+                         double end_ts) {
+  ChainRecord rec;
+  rec.id = id;
+  rec.pid = pid;
+  rec.origin_track = t.origin_track;
+
+  // Boundary sequence gen -> enq -> deq -> fwd -> net -> end.  A missing
+  // boundary carries the previous one forward (its hop contributes 0); a
+  // boundary earlier than its predecessor is clamped (negative durations
+  // would poison the histograms) and flagged.
+  const double raw[6] = {t.gen_ts, t.enq_ts, t.deq_ts, t.fwd_ts, t.net_ts, end_ts};
+  double bounds[6];
+  double prev = raw[0] >= 0.0 ? raw[0] : end_ts;
+  for (int i = 0; i < 6; ++i) {
+    double b = raw[i];
+    if (b < 0.0) b = prev;  // marker missing: hop collapses to zero width
+    if (b < prev) {
+      b = prev;
+      rec.out_of_order = true;
+    }
+    bounds[i] = b;
+    prev = b;
+  }
+  rec.start_ts_us = bounds[0];
+  rec.end_ts_us = bounds[5];
+  rec.latency_us = bounds[5] - bounds[0];
+
+  for (int h = 0; h < kHopCount; ++h) {
+    rec.hop_us[h] = bounds[h + 1] - bounds[h];
+  }
+  // The ROCC app deposits synchronously at generation time, so the entire
+  // gen -> enq gap is the producer blocked on a full pipe.  Charge it to
+  // the pipe hop: backpressure belongs to the pipe, not the app.  The app
+  // hop stays in the decomposition for traces whose producers do real work
+  // before depositing.
+  rec.hop_us[static_cast<int>(Hop::Pipe)] += rec.hop_us[static_cast<int>(Hop::App)];
+  rec.hop_us[static_cast<int>(Hop::App)] = 0.0;
+  // Queueing vs service: the daemon hop's service is the collect CPU the
+  // marker carried; the network hop's is the summed batch occupancies.
+  // The app/pipe/main hops are pure waiting by construction (the pipe-full
+  // block, the pipe residence, the delivery handoff).
+  for (int h = 0; h < kHopCount; ++h) {
+    double svc = 0.0;
+    if (h == static_cast<int>(Hop::Daemon)) svc = t.collect_svc_us;
+    if (h == static_cast<int>(Hop::Network)) svc = t.net_svc_us;
+    svc = std::clamp(svc, 0.0, rec.hop_us[h]);
+    rec.hop_service_us[h] = svc;
+    rec.hop_queue_us[h] = rec.hop_us[h] - svc;
+  }
+
+  rec.dominant_hop = 0;
+  for (int h = 1; h < kHopCount; ++h) {
+    if (rec.hop_us[h] > rec.hop_us[rec.dominant_hop]) rec.dominant_hop = h;
+  }
+  return rec;
+}
+
+bool TopPaths::slower(const ChainRecord& a, const ChainRecord& b) noexcept {
+  if (a.latency_us != b.latency_us) return a.latency_us > b.latency_us;
+  if (a.pid != b.pid) return a.pid > b.pid;
+  return a.id > b.id;
+}
+
+void TopPaths::offer(const ChainRecord& rec) {
+  if (limit_ == 0) return;
+  const auto min_at_top = [](const ChainRecord& a, const ChainRecord& b) {
+    return slower(a, b);  // std::*_heap with this puts the smallest on top
+  };
+  if (heap_.size() < limit_) {
+    heap_.push_back(rec);
+    std::push_heap(heap_.begin(), heap_.end(), min_at_top);
+    return;
+  }
+  if (!slower(rec, heap_.front())) return;  // not slower than the current floor
+  std::pop_heap(heap_.begin(), heap_.end(), min_at_top);
+  heap_.back() = rec;
+  std::push_heap(heap_.begin(), heap_.end(), min_at_top);
+}
+
+std::vector<ChainRecord> TopPaths::sorted_desc() const {
+  std::vector<ChainRecord> out = heap_;
+  std::sort(out.begin(), out.end(), slower);
+  return out;
+}
+
+void FoldedAccum::add(const ChainRecord& rec) {
+  for (int h = 0; h < kHopCount; ++h) {
+    if (rec.hop_us[h] <= 0.0) continue;
+    stacks_[{rec.pid, rec.origin_track, h}] += rec.hop_us[h];
+  }
+}
+
+std::vector<FoldedAccum::Line> FoldedAccum::lines() const {
+  std::vector<Line> out;
+  out.reserve(stacks_.size());
+  for (const auto& [key, us] : stacks_) {
+    out.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key), us});
+  }
+  return out;  // std::map iteration is already (pid, track, hop) sorted
+}
+
+}  // namespace paradyn::obs

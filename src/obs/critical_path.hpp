@@ -1,0 +1,108 @@
+// Causal critical-path reduction of sample-lifecycle chains.
+//
+// Every sampled value travels app -> pipe -> daemon -> network ->
+// main_paradyn.  The rocc hooks mark each hop boundary on the sample's
+// async "lifecycle" chain ("enq"/"deq"/"collect"/"fwd"/"net" progress
+// marks between the begin and end events), so a completed chain reduces to
+// five per-hop elapsed times, each split into queueing and service where
+// the marker carries the drawn service time.  This header holds the pure
+// reduction pieces — hop naming, per-chain reduction, the bounded top-N
+// slowest-chain heap, and the folded flamegraph accumulator — all O(1) or
+// O(top-N) memory so the streaming profiler (profile.hpp) never retains
+// the trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace paradyn::obs {
+
+/// The five hops of the sample lifecycle, in causal order.
+enum class Hop : int { App = 0, Pipe = 1, Daemon = 2, Network = 3, Main = 4 };
+inline constexpr int kHopCount = 5;
+
+/// Short stable name used in reports, folded stacks, and JSON ("app",
+/// "pipe", "daemon", "network", "main").
+[[nodiscard]] const char* hop_name(int hop) noexcept;
+
+/// Raw hop-boundary marks gathered while a chain is open.  -1 = not seen
+/// (marker dropped by the ring, or the stage never ran).
+struct ChainTimes {
+  double gen_ts = -1.0;      ///< async begin: counters read in the app.
+  double enq_ts = -1.0;      ///< "enq": deposited into the pipe.
+  double deq_ts = -1.0;      ///< "deq": drained by the daemon.
+  double collect_ts = -1.0;  ///< "collect": collect CPU done (arg = service us).
+  double fwd_ts = -1.0;      ///< "fwd": left the daemon stage (min across tree hops).
+  double net_ts = -1.0;      ///< "net": cleared the network (max across tree hops).
+  double collect_svc_us = 0.0;
+  double net_svc_us = 0.0;  ///< Summed batch occupancies across tree hops.
+  std::int32_t origin_track = 0;  ///< Track of the async begin (the app process).
+  bool have_begin = false;
+};
+
+/// One completed chain reduced to per-hop elapsed / queueing / service.
+/// Missing boundaries carry forward (that hop contributes 0); out-of-order
+/// boundaries are clamped to non-negative durations and flagged.
+struct ChainRecord {
+  std::uint64_t id = 0;
+  std::int64_t pid = 0;
+  std::int32_t origin_track = 0;
+  double start_ts_us = 0.0;
+  double end_ts_us = 0.0;
+  double latency_us = 0.0;
+  double hop_us[kHopCount] = {};
+  double hop_queue_us[kHopCount] = {};
+  double hop_service_us[kHopCount] = {};
+  int dominant_hop = 0;  ///< argmax hop_us; ties break to the earlier hop.
+  bool out_of_order = false;
+};
+
+[[nodiscard]] ChainRecord reduce_chain(std::int64_t pid, std::uint64_t id, const ChainTimes& t,
+                                       double end_ts);
+
+/// Bounded min-heap keeping the N slowest chains seen so far (`--top-paths`).
+/// Deterministic: ties in latency break on (pid, id), so identical traces
+/// produce identical selections regardless of heap internals.
+class TopPaths {
+ public:
+  explicit TopPaths(std::size_t limit) : limit_(limit) {}
+
+  void offer(const ChainRecord& rec);
+
+  /// Retained chains, slowest first.
+  [[nodiscard]] std::vector<ChainRecord> sorted_desc() const;
+
+  [[nodiscard]] std::size_t limit() const noexcept { return limit_; }
+
+ private:
+  /// Strict total order: by latency, then pid, then id.
+  static bool slower(const ChainRecord& a, const ChainRecord& b) noexcept;
+
+  std::size_t limit_;
+  std::vector<ChainRecord> heap_;  ///< min-heap on slower()
+};
+
+/// Folded flamegraph accumulator: one stack `<origin>;<hop>` per (origin
+/// process/track, hop), weighted by microseconds spent in that hop.
+/// Memory is O(#tracks x kHopCount), independent of chain count.
+class FoldedAccum {
+ public:
+  void add(const ChainRecord& rec);
+
+  struct Line {
+    std::int64_t pid = 0;
+    std::int32_t track = 0;
+    int hop = 0;
+    double us = 0.0;
+  };
+
+  /// Aggregated lines sorted by (pid, track, hop) — a deterministic order.
+  [[nodiscard]] std::vector<Line> lines() const;
+
+ private:
+  std::map<std::tuple<std::int64_t, std::int32_t, int>, double> stacks_;
+};
+
+}  // namespace paradyn::obs

@@ -7,18 +7,34 @@
 
 namespace paradyn::obs {
 
+namespace {
+
+// Log-linear bucket index: [0, 1) is 16 linear sub-buckets; each
+// [2^(e-1), 2^e) range (e >= 1) is 16 linear sub-buckets of width 2^(e-1)/16.
+int bucket_index(double v) noexcept {
+  if (v < 1.0) {
+    int sub = static_cast<int>(v * Histogram::kSubBuckets);
+    if (sub >= Histogram::kSubBuckets) sub = Histogram::kSubBuckets - 1;
+    return sub;
+  }
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  if (exp >= Histogram::kExpBuckets) return Histogram::kBuckets - 1;
+  int sub = static_cast<int>((m * 2.0 - 1.0) * Histogram::kSubBuckets);
+  if (sub >= Histogram::kSubBuckets) sub = Histogram::kSubBuckets - 1;
+  if (sub < 0) sub = 0;
+  return exp * Histogram::kSubBuckets + sub;
+}
+
+}  // namespace
+
 void Histogram::observe(double v) noexcept {
   if (!(v >= 0.0) || !std::isfinite(v)) v = 0.0;  // clamp NaN/negatives
   if (count_ == 0 || v < min_) min_ = v;
   if (count_ == 0 || v > max_) max_ = v;
   ++count_;
   sum_ += v;
-  int exp = 0;
-  if (v >= 1.0) {
-    (void)std::frexp(v, &exp);  // v in [2^(exp-1), 2^exp)
-    if (exp >= kBuckets) exp = kBuckets - 1;
-  }
-  ++buckets_[exp];
+  ++buckets_[bucket_index(v)];
 }
 
 double Histogram::percentile(double p) const noexcept {
@@ -30,11 +46,19 @@ double Histogram::percentile(double p) const noexcept {
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
     if (seen >= target) {
-      // Geometric midpoint of [2^(i-1), 2^i); bucket 0 holds [0, 1).
-      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
-      const double hi = std::ldexp(1.0, i);
-      double mid = i == 0 ? 0.5 : lo * std::sqrt(2.0);
-      if (mid > hi) mid = hi;
+      // Midpoint of the sub-bucket's value range, clamped to min/max.
+      double lo = 0.0;
+      double width = 1.0 / kSubBuckets;
+      if (i >= kSubBuckets) {
+        const int exp = i / kSubBuckets;
+        const int sub = i % kSubBuckets;
+        const double base = std::ldexp(1.0, exp - 1);
+        width = base / kSubBuckets;
+        lo = base + sub * width;
+      } else {
+        lo = i * width;
+      }
+      double mid = lo + width * 0.5;
       if (mid < min_) mid = min_;
       if (mid > max_) mid = max_;
       return mid;

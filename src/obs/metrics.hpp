@@ -42,12 +42,17 @@ class Gauge {
   double value_ = 0.0;
 };
 
-/// Streaming histogram over positive values with power-of-two buckets
-/// (bucket i holds values in [2^(i-1), 2^i)); O(1) memory, percentile
-/// estimates good to a factor of ~1.4 plus exact min/max/mean.
+/// Streaming histogram over non-negative values with HDR-style log-linear
+/// buckets: each power-of-two range [2^(i-1), 2^i) is split into 16 equal
+/// linear sub-buckets (the range [0, 1) is 16 linear sub-buckets too), so
+/// percentile estimates are good to ~1/16 relative error instead of the
+/// old factor-of-~1.4 power-of-two midpoint.  Still O(1) memory (fixed
+/// 64 x 16 bucket array) plus exact count/sum/min/max.
 class Histogram {
  public:
-  static constexpr int kBuckets = 64;
+  static constexpr int kExpBuckets = 64;
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kBuckets = kExpBuckets * kSubBuckets;
 
   void observe(double v) noexcept;
 
@@ -58,8 +63,9 @@ class Histogram {
   }
   [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
   [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
-  /// Estimated p-quantile (p in [0, 1]): geometric midpoint of the bucket
-  /// holding the p-th observation, clamped to the observed min/max.
+  /// Estimated p-quantile (p in [0, 1]): midpoint of the log-linear
+  /// sub-bucket holding the p-th observation, clamped to the observed
+  /// min/max.  Relative error is bounded by the sub-bucket width (~6%).
   [[nodiscard]] double percentile(double p) const noexcept;
 
  private:
@@ -100,6 +106,12 @@ class MetricsRegistry {
   /// The probe time series as CSV: "time_us,<col>,..." then one row per
   /// tick.  Lines starting with '#' carry the histogram/counter summaries.
   void write_csv(std::ostream& os) const;
+
+  /// Visit every histogram in registration order (structured exporters).
+  void for_each_histogram(
+      const std::function<void(const std::string& name, const Histogram& h)>& fn) const {
+    for (const auto& [name, h] : histogram_order_) fn(name, *h);
+  }
 
  private:
   struct Column {

@@ -136,6 +136,29 @@ std::uint64_t TraceRecorder::dropped() const {
   return total;
 }
 
+void TraceRecorder::for_each_event(
+    const std::function<void(const TraceEvent& event, std::int32_t pid)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    const std::size_t n = shard.events.size();
+    const std::size_t start = (n == shard.capacity) ? shard.next : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(shard.events[(start + i) % n], shard.pid);
+    }
+  }
+}
+
+std::vector<std::pair<std::pair<std::int32_t, std::int32_t>, std::string>>
+TraceRecorder::track_labels() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return track_names_;
+}
+
+std::vector<std::string> TraceRecorder::process_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return process_names_;
+}
+
 void TraceRecorder::write_chrome_json(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string buf;

@@ -20,9 +20,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace paradyn::obs {
@@ -177,6 +179,21 @@ class TraceRecorder {
   /// Export everything as Chrome trace-event JSON ({"traceEvents": [...]}).
   /// Callers must ensure no tracer is concurrently writing.
   void write_chrome_json(std::ostream& os) const;
+
+  /// Iterate every retained event — shard by shard in pid order, each shard
+  /// in the chronological order write_chrome_json emits — invoking
+  /// `fn(event, pid)`.  This is the inline-profiling path (`roccsim
+  /// --profile`): no JSON round-trip.  Callers must ensure no tracer is
+  /// concurrently writing.
+  void for_each_event(
+      const std::function<void(const TraceEvent& event, std::int32_t pid)>& fn) const;
+
+  /// Track labels registered via Tracer::set_track_name: ((pid, track), label).
+  [[nodiscard]] std::vector<std::pair<std::pair<std::int32_t, std::int32_t>, std::string>>
+  track_labels() const;
+
+  /// Per-shard process names, indexed by pid.
+  [[nodiscard]] std::vector<std::string> process_names() const;
 
  private:
   friend class Tracer;

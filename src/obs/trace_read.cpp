@@ -6,32 +6,34 @@
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
-#include <iterator>
 #include <ostream>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "obs/metrics.hpp"
 
 namespace paradyn::obs {
 
 namespace {
 
-/// Pull-style scanner over the whole document (trace files are bounded by
-/// the recorder's ring capacity, so slurping is fine).
+/// Pull-style scanner over an incrementally refilled window of the input
+/// stream.  Memory is bounded by one refill chunk regardless of document
+/// size, which is what lets the profiler stream gigabyte traces.
 class JsonScanner {
  public:
-  explicit JsonScanner(std::string text) : text_(std::move(text)) {}
+  explicit JsonScanner(std::istream& is) : is_(is) {}
 
   void skip_ws() {
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+    while (have(1) && (buf_[pos_] == ' ' || buf_[pos_] == '\t' || buf_[pos_] == '\n' ||
+                       buf_[pos_] == '\r')) {
       ++pos_;
     }
   }
 
   [[nodiscard]] char peek() {
     skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
+    if (!have(1)) fail("unexpected end of input");
+    return buf_[pos_];
   }
 
   void expect(char c) {
@@ -41,23 +43,23 @@ class JsonScanner {
 
   [[nodiscard]] bool consume_if(char c) {
     skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
+    if (have(1) && buf_[pos_] == c) {
       ++pos_;
       return true;
     }
     return false;
   }
 
-  [[nodiscard]] std::string parse_string() {
+  void parse_string(std::string& out) {
     expect('"');
-    std::string out;
+    out.clear();
     while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
+      if (!have(1)) fail("unterminated string");
+      const char c = buf_[pos_++];
+      if (c == '"') return;
       if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char e = text_[pos_++];
+        if (!have(1)) fail("unterminated escape");
+        const char e = buf_[pos_++];
         switch (e) {
           case '"': out += '"'; break;
           case '\\': out += '\\'; break;
@@ -68,10 +70,10 @@ class JsonScanner {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            if (!have(4)) fail("truncated \\u escape");
             unsigned code = 0;
             for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
+              const char h = buf_[pos_++];
               code <<= 4;
               if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
               else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
@@ -100,9 +102,19 @@ class JsonScanner {
     }
   }
 
+  [[nodiscard]] std::string parse_string() {
+    std::string out;
+    parse_string(out);
+    return out;
+  }
+
   [[nodiscard]] double parse_number() {
     skip_ws();
-    const char* start = text_.c_str() + pos_;
+    // Guarantee the full literal is in the window: any valid JSON number
+    // is far shorter than this lookahead, and buf_ is NUL-terminated so
+    // strtod stops at the window edge at EOF.
+    (void)have(64);
+    const char* start = buf_.c_str() + pos_;
     char* end = nullptr;
     const double v = std::strtod(start, &end);
     if (end == start) fail("expected a number");
@@ -114,12 +126,12 @@ class JsonScanner {
   void skip_value() {
     const char c = peek();
     if (c == '"') {
-      (void)parse_string();
+      parse_string(scratch_);
     } else if (c == '{') {
       ++pos_;
       if (consume_if('}')) return;
       do {
-        (void)parse_string();
+        parse_string(scratch_);
         expect(':');
         skip_value();
       } while (consume_if(','));
@@ -132,21 +144,48 @@ class JsonScanner {
       } while (consume_if(','));
       expect(']');
     } else if (c == 't' || c == 'f' || c == 'n') {
-      while (pos_ < text_.size() && std::isalpha(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      while (have(1) && std::isalpha(static_cast<unsigned char>(buf_[pos_]))) ++pos_;
     } else {
       (void)parse_number();
     }
   }
 
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("trace JSON parse error at byte " + std::to_string(pos_) + ": " +
-                             what);
+    throw std::runtime_error("trace JSON parse error at byte " +
+                             std::to_string(consumed_ + pos_) + ": " + what);
   }
 
-  std::size_t pos_ = 0;
-
  private:
-  std::string text_;
+  /// True when at least `n` bytes are readable at pos_; refills lazily.
+  [[nodiscard]] bool have(std::size_t n) {
+    if (pos_ + n <= buf_.size()) return true;
+    if (eof_) return false;
+    if (pos_ > 0) {  // compact the consumed prefix before reading more
+      consumed_ += pos_;
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+    while (buf_.size() < n && !eof_) {
+      char chunk[kChunk];
+      is_.read(chunk, sizeof(chunk));
+      const auto got = static_cast<std::size_t>(is_.gcount());
+      if (got == 0) {
+        eof_ = true;
+        break;
+      }
+      buf_.append(chunk, got);
+    }
+    return pos_ + n <= buf_.size();
+  }
+
+  static constexpr std::size_t kChunk = 1 << 16;
+
+  std::istream& is_;
+  std::string buf_;
+  std::string scratch_;
+  std::size_t pos_ = 0;
+  std::size_t consumed_ = 0;
+  bool eof_ = false;
 };
 
 void parse_args_object(JsonScanner& s, ParsedEvent& ev) {
@@ -167,16 +206,25 @@ void parse_args_object(JsonScanner& s, ParsedEvent& ev) {
   s.expect('}');
 }
 
-ParsedEvent parse_event_object(JsonScanner& s) {
-  ParsedEvent ev;
+void parse_event_object(JsonScanner& s, ParsedEvent& ev) {
+  ev.name.clear();
+  ev.cat.clear();
+  ev.ph.clear();
+  ev.ts = 0.0;
+  ev.dur = 0.0;
+  ev.pid = 0;
+  ev.tid = 0;
+  ev.id.clear();
+  ev.num_args.clear();
+  ev.str_args.clear();
   s.expect('{');
-  if (s.consume_if('}')) return ev;
+  if (s.consume_if('}')) return;
   do {
     const std::string key = s.parse_string();
     s.expect(':');
-    if (key == "name") ev.name = s.parse_string();
-    else if (key == "cat") ev.cat = s.parse_string();
-    else if (key == "ph") ev.ph = s.parse_string();
+    if (key == "name") s.parse_string(ev.name);
+    else if (key == "cat") s.parse_string(ev.cat);
+    else if (key == "ph") s.parse_string(ev.ph);
     else if (key == "ts") ev.ts = s.parse_number();
     else if (key == "dur") ev.dur = s.parse_number();
     else if (key == "pid") ev.pid = static_cast<std::int64_t>(s.parse_number());
@@ -186,55 +234,64 @@ ParsedEvent parse_event_object(JsonScanner& s) {
     else s.skip_value();
   } while (s.consume_if(','));
   s.expect('}');
-  return ev;
 }
 
 }  // namespace
 
-ParsedTrace read_chrome_trace(std::istream& is) {
-  std::string text(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>{});
-  JsonScanner s(std::move(text));
-  ParsedTrace trace;
+TraceStreamInfo stream_chrome_trace(std::istream& is,
+                                    const std::function<void(const ParsedEvent&)>& sink) {
+  JsonScanner s(is);
+  TraceStreamInfo info;
+  ParsedEvent ev;  // reused across events so steady-state allocations are ~0
 
-  // Either {"traceEvents": [...], ...} or a bare top-level event array.
-  if (s.peek() == '[') {
+  const auto parse_event_array = [&] {
     s.expect('[');
     if (!s.consume_if(']')) {
       do {
-        trace.events.push_back(parse_event_object(s));
+        parse_event_object(s, ev);
+        ++info.events;
+        sink(ev);
       } while (s.consume_if(','));
       s.expect(']');
     }
-    return trace;
+  };
+
+  // Either {"traceEvents": [...], ...} or a bare top-level event array.
+  if (s.peek() == '[') {
+    parse_event_array();
+    return info;
   }
 
   s.expect('{');
-  if (s.consume_if('}')) return trace;
+  if (s.consume_if('}')) return info;
   do {
     const std::string key = s.parse_string();
     s.expect(':');
     if (key == "traceEvents") {
-      s.expect('[');
-      if (!s.consume_if(']')) {
-        do {
-          trace.events.push_back(parse_event_object(s));
-        } while (s.consume_if(','));
-        s.expect(']');
-      }
+      parse_event_array();
     } else if (key == "otherData") {
       ParsedEvent other;
       parse_args_object(s, other);
       if (const auto it = other.num_args.find("recorded"); it != other.num_args.end()) {
-        trace.recorded = static_cast<std::uint64_t>(it->second);
+        info.recorded = static_cast<std::uint64_t>(it->second);
       }
       if (const auto it = other.num_args.find("dropped"); it != other.num_args.end()) {
-        trace.dropped = static_cast<std::uint64_t>(it->second);
+        info.dropped = static_cast<std::uint64_t>(it->second);
       }
     } else {
       s.skip_value();
     }
   } while (s.consume_if(','));
   s.expect('}');
+  return info;
+}
+
+ParsedTrace read_chrome_trace(std::istream& is) {
+  ParsedTrace trace;
+  const TraceStreamInfo info =
+      stream_chrome_trace(is, [&](const ParsedEvent& ev) { trace.events.push_back(ev); });
+  trace.recorded = info.recorded;
+  trace.dropped = info.dropped;
   return trace;
 }
 
@@ -248,7 +305,7 @@ TraceSummary summarize_trace(const ParsedTrace& trace) {
   std::unordered_map<std::string, double> open_chains;
   struct ChainAccum {
     std::string cat, name;
-    std::vector<double> durations;
+    Histogram durations;  // shared log-linear histogram, O(1) per chain type
     std::uint64_t unmatched = 0;
   };
   std::unordered_map<std::string, ChainAccum> chains;
@@ -289,7 +346,7 @@ TraceSummary summarize_trace(const ParsedTrace& trace) {
         if (it == open_chains.end()) {
           ++chain.unmatched;
         } else {
-          chain.durations.push_back(ev.ts - it->second);
+          chain.durations.observe(ev.ts - it->second);
           open_chains.erase(it);
         }
       }
@@ -307,18 +364,13 @@ TraceSummary summarize_trace(const ParsedTrace& trace) {
     AsyncChainStats cs;
     cs.cat = chain.cat;
     cs.name = chain.name;
-    cs.complete_chains = chain.durations.size();
+    cs.complete_chains = chain.durations.count();
     cs.unmatched = chain.unmatched;
-    if (!chain.durations.empty()) {
-      std::sort(chain.durations.begin(), chain.durations.end());
-      const auto at = [&](double p) {
-        const auto idx = static_cast<std::size_t>(p * static_cast<double>(chain.durations.size() - 1));
-        return chain.durations[idx];
-      };
-      cs.p50_us = at(0.50);
-      cs.p90_us = at(0.90);
-      cs.p99_us = at(0.99);
-      cs.max_us = chain.durations.back();
+    if (chain.durations.count() > 0) {
+      cs.p50_us = chain.durations.percentile(0.50);
+      cs.p90_us = chain.durations.percentile(0.90);
+      cs.p99_us = chain.durations.percentile(0.99);
+      cs.max_us = chain.durations.max();
     }
     out.chains.push_back(std::move(cs));
   }

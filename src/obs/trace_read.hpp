@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -39,6 +40,23 @@ struct ParsedTrace {
 /// Parse a trace file.  Throws std::runtime_error with a byte offset on
 /// malformed input.
 [[nodiscard]] ParsedTrace read_chrome_trace(std::istream& is);
+
+/// Totals reported by the streaming parser once the document is consumed.
+struct TraceStreamInfo {
+  std::uint64_t recorded = 0;  ///< From "otherData" (0 when absent).
+  std::uint64_t dropped = 0;
+  std::uint64_t events = 0;  ///< Events delivered to the sink.
+};
+
+/// Streaming parse: decode the document incrementally through a bounded
+/// read buffer (never slurps the file) and invoke `sink` once per event,
+/// metadata included.  The ParsedEvent reference is only valid for the
+/// duration of the call — the same scratch object is reused.  This is the
+/// path the profiler uses so arbitrarily large traces cost O(1) parser
+/// memory.  Throws std::runtime_error with a byte offset on malformed
+/// input.
+TraceStreamInfo stream_chrome_trace(std::istream& is,
+                                    const std::function<void(const ParsedEvent&)>& sink);
 
 /// Aggregate statistics of one (category, name) event type.
 struct EventTypeStats {

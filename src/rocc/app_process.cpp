@@ -151,6 +151,9 @@ void ApplicationProcess::emit_sample() {
     if (tracer_ != nullptr) {
       tracer_->instant("pipe", "enqueue", track_, engine_.now(), "depth",
                        static_cast<double>(pipe_->size()));
+      // Hop boundary for the profiler: the sample entered the pipe.
+      tracer_->async_instant("sample", "lifecycle", sample.id, track_, engine_.now(), "enq",
+                             static_cast<double>(pipe_->size()));
     }
     return;
   }
@@ -180,6 +183,10 @@ void ApplicationProcess::on_pipe_space() {
     if (tracer_ != nullptr) {
       tracer_->instant("pipe", "enqueue", track_, engine_.now(), "depth",
                        static_cast<double>(pipe_->size()));
+      // Hop boundary after a pipe-full block: enq is the deposit time, so
+      // the app hop absorbs the whole blocked wait.
+      tracer_->async_instant("sample", "lifecycle", pending_sample_->id, track_, engine_.now(),
+                             "enq", static_cast<double>(pipe_->size()));
     }
     pending_sample_.reset();
   }

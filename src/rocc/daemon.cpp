@@ -109,6 +109,9 @@ void ParadynDaemon::try_start() {
       if (tracer_ != nullptr) {
         tracer_->instant("pipe", "dequeue", track_, engine_.now(), "depth",
                          static_cast<double>(pipe.size()));
+        // Hop boundary for the profiler: the sample left the pipe.
+        tracer_->async_instant("sample", "lifecycle", sample->id, track_, engine_.now(), "deq",
+                               static_cast<double>(pipe.size()));
       }
       start_collect(*sample);
       return;
@@ -124,14 +127,19 @@ void ParadynDaemon::try_start() {
 void ParadynDaemon::start_collect(const Sample& sample) {
   busy_ = true;
   const SimTime t0 = engine_.now();
-  cpu_.submit(CpuRequest{collect_cpu_(rng_), ProcessClass::ParadynDaemon,
+  // Stash the drawn service time for the profiler marker: busy_ serializes
+  // collects, so the member survives until the completion callback without
+  // growing the 64-byte inline capture.  Draw order is unchanged.
+  last_collect_cpu_us_ = collect_cpu_(rng_);
+  cpu_.submit(CpuRequest{last_collect_cpu_us_, ProcessClass::ParadynDaemon,
                          [this, sample, t0] {
                            ++samples_collected_;
                            if (tracer_ != nullptr) {
                              tracer_->complete("daemon", "collect", track_, t0,
                                                engine_.now() - t0);
                              tracer_->async_instant("sample", "lifecycle", sample.id, track_,
-                                                    engine_.now());
+                                                    engine_.now(), "collect",
+                                                    last_collect_cpu_us_);
                            }
                            pending_batch_.push_back(sample);
                            if (static_cast<std::int32_t>(pending_batch_.size()) >=
@@ -198,6 +206,13 @@ void ParadynDaemon::start_merge(Batch batch) {
 void ParadynDaemon::forward_batch(Batch batch) {
   busy_ = true;
   const SimTime t0 = engine_.now();
+  if (tracer_ != nullptr) {
+    // Hop boundary for the profiler: each rider leaves the daemon stage.
+    for (const Sample& s : batch.samples) {
+      tracer_->async_instant("sample", "lifecycle", s.id, track_, t0, "fwd",
+                             static_cast<double>(batch.sample_count()));
+    }
+  }
   cpu_.submit(CpuRequest{
       forward_cpu_(rng_), ProcessClass::ParadynDaemon,
       [this, batch = std::move(batch), t0]() mutable {
@@ -209,6 +224,9 @@ void ParadynDaemon::forward_batch(Batch batch) {
             (net_occupancy_(rng_) +
              config_.pd.net_per_extra_sample_us * static_cast<double>(batch.sample_count() - 1)) *
             net_penalty_;
+        // One forward is in flight at a time (busy_), so the member carries
+        // the occupancy to the completion callback for the profiler marker.
+        last_net_occupancy_us_ = occupancy;
         network_.submit(NetRequest{occupancy, ProcessClass::ParadynDaemon,
                                    [this, batch = std::move(batch), t0] {
                                      ++batches_forwarded_;
@@ -217,6 +235,14 @@ void ParadynDaemon::forward_batch(Batch batch) {
                                        tracer_->complete(
                                            "daemon", "forward", track_, t0, engine_.now() - t0,
                                            "samples", static_cast<double>(batch.sample_count()));
+                                       // Hop boundary: the batch cleared the
+                                       // network; arg is the batch occupancy
+                                       // the sample rode on.
+                                       for (const Sample& s : batch.samples) {
+                                         tracer_->async_instant("sample", "lifecycle", s.id,
+                                                                track_, engine_.now(), "net",
+                                                                last_net_occupancy_us_);
+                                       }
                                      }
                                      deliver(batch);
                                      busy_ = false;

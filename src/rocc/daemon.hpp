@@ -143,6 +143,11 @@ class ParadynDaemon {
 
   obs::Tracer* tracer_ = nullptr;
   std::int32_t track_ = 0;
+  /// Scratch for profiler hop markers: the service time drawn for the
+  /// in-flight collect / forward (busy_ serializes both, so one slot each
+  /// suffices and the 64-byte inline callback captures stay unchanged).
+  SimTime last_collect_cpu_us_ = 0.0;
+  double last_net_occupancy_us_ = 0.0;
 };
 
 }  // namespace paradyn::rocc

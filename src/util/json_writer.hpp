@@ -1,0 +1,93 @@
+// Small shared JSON-writing helpers.
+//
+// Factored out of experiments/report_json.cpp so every layer that emits
+// machine-readable JSON (--report-json, --metrics-json, roccprof --json)
+// produces numbers and strings with identical formatting: doubles use the
+// shortest representation that round-trips, non-finite values become null,
+// and control characters are escaped.  Header-only so the obs layer can use
+// it without a link edge onto the experiments library.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace paradyn::util::json {
+
+/// Shortest round-trip-safe representation; non-finite values (possible in
+/// degenerate configs) become null so the document stays valid JSON.
+inline void number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  if (parsed == v) {
+    // Try progressively shorter forms for readability.
+    for (int prec = 6; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &parsed);
+      if (parsed == v) {
+        os << shorter;
+        return;
+      }
+    }
+  }
+  os << buf;
+}
+
+/// `s` as a JSON string literal with the required escapes.
+inline void quoted(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Indented-object helper: `key()` emits the separating comma/newline and
+/// the quoted key, `close()` the trailing brace.  Values are written by the
+/// caller through the returned stream.
+struct Obj {
+  std::ostream& os;
+  std::string pad;
+  bool first = true;
+
+  Obj(std::ostream& s, int indent) : os(s), pad(static_cast<std::size_t>(indent), ' ') {
+    os << "{";
+  }
+  std::ostream& key(const char* name) {
+    os << (first ? "\n" : ",\n") << pad << "  \"" << name << "\": ";
+    first = false;
+    return os;
+  }
+  void close() { os << '\n' << pad << '}'; }
+};
+
+}  // namespace paradyn::util::json

@@ -45,6 +45,26 @@ TEST(Histogram, ExactMomentsAndBoundedPercentiles) {
   EXPECT_NEAR(p50, 4.0, 4.0 * 0.5);
 }
 
+TEST(Histogram, LogLinearSubBucketsBoundRelativeError) {
+  // 16 linear sub-buckets per power of two cap the quantization error of a
+  // bucketed value at one sub-bucket width: 1/16 of the bucket's base, i.e.
+  // ~6.25% of the value.  Check across five decades.
+  for (const double v : {3.0, 97.0, 1000.0, 123456.0, 9.9e6}) {
+    Histogram h;
+    for (int i = 0; i < 100; ++i) h.observe(v);
+    for (const double p : {0.25, 0.5, 0.99}) {
+      EXPECT_NEAR(h.percentile(p), v, v * (1.0 / 16.0 + 1e-9)) << "v=" << v << " p=" << p;
+    }
+  }
+  // A two-point distribution's median must land on a real observation's
+  // sub-bucket, not between the two modes.
+  Histogram bimodal;
+  for (int i = 0; i < 75; ++i) bimodal.observe(100.0);
+  for (int i = 0; i < 25; ++i) bimodal.observe(10'000.0);
+  EXPECT_NEAR(bimodal.percentile(0.5), 100.0, 100.0 / 16.0 + 1e-9);
+  EXPECT_NEAR(bimodal.percentile(0.9), 10'000.0, 10'000.0 / 16.0 + 1e-9);
+}
+
 TEST(Histogram, EmptyIsAllZero) {
   const Histogram h;
   EXPECT_EQ(h.count(), 0u);

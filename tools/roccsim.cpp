@@ -23,6 +23,7 @@
 #include "experiments/runner.hpp"
 #include "experiments/table.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/repro.hpp"
 #include "obs/trace.hpp"
 #include "rocc/config.hpp"
@@ -82,6 +83,11 @@ void print_help() {
       "  --metrics-tick-ms X     probe period in simulated ms; default 100\n"
       "  --progress              heartbeat lines on stderr as replications finish\n"
       "  --report-json FILE      full SimulationResult of every run as JSON\n"
+      "  --profile               profile the run inline: per-hop latency decomposition,\n"
+      "                          critical paths, and W3 bottleneck hypotheses (records\n"
+      "                          an in-memory trace when --trace is absent); adds a\n"
+      "                          bottlenecks[] block to --report-json\n"
+      "  --metrics-json FILE     metrics registry (histograms + probe series) as JSON\n"
       "  --help                  this text\n");
 }
 
@@ -153,7 +159,7 @@ int main(int argc, char** argv) {
          "dedicated-main",
          "adaptive-budget", "fault", "repair", "adaptive-sampling", "trace", "trace-events",
          "metrics",
-         "metrics-tick-ms", "progress", "report-json", "help"});
+         "metrics-tick-ms", "progress", "report-json", "profile", "metrics-json", "help"});
     if (args.get_bool("help")) {
       print_help();
       return 0;
@@ -216,6 +222,10 @@ int main(int argc, char** argv) {
     const std::string metrics_file = args.get_string("metrics", "");
     const double metrics_tick_us = args.get_double("metrics-tick-ms", 100.0) * 1'000.0;
     const std::string report_file = args.get_string("report-json", "");
+    const bool profile = args.get_bool("profile");
+    const std::string metrics_json_file = args.get_string("metrics-json", "");
+    // --metrics-json wants the probes armed even without a CSV destination.
+    const bool want_metrics = !metrics_file.empty() || !metrics_json_file.empty();
     if (args.get_bool("progress")) experiments::set_progress_stream(&std::cerr);
 
     obs::ReproStamp stamp;
@@ -232,9 +242,12 @@ int main(int argc, char** argv) {
                 rocc::to_string(cfg.arch), cfg.nodes, cfg.sampling_period_us / 1e3,
                 rocc::to_string(cfg.policy()), cfg.batch_size, cfg.duration_us / 1e6, reps);
 
+    // --profile piggybacks on the trace recorder: when no --trace file was
+    // asked for, the ring stays in memory and is only fed to the profiler.
     std::optional<obs::TraceRecorder> recorder;
-    if (!trace_file.empty()) recorder.emplace(trace_events);
+    if (!trace_file.empty() || profile) recorder.emplace(trace_events);
     obs::MetricsRegistry registry;
+    std::optional<obs::ProfileReport> profile_report;
 
     // One replication set reused across metrics when reps >= 2.
     if (reps >= 2) {
@@ -251,7 +264,7 @@ int main(int argc, char** argv) {
           tracers[rep] = recorder->create_tracer("rep " + std::to_string(rep));
           sim.set_tracer(&tracers[rep]);
         }
-        if (!metrics_file.empty() && rep == 0) sim.enable_metrics(registry, metrics_tick_us);
+        if (want_metrics && rep == 0) sim.enable_metrics(registry, metrics_tick_us);
         // No-op when the effective fault plan is empty.
         harnesses[rep] =
             std::make_unique<consultant::DetectionHarness>(sim, consultant::DetectorConfig{},
@@ -359,9 +372,11 @@ int main(int argc, char** argv) {
             [](const rocc::SimulationResult& r) { return r.max_throttle_factor; }, 2);
       }
       rs.report().print(std::cerr, "roccsim");
+      if (profile) profile_report = obs::profile_recorder(*recorder);
       if (!report_file.empty()) {
         auto os = open_or_throw(report_file);
-        experiments::write_report_json(os, stamp, finalized, &rs.report());
+        experiments::write_report_json(os, stamp, finalized, &rs.report(),
+                                       profile_report ? &*profile_report : nullptr);
       }
     } else {
       rocc::Simulation sim(cfg);
@@ -370,7 +385,7 @@ int main(int argc, char** argv) {
         tracer = recorder->create_tracer();
         sim.set_tracer(&tracer);
       }
-      if (!metrics_file.empty()) sim.enable_metrics(registry, metrics_tick_us);
+      if (want_metrics) sim.enable_metrics(registry, metrics_tick_us);
       // No-op when the effective fault plan is empty.
       const consultant::DetectionHarness harness(sim, consultant::DetectorConfig{},
                                                  repair_policy);
@@ -399,13 +414,20 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(r.throttle_adjustments));
       }
       print_fault_outcomes(r.fault_outcomes);
+      if (profile) profile_report = obs::profile_recorder(*recorder);
       if (!report_file.empty()) {
         auto os = open_or_throw(report_file);
-        experiments::write_report_json(os, stamp, {r}, nullptr);
+        experiments::write_report_json(os, stamp, {r}, nullptr,
+                                       profile_report ? &*profile_report : nullptr);
       }
     }
 
-    if (recorder) {
+    if (profile_report) {
+      std::printf("\n");
+      obs::print_profile_report(std::cout, *profile_report);
+    }
+
+    if (recorder && !trace_file.empty()) {
       auto os = open_or_throw(trace_file);
       recorder->write_chrome_json(os);
       std::fprintf(stderr, "roccsim: wrote %llu trace event(s) to %s (%llu dropped)\n",
@@ -418,6 +440,12 @@ int main(int argc, char** argv) {
       registry.write_csv(os);
       std::fprintf(stderr, "roccsim: wrote %zu metrics row(s) to %s\n", registry.rows(),
                    metrics_file.c_str());
+    }
+    if (!metrics_json_file.empty()) {
+      auto os = open_or_throw(metrics_json_file);
+      experiments::write_metrics_json(os, registry);
+      std::fprintf(stderr, "roccsim: wrote %zu metrics row(s) to %s\n", registry.rows(),
+                   metrics_json_file.c_str());
     }
     return 0;
   } catch (const std::exception& e) {
