@@ -1,0 +1,139 @@
+// PDES shard-scaling benchmark and CI speedup gate.
+//
+// Runs the same table04-class NOW workload (32 nodes x 4 app processes,
+// 1 ms sampling, batch 32) through the partitioned engine at 1 shard
+// (serial window loop) and 4 shards (ThreadPool-backed executor), checks
+// the two runs are bit-identical — the determinism contract the pdes_tests
+// suite gates in depth — and emits:
+//
+//   pdes_shard1_wall_seconds  serial reference wall time (collapse guard)
+//   pdes_shard4_wall_seconds  4-shard pooled wall time (collapse guard)
+//   speedup_pdes_shards       shard1 / shard4; CI additionally enforces an
+//                             absolute floor of 1.5 via bench_compare
+//                             --floor (the acceptance bar for the
+//                             partitioned engine on the 4-vCPU runners)
+//   pdes_shard4_meps          4-shard throughput in M events/s (info)
+//
+// Best-of-3 per flavor: wall times take the minimum, the canonical noise
+// shield for throughput benches on shared CI runners.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_json_common.hpp"
+#include "experiments/shard_executor.hpp"
+#include "experiments/thread_pool.hpp"
+#include "repro_common.hpp"
+#include "rocc/simulation.hpp"
+
+namespace {
+
+/// Table04-class workload, scaled so each window carries far more event
+/// work than the window barrier costs: a 10 ms lookahead means 1000
+/// windows over the run, and 512 app processes at 0.5 ms sampling put
+/// hundreds of events into every shard per window.
+paradyn::rocc::SystemConfig workload() {
+  auto c = paradyn::rocc::SystemConfig::now(128);
+  c.app_processes_per_node = 4;
+  c.sampling_period_us = 500.0;
+  c.batch_size = 32;
+  c.duration_us = 10e6;
+  c.uplink_latency_us = 10'000.0;  // the cross-shard lookahead
+  c.seed = 7;
+  return c;
+}
+
+struct Run {
+  double wall_sec = 0.0;
+  paradyn::rocc::SimulationResult result;
+};
+
+Run run_once(std::int32_t shards, const paradyn::des::ShardSet::Executor& executor) {
+  auto cfg = workload();
+  cfg.shards = shards;
+  cfg.validate();
+  paradyn::rocc::Simulation sim(cfg);
+  if (executor) sim.set_shard_executor(executor);
+  const paradyn::bench::WallTimer t;
+  Run run;
+  run.result = sim.run();
+  run.wall_sec = t.seconds();
+  return run;
+}
+
+/// The gate rides on the determinism contract: a speedup bought by
+/// diverging results would be a bug, not a win.
+void require_identical(const paradyn::rocc::SimulationResult& a,
+                       const paradyn::rocc::SimulationResult& b) {
+  const bool same = a.samples_generated == b.samples_generated &&
+                    a.samples_delivered == b.samples_delivered &&
+                    a.events_processed == b.events_processed &&
+                    a.pd_cpu_util_pct == b.pd_cpu_util_pct &&
+                    a.main_cpu_util_pct == b.main_cpu_util_pct &&
+                    a.app_cpu_util_pct == b.app_cpu_util_pct &&
+                    a.latency_us.mean() == b.latency_us.mean() &&
+                    a.throughput_samples_per_sec == b.throughput_samples_per_sec;
+  if (!same) {
+    std::fprintf(stderr, "pdes_shards: 4-shard run diverged from the 1-shard run\n");
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  paradyn::bench::print_stamp("pdes_shards");
+  using namespace paradyn;
+
+  const std::size_t lanes =
+      std::min<std::size_t>(4, experiments::ThreadPool::hardware_jobs());
+  experiments::ThreadPool pool(std::max<std::size_t>(1, lanes - 1));
+  const des::ShardSet::Executor pooled =
+      experiments::shard_pool_executor(pool, std::max<std::size_t>(1, lanes));
+
+  constexpr int kReps = 3;
+  double wall1 = 1e300;
+  double wall4 = 1e300;
+  rocc::SimulationResult r1;
+  rocc::SimulationResult r4;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Alternate order so drift on a noisy runner hits both flavors alike.
+    if (rep % 2 == 0) {
+      const Run a = run_once(1, {});
+      const Run b = run_once(4, pooled);
+      wall1 = std::min(wall1, a.wall_sec);
+      wall4 = std::min(wall4, b.wall_sec);
+      r1 = a.result;
+      r4 = b.result;
+    } else {
+      const Run b = run_once(4, pooled);
+      const Run a = run_once(1, {});
+      wall1 = std::min(wall1, a.wall_sec);
+      wall4 = std::min(wall4, b.wall_sec);
+      r1 = a.result;
+      r4 = b.result;
+    }
+    require_identical(r1, r4);
+  }
+
+  const double speedup = wall4 > 0.0 ? wall1 / wall4 : 0.0;
+  const double meps =
+      wall4 > 0.0 ? static_cast<double>(r4.events_processed) / wall4 / 1e6 : 0.0;
+  std::printf("pdes_shards: %llu events, shard1 %.3f s, shard4 %.3f s (%zu lane(s)), "
+              "speedup %.2fx\n",
+              static_cast<unsigned long long>(r4.events_processed), wall1, wall4, lanes,
+              speedup);
+
+  const std::string json = bench::bench_json_path(argc, argv);
+  if (!json.empty()) {
+    bench::write_bench_json(json, {
+                                      {"pdes_shard1_wall_seconds", wall1},
+                                      {"pdes_shard4_wall_seconds", wall4},
+                                      {"speedup_pdes_shards", speedup},
+                                      {"pdes_shard4_meps", meps},
+                                  });
+  }
+  return 0;
+}

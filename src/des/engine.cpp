@@ -38,6 +38,24 @@ std::uint64_t Engine::run_until(SimTime t_end) {
   return executed;
 }
 
+std::uint64_t Engine::run_before(SimTime t_end) {
+  stopping_ = false;
+  std::uint64_t executed = 0;
+  while (!stopping_) {
+    auto next = queue_.peek_time();
+    if (!next || *next >= t_end) break;
+    auto fired = queue_.pop();
+    now_ = fired->time;
+    if (tracer_ != nullptr) trace_event_executed();
+    queue_.fire(*fired);
+    ++executed;
+    ++processed_;
+  }
+  if (!stopping_ && now_ < t_end) now_ = t_end;
+  if (tracer_ != nullptr) trace_flush();
+  return executed;
+}
+
 void Engine::trace_event_executed() {
   // Each executed event owns the engine track until the next one fires, so
   // the spans tile the timeline and their density shows where simulated

@@ -52,6 +52,13 @@ class Engine {
   /// Returns the number of events executed.
   std::uint64_t run_until(SimTime t_end);
 
+  /// Run events with time strictly < t_end, then set the clock to exactly
+  /// t_end.  Conservative-window PDES needs this exclusive variant for
+  /// interior window horizons: an event scheduled exactly at the horizon
+  /// belongs to the *next* window, after cross-shard messages for that
+  /// instant have been injected.  Returns the number of events executed.
+  std::uint64_t run_before(SimTime t_end);
+
   /// Request that the current run() / run_until() return after the current
   /// event completes.
   void stop() noexcept { stopping_ = true; }

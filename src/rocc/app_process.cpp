@@ -59,7 +59,8 @@ void ApplicationProcess::on_cpu_done() {
 
 void ApplicationProcess::on_cpu_done_resume() {
   current_burst_ = net_burst_(rng_);
-  network_.submit(NetRequest{current_burst_, ProcessClass::Application, [this] { on_net_done(); }});
+  network_.submit(
+      NetRequest{current_burst_, ProcessClass::Application, node_, [this] { on_net_done(); }});
 }
 
 void ApplicationProcess::on_net_done() {
@@ -137,7 +138,11 @@ void ApplicationProcess::emit_sample() {
   last_sample_cpu_ = cpu_time_used_;
   last_sample_comm_ = comm_time_used_;
   ++metrics_.samples_generated;
-  sample.id = metrics_.samples_generated;  // run-unique: counter is shared
+  // Run-unique id.  The legacy path numbers samples off the shared
+  // generated-counter; the partitioned path gives every process its own id
+  // namespace, since shards each own a metrics collector and a shared
+  // counter would order ids by shard layout.
+  sample.id = sample_id_base_ != 0 ? sample_id_base_ + ++sample_seq_ : metrics_.samples_generated;
   // Fault injection: the counters were read, but the write to the pipe is
   // lost (a lossy /proc read or dropped trace record).
   if (fault_gate_ != nullptr && fault_gate_->active() && fault_gate_->should_drop(node_)) {

@@ -53,6 +53,12 @@ class ApplicationProcess {
     throttle_domain_ = domain;
   }
 
+  /// Give this process a private sample-id namespace (ids become base+1,
+  /// base+2, ...).  The partitioned PDES build uses disjoint bases so ids
+  /// stay run-unique without a shared counter; 0 (default) keeps the legacy
+  /// shared-counter numbering.  Call before start().
+  void set_sample_id_base(std::uint64_t base) noexcept { sample_id_base_ = base; }
+
   [[nodiscard]] std::int32_t node() const noexcept { return node_; }
   [[nodiscard]] std::int32_t index() const noexcept { return index_; }
   [[nodiscard]] bool blocked_on_pipe() const noexcept { return blocked_on_pipe_; }
@@ -107,6 +113,8 @@ class ApplicationProcess {
   const PerDaemonThrottle* throttle_ = nullptr;
   std::int32_t throttle_domain_ = 0;
   FaultGate* fault_gate_ = nullptr;
+  std::uint64_t sample_id_base_ = 0;
+  std::uint64_t sample_seq_ = 0;
   MetricsCollector& metrics_;
   des::RngStream rng_;
   std::int32_t node_;

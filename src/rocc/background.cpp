@@ -7,8 +7,9 @@ namespace paradyn::rocc {
 OpenArrivalStream::OpenArrivalStream(des::Engine& engine, stats::DistributionPtr interarrival,
                                      stats::DistributionPtr length, ProcessClass pclass,
                                      CpuResource* cpu, NetworkResource* network,
-                                     des::RngStream rng, stats::SamplerBackend backend)
-    : engine_(engine), pclass_(pclass), cpu_(cpu), network_(network), rng_(rng) {
+                                     des::RngStream rng, stats::SamplerBackend backend,
+                                     std::int32_t node)
+    : engine_(engine), pclass_(pclass), cpu_(cpu), network_(network), rng_(rng), node_(node) {
   if ((cpu_ == nullptr) == (network_ == nullptr)) {
     throw std::invalid_argument("OpenArrivalStream: exactly one target resource required");
   }
@@ -28,7 +29,7 @@ void OpenArrivalStream::on_arrival() {
   if (cpu_ != nullptr) {
     cpu_->submit(CpuRequest{len, pclass_, nullptr});
   } else {
-    network_->submit(NetRequest{len, pclass_, nullptr});
+    network_->submit(NetRequest{len, pclass_, node_, nullptr});
   }
   engine_.schedule_after(interarrival_(rng_), [this] { on_arrival(); });
 }

@@ -17,11 +17,13 @@ namespace paradyn::rocc {
 class OpenArrivalStream {
  public:
   /// Exactly one of `cpu` / `network` must be non-null.  Both distributions
-  /// are frozen into inline samplers compiled for `backend`.
+  /// are frozen into inline samplers compiled for `backend`.  `node` tags
+  /// network requests for the optional per-node busy accounting.
   OpenArrivalStream(des::Engine& engine, stats::DistributionPtr interarrival,
                     stats::DistributionPtr length, ProcessClass pclass, CpuResource* cpu,
                     NetworkResource* network, des::RngStream rng,
-                    stats::SamplerBackend backend = stats::SamplerBackend::Ziggurat);
+                    stats::SamplerBackend backend = stats::SamplerBackend::Ziggurat,
+                    std::int32_t node = -1);
 
   OpenArrivalStream(const OpenArrivalStream&) = delete;
   OpenArrivalStream& operator=(const OpenArrivalStream&) = delete;
@@ -38,6 +40,7 @@ class OpenArrivalStream {
   CpuResource* cpu_;
   NetworkResource* network_;
   des::RngStream rng_;
+  std::int32_t node_;
 };
 
 }  // namespace paradyn::rocc

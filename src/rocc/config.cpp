@@ -120,6 +120,43 @@ void SystemConfig::validate() const {
       throw std::invalid_argument("SystemConfig: background distributions missing");
     }
   }
+  if (uplink_latency_us < 0.0) {
+    throw std::invalid_argument("SystemConfig: uplink_latency_us must be >= 0");
+  }
+  if (shards < 0) throw std::invalid_argument("SystemConfig: shards must be >= 0");
+  if (shards > 0) {
+    // Conservative-window PDES preconditions.  Each rule names the global
+    // coupling that would break the lookahead argument.
+    if (!(uplink_latency_us > 0.0)) {
+      throw std::invalid_argument(
+          "SystemConfig: --shards requires uplink_latency_us > 0 — the minimum cross-shard "
+          "network latency is the conservative lookahead, and zero lookahead cannot be "
+          "window-synchronized");
+    }
+    if (shards > nodes) {
+      throw std::invalid_argument("SystemConfig: shards must not exceed nodes");
+    }
+    if (arch == Architecture::Smp) {
+      throw std::invalid_argument(
+          "SystemConfig: --shards is incompatible with SMP — all processes share one CPU pool");
+    }
+    if (contention == NetworkContention::SharedSingleServer) {
+      throw std::invalid_argument(
+          "SystemConfig: --shards requires a contention-free network — a shared single-server "
+          "interconnect is a global FIFO with no lookahead");
+    }
+    if (barrier_period_us > 0.0 || barrier_every_cycles > 0) {
+      throw std::invalid_argument(
+          "SystemConfig: --shards is incompatible with application barriers — a global barrier "
+          "couples all nodes at zero latency");
+    }
+    if (adaptive.enabled) {
+      throw std::invalid_argument(
+          "SystemConfig: --shards is incompatible with the global adaptive sampling controller "
+          "(it reads every CPU's accounting each interval); use --adaptive-throttle, whose "
+          "domains are node-local");
+    }
+  }
 }
 
 SystemConfig SystemConfig::paper_defaults() {
@@ -192,7 +229,17 @@ std::string SystemConfig::summary() const {
       contention == NetworkContention::SharedSingleServer ? "shared" : "contention-free",
       duration_us, warmup_us, instrumentation_enabled ? "on" : "off",
       stats::to_string(sampler_backend()));
-  return buf;
+  std::string out = buf;
+  if (shards > 0) {
+    // Deliberately *excluded* from the stamp-visible summary when sharding
+    // is off, keeping legacy report headers byte-identical.  The shard count
+    // itself is also excluded when on: --shards N and --shards 1 produce
+    // bit-identical results, and the differential suite compares whole
+    // report documents, stamp included.
+    std::snprintf(buf, sizeof(buf), " pdes uplink=%gus", uplink_latency_us);
+    out += buf;
+  }
+  return out;
 }
 
 SystemConfig SystemConfig::mpp(std::int32_t nodes, ForwardingTopology topology) {

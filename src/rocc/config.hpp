@@ -195,6 +195,22 @@ struct SystemConfig {
   SimTime duration_us = 10.0e6;
   std::uint64_t seed = 1;
 
+  /// Conservative-window PDES shard count (--shards).  0 = the classic
+  /// single-engine path, byte-identical to every prior release.  N >= 1
+  /// partitions the nodes into N contiguous groups, each owning its own
+  /// des::Engine; results are bit-identical for every N (the differential
+  /// suite gates N vs 1), but the partitioned path inserts explicit
+  /// daemon-uplink delivery events, so it is *not* bit-identical to the
+  /// legacy path.  Requires uplink_latency_us > 0 (the lookahead).
+  std::int32_t shards = 0;
+
+  /// Minimum latency (microseconds) of a daemon's uplink delivery — batch
+  /// forwarding completes on the network at t, and the destination (main or
+  /// tree parent) receives it at t + uplink_latency_us.  This is the
+  /// cross-shard lookahead when shards > 0.  0 keeps the legacy synchronous
+  /// delivery (and is then incompatible with sharding).
+  SimTime uplink_latency_us = 0.0;
+
   /// Use the pre-PR-5 reference variate backend (Box-Muller normal,
   /// inverse-CDF exponential/Weibull) instead of the ziggurat fast path.
   /// Reference mode bit-reproduces historical RNG streams; the default

@@ -131,6 +131,7 @@ void PerDaemonThrottle::on_adjust() {
   const SimTime now = engine_.now();
   const double window = now - last_adjust_at_;
   last_adjust_at_ = now;
+  ++ticks_;
   for (Domain& d : domains_) {
     const double busy = d.cpu->busy_time(ProcessClass::ParadynDaemon) * d.cpu_share;
     double blocked = 0.0;

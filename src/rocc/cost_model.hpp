@@ -95,6 +95,10 @@ class PerDaemonThrottle {
   [[nodiscard]] std::vector<double> factors() const;
   [[nodiscard]] double max_factor() const noexcept { return max_factor_; }
   [[nodiscard]] std::uint64_t adjustments() const noexcept { return adjustments_; }
+  /// Adjustment-interval events this instance fired (whether or not any
+  /// factor moved).  The partitioned Simulation subtracts replica control
+  /// events so `events_processed` stays shard-count-invariant.
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
 
  private:
   struct Domain {
@@ -116,6 +120,7 @@ class PerDaemonThrottle {
   SimTime last_adjust_at_ = 0.0;
   double max_factor_ = 1.0;
   std::uint64_t adjustments_ = 0;
+  std::uint64_t ticks_ = 0;
 };
 
 }  // namespace paradyn::rocc

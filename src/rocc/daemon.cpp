@@ -39,7 +39,7 @@ void ParadynDaemon::set_destination_parent(ParadynDaemon& parent) {
 }
 
 void ParadynDaemon::start() {
-  if (main_ == nullptr && parent_ == nullptr) {
+  if (main_ == nullptr && parent_ == nullptr && !forward_sink_) {
     throw std::logic_error("ParadynDaemon: no forwarding destination configured");
   }
   try_start();
@@ -227,7 +227,7 @@ void ParadynDaemon::forward_batch(Batch batch) {
         // One forward is in flight at a time (busy_), so the member carries
         // the occupancy to the completion callback for the profiler marker.
         last_net_occupancy_us_ = occupancy;
-        network_.submit(NetRequest{occupancy, ProcessClass::ParadynDaemon,
+        network_.submit(NetRequest{occupancy, ProcessClass::ParadynDaemon, node_,
                                    [this, batch = std::move(batch), t0] {
                                      ++batches_forwarded_;
                                      if (tracer_ != nullptr) {
@@ -257,6 +257,27 @@ void ParadynDaemon::on_flush_due() {
 }
 
 void ParadynDaemon::deliver(const Batch& batch) {
+  if (forward_sink_) {
+    // PDES: the router stamps the delivery time (now + uplink latency) and
+    // injects the batch into the destination shard at a window boundary.
+    forward_sink_(batch);
+    return;
+  }
+  if (config_.uplink_latency_us > 0.0) {
+    // Modeled uplink delivery latency: the batch cleared this daemon's
+    // network occupancy at `now` and reaches the destination L later.  The
+    // default of 0 keeps the historical synchronous hand-off bit-for-bit.
+    // Init-capture: copy-capturing the const& parameter directly would give
+    // the closure a const member, whose "move" is a throwing copy — and the
+    // event slab requires nothrow moves.
+    engine_.schedule_after(config_.uplink_latency_us,
+                           [this, b = batch] { deliver_direct(b); });
+    return;
+  }
+  deliver_direct(batch);
+}
+
+void ParadynDaemon::deliver_direct(const Batch& batch) {
   if (parent_ != nullptr) {
     parent_->receive_from_child(batch);
   } else {

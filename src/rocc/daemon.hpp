@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "des/engine.hpp"
@@ -41,10 +42,18 @@ class ParadynDaemon {
   void attach_pipe(Pipe& pipe);
 
   /// Direct configuration: deliver to the main process.  Exactly one of
-  /// set_destination_main / set_destination_parent must be called.
+  /// set_destination_main / set_destination_parent / set_forward_sink must
+  /// be called.
   void set_destination_main(MainParadyn& main);
   /// Tree configuration: deliver to the parent daemon.
   void set_destination_parent(ParadynDaemon& parent);
+  /// PDES configuration: hand completed forwards to an external router
+  /// (which turns them into timestamped cross-shard messages).  Overrides
+  /// both destinations and the uplink-latency scheduling — the router owns
+  /// delivery timing.
+  void set_forward_sink(std::function<void(const Batch&)> sink) {
+    forward_sink_ = std::move(sink);
+  }
 
   /// Begin draining pipes.
   void start();
@@ -107,6 +116,8 @@ class ParadynDaemon {
   /// CPU(forward) then network occupancy then delivery.
   void forward_batch(Batch batch);
   void deliver(const Batch& batch);
+  /// Hand the batch to the configured destination at the current instant.
+  void deliver_direct(const Batch& batch);
 
   des::Engine& engine_;
   const SystemConfig& config_;
@@ -136,6 +147,7 @@ class ParadynDaemon {
 
   MainParadyn* main_ = nullptr;
   ParadynDaemon* parent_ = nullptr;
+  std::function<void(const Batch&)> forward_sink_;
 
   std::uint64_t samples_collected_ = 0;
   std::uint64_t batches_forwarded_ = 0;

@@ -381,10 +381,23 @@ void FaultGate::remove_drop(std::int32_t node, double probability) {
   }
 }
 
+des::RngStream& FaultGate::stream_for(std::int32_t node) {
+  if (!per_node_) return rng_;
+  auto it = node_rngs_.find(node);
+  if (it == node_rngs_.end()) {
+    it = node_rngs_
+             .emplace(node, des::RngStream(per_node_seed_, static_cast<std::uint64_t>(node),
+                                           kFaultDropRngTag))
+             .first;
+  }
+  return it->second;
+}
+
 bool FaultGate::should_drop(std::int32_t node) {
   bool drop = false;
+  des::RngStream& rng = stream_for(node);
   for (const auto& [target, p] : windows_) {
-    if ((target < 0 || target == node) && rng_.next_double() < p) drop = true;
+    if ((target < 0 || target == node) && rng.next_double() < p) drop = true;
   }
   return drop;
 }

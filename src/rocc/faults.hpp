@@ -52,6 +52,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -163,6 +164,19 @@ class FaultGate {
  public:
   explicit FaultGate(des::RngStream rng) noexcept : rng_(rng) {}
 
+  /// Per-node-stream mode, for the PDES partitioned build: each emitting
+  /// node draws from its own RngStream(seed, node, kFaultDropRngTag), so a
+  /// node's drop decisions depend only on its own emission history — never
+  /// on the interleaving of other nodes' emissions across shard replicas.
+  /// The legacy single-stream constructor above stays bit-identical for the
+  /// single-engine path.
+  [[nodiscard]] static FaultGate per_node(std::uint64_t seed) noexcept {
+    FaultGate gate{des::RngStream(seed, 0, kFaultDropRngTag)};
+    gate.per_node_seed_ = seed;
+    gate.per_node_ = true;
+    return gate;
+  }
+
   /// Activate / deactivate a drop window (node -1 = all nodes).
   void add_drop(std::int32_t node, double probability);
   void remove_drop(std::int32_t node, double probability);
@@ -174,7 +188,15 @@ class FaultGate {
   [[nodiscard]] bool should_drop(std::int32_t node);
 
  private:
+  [[nodiscard]] des::RngStream& stream_for(std::int32_t node);
+
   des::RngStream rng_;
+  bool per_node_ = false;
+  std::uint64_t per_node_seed_ = 0;
+  /// Lazily materialized per-node streams (per-node mode only).  Ordered
+  /// map: iteration order never matters, but a deterministic container
+  /// keeps the gate's behavior auditable.
+  std::map<std::int32_t, des::RngStream> node_rngs_;
   std::vector<std::pair<std::int32_t, double>> windows_;
 };
 

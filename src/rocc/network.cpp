@@ -18,6 +18,10 @@ void NetworkResource::submit(NetRequest request) {
   if (request.duration < 0.0) throw std::invalid_argument("NetworkResource: negative duration");
   request.duration *= slowdown_;
   busy_[static_cast<std::size_t>(request.pclass)] += request.duration;
+  if (request.node >= 0 && static_cast<std::size_t>(request.node) < busy_node_.size()) {
+    busy_node_[static_cast<std::size_t>(request.node)][static_cast<std::size_t>(request.pclass)] +=
+        request.duration;
+  }
 
   if (contention_ == NetworkContention::ContentionFree) {
     if (tracer_ != nullptr) {

@@ -24,6 +24,9 @@ namespace paradyn::rocc {
 struct NetRequest {
   SimTime duration = 0.0;
   ProcessClass pclass = ProcessClass::Application;
+  /// Originating node, for the optional per-node busy accounting (-1 =
+  /// unattributed; only counted when enable_node_accounting() was called).
+  std::int32_t node = -1;
   /// Invoked when the occupancy completes (message delivered).  May be
   /// empty for fire-and-forget background traffic.
   SmallCallback on_complete;
@@ -47,7 +50,27 @@ class NetworkResource {
   [[nodiscard]] SimTime busy_time_total() const noexcept;
 
   /// Zero the per-class busy-time accounting (warm-up deletion).
-  void reset_accounting() noexcept { busy_.fill(0.0); }
+  void reset_accounting() noexcept {
+    busy_.fill(0.0);
+    for (auto& per_node : busy_node_) per_node.fill(0.0);
+  }
+
+  /// Opt into per-originating-node busy accounting for `nodes` nodes.  The
+  /// PDES partitioned build needs it: each shard owns a replica of the
+  /// contention-free network, and the global per-class totals are rebuilt
+  /// by summing per-node contributions in node order — a canonical
+  /// floating-point order independent of the shard count.
+  void enable_node_accounting(std::int32_t nodes) {
+    busy_node_.assign(static_cast<std::size_t>(nodes), {});
+  }
+
+  /// Busy time attributed to `node` for class `c` (0 if accounting is off
+  /// or the request carried no node).
+  [[nodiscard]] SimTime busy_time_node(std::int32_t node, ProcessClass c) const noexcept {
+    const auto n = static_cast<std::size_t>(node);
+    if (n >= busy_node_.size()) return 0.0;
+    return busy_node_[n][static_cast<std::size_t>(c)];
+  }
 
   /// Fault injection: stretch every subsequently submitted occupancy by
   /// `factor` (a degraded link).  In-flight occupancies are unaffected;
@@ -88,6 +111,7 @@ class NetworkResource {
   std::vector<std::uint32_t> inflight_free_;
   double slowdown_ = 1.0;
   std::array<SimTime, trace::kNumProcessClasses> busy_{};
+  std::vector<std::array<SimTime, trace::kNumProcessClasses>> busy_node_;
   obs::Tracer* tracer_ = nullptr;
   std::int32_t track_ = 0;
 };

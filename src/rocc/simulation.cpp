@@ -3,9 +3,17 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace paradyn::rocc {
 namespace {
+
+/// Mailbox sender keys for cross-shard messages (des/shard.hpp sorts
+/// injections by (delivery time, sender key, seq)).  Daemon forwards use the
+/// daemon index directly; the repair dispatcher's keys live far above any
+/// daemon index so control messages never collide with data traffic.
+constexpr std::uint64_t kRepairRestartKeyBase = std::uint64_t{1} << 20;
+constexpr std::uint64_t kRepairEffectKeyBase = std::uint64_t{1} << 21;
 
 /// Role tags for RNG stream derivation — keep stable so results are
 /// reproducible across code changes that add entities.  The fault/repair
@@ -33,17 +41,60 @@ Simulation::Simulation(SystemConfig config) : config_(std::move(config)) {
 
 void Simulation::build() {
   const std::int32_t nodes = config_.nodes;
+  const bool pdes = config_.shards > 0;
+
+  // Partitioned (PDES) mode: the node groups are cut into contiguous shard
+  // blocks, each owning its own engine (calendar queue, clock) plus replicas
+  // of the shared resources; the minimum cross-shard network latency
+  // (config.uplink_latency_us) is the conservative lookahead window.
+  if (pdes) {
+    partition_ = PartitionPlan::build(nodes, config_.shards);
+    des::ShardSetConfig sc;
+    sc.shards = partition_.shards;
+    sc.window_us = config_.uplink_latency_us;
+    sc.warmup_us = config_.warmup_us;
+    sc.duration_us = config_.duration_us;
+    shards_ = std::make_unique<des::ShardSet>(sc);
+    for (std::size_t s = 1; s < partition_.shards; ++s) {
+      extra_metrics_.push_back(std::make_unique<MetricsCollector>());
+    }
+    shard_networks_.reserve(partition_.shards);
+    for (std::size_t s = 0; s < partition_.shards; ++s) {
+      auto net = std::make_unique<NetworkResource>(shards_->engine(s), config_.contention);
+      // Per-node busy attribution lets collect() rebuild the global
+      // per-class totals in canonical node order, independent of sharding.
+      net->enable_node_accounting(nodes);
+      shard_networks_.push_back(std::move(net));
+    }
+    shard_slowdowns_.assign(partition_.shards, {});
+    shard_clamps_.assign(partition_.shards, {});
+    shard_control_fired_.assign(partition_.shards, 0);
+  }
+  // Where a node-bound entity lives: its shard's engine/network/collector in
+  // partitioned mode, the single global instances otherwise.
+  const auto node_engine = [&](std::int32_t n) -> des::Engine& {
+    return pdes ? shards_->engine(partition_.shard_of(n)) : engine_;
+  };
+  const auto node_network = [&](std::int32_t n) -> NetworkResource& {
+    return pdes ? *shard_networks_[partition_.shard_of(n)] : *network_;
+  };
+  const auto node_collector = [&](std::int32_t n) -> MetricsCollector& {
+    return pdes ? shard_collector(partition_.shard_of(n)) : metrics_;
+  };
 
   // Resources.  An optional extra CPU at the end hosts the main Paradyn
-  // process when it runs on a dedicated workstation (Figure 29 setup).
+  // process when it runs on a dedicated workstation (Figure 29 setup); that
+  // host rides on shard 0 with the main process itself.
   const bool dedicated_main = config_.instrumentation_enabled && config_.main_on_dedicated_host;
   const std::int32_t cpu_groups = nodes + (dedicated_main ? 1 : 0);
   node_cpus_.reserve(static_cast<std::size_t>(cpu_groups));
   for (std::int32_t n = 0; n < cpu_groups; ++n) {
+    des::Engine& cpu_engine =
+        n < nodes ? node_engine(n) : (pdes ? shards_->engine(0) : engine_);
     node_cpus_.push_back(
-        std::make_unique<CpuResource>(engine_, config_.cpus_per_node, config_.cpu_quantum_us));
+        std::make_unique<CpuResource>(cpu_engine, config_.cpus_per_node, config_.cpu_quantum_us));
   }
-  network_ = std::make_unique<NetworkResource>(engine_, config_.contention);
+  if (!pdes) network_ = std::make_unique<NetworkResource>(engine_, config_.contention);
 
   const std::int32_t total_apps = nodes * config_.app_processes_per_node;
   if ((config_.barrier_period_us > 0.0 || config_.barrier_every_cycles > 0) && total_apps > 0) {
@@ -54,8 +105,10 @@ void Simulation::build() {
   // host CPU when main_on_dedicated_host is set.
   if (config_.instrumentation_enabled) {
     CpuResource& main_cpu = dedicated_main ? *node_cpus_.back() : *node_cpus_[0];
-    main_ = std::make_unique<MainParadyn>(engine_, config_, main_cpu, metrics_,
-                                          des::RngStream(config_.seed, 0, kTagMain));
+    // Partitioned: main lives on shard 0 (which owns node 0 and the
+    // dedicated host CPU), writing into metrics_ — the shard-0 collector.
+    main_ = std::make_unique<MainParadyn>(pdes ? shards_->engine(0) : engine_, config_, main_cpu,
+                                          metrics_, des::RngStream(config_.seed, 0, kTagMain));
   }
 
   // Daemons: one per node (NOW/MPP) or `daemons` sharing the pool (SMP).
@@ -66,11 +119,41 @@ void Simulation::build() {
     for (std::int32_t d = 0; d < daemon_count; ++d) {
       const std::int32_t host_node = (config_.arch == Architecture::Smp) ? 0 : d;
       daemons_.push_back(std::make_unique<ParadynDaemon>(
-          engine_, config_, *node_cpus_[host_node], *network_, metrics_,
+          node_engine(host_node), config_, *node_cpus_[host_node], node_network(host_node),
+          node_collector(host_node),
           des::RngStream(config_.seed, static_cast<std::uint64_t>(d), kTagDaemon), host_node));
+      if (pdes) daemon_shard_.push_back(partition_.shard_of(host_node));
     }
     // Forwarding destinations.
-    if (config_.topology == ForwardingTopology::BinaryTree) {
+    if (pdes) {
+      // Every forward — even one whose destination happens to share the
+      // sender's shard — becomes an explicit timestamped message routed
+      // through the ShardSet mailbox, delivered L = uplink_latency_us after
+      // the batch clears the sender's network.  Routing all traffic one way
+      // keeps the receiver-side event order identical for every shard
+      // count, which is what the bit-identity gate relies on.
+      for (std::size_t d = 0; d < daemons_.size(); ++d) {
+        const std::size_t src = daemon_shard_[d];
+        ParadynDaemon* parent = nullptr;
+        std::size_t dst = 0;  // main lives on shard 0
+        if (config_.topology == ForwardingTopology::BinaryTree && d > 0) {
+          parent = daemons_[(d - 1) / 2].get();
+          dst = daemon_shard_[(d - 1) / 2];
+        }
+        des::Engine* src_engine = &shards_->engine(src);
+        MainParadyn* main = main_.get();
+        daemons_[d]->set_forward_sink(
+            [this, d, src, dst, parent, src_engine, main](const Batch& batch) {
+              const SimTime deliver_at = src_engine->now() + config_.uplink_latency_us;
+              if (parent != nullptr) {
+                shards_->post(src, dst, deliver_at, d,
+                              [parent, batch] { parent->receive_from_child(batch); });
+              } else {
+                shards_->post(src, dst, deliver_at, d, [main, batch] { main->receive(batch); });
+              }
+            });
+      }
+    } else if (config_.topology == ForwardingTopology::BinaryTree) {
       for (std::size_t d = 0; d < daemons_.size(); ++d) {
         if (d == 0) {
           daemons_[d]->set_destination_main(*main_);
@@ -99,14 +182,14 @@ void Simulation::build() {
   for (std::int32_t n = 0; n < nodes; ++n) {
     for (std::int32_t a = 0; a < config_.app_processes_per_node; ++a) {
       Pipe* pipe = nullptr;
+      const std::size_t app_global =
+          static_cast<std::size_t>(n) * static_cast<std::size_t>(config_.app_processes_per_node) +
+          static_cast<std::size_t>(a);
       if (config_.instrumentation_enabled) {
         pipes_.push_back(std::make_unique<Pipe>(config_.pipe_capacity));
         pipe = pipes_.back().get();
         // NOW/MPP: the node's own daemon.  SMP: apps assigned round-robin
         // over the daemon pool.
-        const std::size_t app_global =
-            static_cast<std::size_t>(n) * static_cast<std::size_t>(config_.app_processes_per_node) +
-            static_cast<std::size_t>(a);
         const std::size_t daemon_idx = (config_.arch == Architecture::Smp)
                                            ? app_global % daemons_.size()
                                            : static_cast<std::size_t>(n);
@@ -119,8 +202,15 @@ void Simulation::build() {
       const AppModel& model =
           override_it != config_.app_overrides.end() ? override_it->second : config_.app;
       apps_.push_back(std::make_unique<ApplicationProcess>(
-          engine_, config_, model, *node_cpus_[n], *network_, pipe, barrier_.get(),
-          controller_.get(), metrics_, des::RngStream(config_.seed, app_tag, kTagApp), n, a));
+          node_engine(n), config_, model, *node_cpus_[n], node_network(n), pipe, barrier_.get(),
+          controller_.get(), node_collector(n), des::RngStream(config_.seed, app_tag, kTagApp),
+          n, a));
+      if (pdes) {
+        // Legacy ids come from the shared samples_generated counter, whose
+        // interleaving depends on the sharding; give every app a disjoint
+        // id block instead so ids are shard-count-invariant.
+        apps_.back()->set_sample_id_base((static_cast<std::uint64_t>(app_global) + 1) << 40);
+      }
     }
   }
 
@@ -131,19 +221,21 @@ void Simulation::build() {
     for (std::int32_t n = 0; n < nodes; ++n) {
       const auto node_tag = static_cast<std::uint64_t>(n);
       background_.push_back(std::make_unique<OpenArrivalStream>(
-          engine_, bg.pvmd_interarrival, bg.pvmd_cpu_length, ProcessClass::PvmDaemon,
+          node_engine(n), bg.pvmd_interarrival, bg.pvmd_cpu_length, ProcessClass::PvmDaemon,
           node_cpus_[n].get(), nullptr, des::RngStream(config_.seed, node_tag, kTagPvmdCpu),
-          backend));
+          backend, n));
       background_.push_back(std::make_unique<OpenArrivalStream>(
-          engine_, bg.pvmd_interarrival, bg.pvmd_net_length, ProcessClass::PvmDaemon, nullptr,
-          network_.get(), des::RngStream(config_.seed, node_tag, kTagPvmdNet), backend));
+          node_engine(n), bg.pvmd_interarrival, bg.pvmd_net_length, ProcessClass::PvmDaemon,
+          nullptr, &node_network(n), des::RngStream(config_.seed, node_tag, kTagPvmdNet),
+          backend, n));
       background_.push_back(std::make_unique<OpenArrivalStream>(
-          engine_, bg.other_cpu_interarrival, bg.other_cpu_length, ProcessClass::Other,
+          node_engine(n), bg.other_cpu_interarrival, bg.other_cpu_length, ProcessClass::Other,
           node_cpus_[n].get(), nullptr, des::RngStream(config_.seed, node_tag, kTagOtherCpu),
-          backend));
+          backend, n));
       background_.push_back(std::make_unique<OpenArrivalStream>(
-          engine_, bg.other_net_interarrival, bg.other_net_length, ProcessClass::Other, nullptr,
-          network_.get(), des::RngStream(config_.seed, node_tag, kTagOtherNet), backend));
+          node_engine(n), bg.other_net_interarrival, bg.other_net_length, ProcessClass::Other,
+          nullptr, &node_network(n), des::RngStream(config_.seed, node_tag, kTagOtherNet),
+          backend, n));
     }
   }
 
@@ -151,23 +243,49 @@ void Simulation::build() {
   // the application processes whose pipes it drains).
   if (config_.instrumentation_enabled && config_.adaptive_throttle.enabled &&
       !daemons_.empty()) {
-    throttle_ = std::make_unique<PerDaemonThrottle>(engine_, config_.adaptive_throttle);
     std::vector<std::int32_t> daemons_on_host(node_cpus_.size(), 0);
     for (const auto& daemon : daemons_) {
       ++daemons_on_host[static_cast<std::size_t>(daemon->node())];
     }
-    for (const auto& daemon : daemons_) {
-      const auto host = static_cast<std::size_t>(daemon->node());
-      throttle_->add_domain(node_cpus_[host].get(),
-                            1.0 / static_cast<double>(daemons_on_host[host]),
-                            static_cast<double>(config_.cpus_per_node));
-    }
-    // Instrumented apps and pipes are created pairwise, so apps_[i]'s pipe
-    // is pipes_[i] and its daemon is pipe_daemon_[i].
-    for (std::size_t i = 0; i < apps_.size(); ++i) {
-      const auto domain = static_cast<std::int32_t>(pipe_daemon_[i]);
-      throttle_->add_app(domain, apps_[i].get());
-      apps_[i]->set_throttle(throttle_.get(), domain);
+    if (pdes) {
+      // Domains are node-local (host CPU + the apps the daemon drains), so
+      // the throttle shards cleanly: one instance per shard, each ticking on
+      // its own engine with identical interval times.  Domain indices are
+      // per instance; daemon_throttle_domain_ maps daemon -> local domain.
+      shard_throttles_.resize(partition_.shards);
+      daemon_throttle_domain_.resize(daemons_.size());
+      for (std::size_t d = 0; d < daemons_.size(); ++d) {
+        const auto host = static_cast<std::size_t>(daemons_[d]->node());
+        const std::size_t s = daemon_shard_[d];
+        if (!shard_throttles_[s]) {
+          shard_throttles_[s] = std::make_unique<PerDaemonThrottle>(shards_->engine(s),
+                                                                    config_.adaptive_throttle);
+        }
+        daemon_throttle_domain_[d] = shard_throttles_[s]->add_domain(
+            node_cpus_[host].get(), 1.0 / static_cast<double>(daemons_on_host[host]),
+            static_cast<double>(config_.cpus_per_node));
+      }
+      for (std::size_t i = 0; i < apps_.size(); ++i) {
+        const std::size_t d = pipe_daemon_[i];
+        const std::size_t s = daemon_shard_[d];
+        shard_throttles_[s]->add_app(daemon_throttle_domain_[d], apps_[i].get());
+        apps_[i]->set_throttle(shard_throttles_[s].get(), daemon_throttle_domain_[d]);
+      }
+    } else {
+      throttle_ = std::make_unique<PerDaemonThrottle>(engine_, config_.adaptive_throttle);
+      for (const auto& daemon : daemons_) {
+        const auto host = static_cast<std::size_t>(daemon->node());
+        throttle_->add_domain(node_cpus_[host].get(),
+                              1.0 / static_cast<double>(daemons_on_host[host]),
+                              static_cast<double>(config_.cpus_per_node));
+      }
+      // Instrumented apps and pipes are created pairwise, so apps_[i]'s pipe
+      // is pipes_[i] and its daemon is pipe_daemon_[i].
+      for (std::size_t i = 0; i < apps_.size(); ++i) {
+        const auto domain = static_cast<std::int32_t>(pipe_daemon_[i]);
+        throttle_->add_app(domain, apps_[i].get());
+        apps_[i]->set_throttle(throttle_.get(), domain);
+      }
     }
   }
 
@@ -187,14 +305,40 @@ void Simulation::build() {
     any_cascade |= f.cascade_p > 0.0;
   }
   if (any_drop) {
-    fault_gate_ = std::make_unique<FaultGate>(des::RngStream(config_.seed, 0, kTagFault));
-    for (auto& app : apps_) app->set_fault_gate(fault_gate_.get());
+    if (pdes) {
+      // One gate replica per shard, in per-node-stream mode: each node's
+      // drop draws come from its own RngStream(seed, node, drop tag), so a
+      // node's decisions depend only on its own emission history and never
+      // on how other nodes' emissions interleave across shards.
+      shard_gates_.reserve(partition_.shards);
+      for (std::size_t s = 0; s < partition_.shards; ++s) {
+        shard_gates_.push_back(std::make_unique<FaultGate>(FaultGate::per_node(config_.seed)));
+      }
+      for (auto& app : apps_) {
+        app->set_fault_gate(shard_gates_[partition_.shard_of(app->node())].get());
+      }
+    } else {
+      fault_gate_ = std::make_unique<FaultGate>(des::RngStream(config_.seed, 0, kTagFault));
+      for (auto& app : apps_) app->set_fault_gate(fault_gate_.get());
+    }
   }
   if (any_cascade && !daemons_.empty()) {
-    cascade_rng_ =
-        std::make_unique<des::RngStream>(config_.seed, 0, kCascadeRngTag);
-    cascade_visited_.assign(plan_.faults.size(), {});
-    daemon_net_penalties_.assign(daemons_.size(), {});
+    if (pdes) {
+      // Cascade propagation is plan-determined (no model event feeds the
+      // BFS), so the whole thing resolves at build time into per-shard
+      // timed events — see rocc/partition.hpp for the replay argument.
+      cascade_hits_ = resolve_cascades(plan_, daemons_.size(), config_.topology, config_.seed,
+                                       config_.duration_us);
+      daemon_net_penalties_.assign(daemons_.size(), {});
+    } else {
+      cascade_rng_ = std::make_unique<des::RngStream>(config_.seed, 0, kCascadeRngTag);
+      cascade_visited_.assign(plan_.faults.size(), {});
+      daemon_net_penalties_.assign(daemons_.size(), {});
+    }
+  }
+  if (pdes && !plan_.empty()) {
+    restart_dispatches_.assign(daemons_.size(), {});
+    reset_dispatched_.assign(plan_.faults.size(), 0);
   }
 }
 
@@ -225,6 +369,267 @@ void Simulation::schedule_faults() {
     engine_.schedule_at(plan_.faults[i].start_us, [this, i] { apply_fault(i); });
     engine_.schedule_at(plan_.faults[i].end_us(), [this, i] { revert_fault(i); });
   }
+}
+
+void Simulation::recompute_slowdown_shard(std::size_t shard) {
+  double factor = 1.0;
+  for (const auto& [fault_index, f] : shard_slowdowns_[shard]) factor *= f;
+  shard_networks_[shard]->set_slowdown(factor);
+}
+
+void Simulation::recompute_pipe_clamps_shard(std::size_t shard) {
+  // Same min-over-clamps rule as the legacy recompute, restricted to the
+  // pipes this shard owns: capacity changes fire producer wake-ups, which
+  // must stay on the owner shard's engine.
+  for (std::size_t p = 0; p < pipes_.size(); ++p) {
+    if (partition_.shard_of(apps_[p]->node()) != shard) continue;
+    std::int32_t limit = INT32_MAX;
+    for (const auto& [fault_index, cap] : shard_clamps_[shard]) {
+      const FaultSpec& f = plan_.faults[fault_index];
+      if (f.target >= 0 && pipe_daemon_[p] != static_cast<std::size_t>(f.target)) continue;
+      limit = std::min(limit, cap);
+    }
+    const std::int32_t desired = std::min(pipes_[p]->capacity(), limit);
+    if (desired == pipes_[p]->effective_capacity()) continue;
+    if (limit == INT32_MAX) {
+      pipes_[p]->clear_capacity_limit();
+    } else {
+      pipes_[p]->set_capacity_limit(limit);
+    }
+  }
+}
+
+void Simulation::schedule_faults_partitioned() {
+  if (plan_.empty()) return;
+  fault_outcomes_.clear();
+  fault_outcomes_.reserve(plan_.faults.size() + cascade_hits_.size());
+  for (const FaultSpec& f : plan_.faults) {
+    FaultOutcome outcome;
+    outcome.spec = f;
+    fault_outcomes_.push_back(outcome);
+  }
+  // Induced cascade rows are pre-appended in hit order — the order the
+  // legacy runtime appends them — with disjoint writer shards; the owner
+  // shard's hit event flips `injected` when it fires.
+  for (const CascadeHit& h : cascade_hits_) {
+    const FaultSpec& parent = plan_.faults[h.fault_index];
+    FaultOutcome induced;
+    induced.spec.type = FaultType::LinkSlowdown;
+    induced.spec.target = static_cast<std::int32_t>(h.daemon);
+    induced.spec.start_us = h.at_us;
+    induced.spec.duration_us = parent.end_us() - h.at_us;
+    induced.spec.magnitude = parent.cascade_factor;
+    induced.cascaded_from = static_cast<std::int32_t>(h.fault_index);
+    fault_outcomes_.push_back(induced);
+  }
+
+  // Every fault compiles to shard-local events.  Effects on replicated
+  // resources (link slowdown, drop gates, pipe clamps) fire on every shard
+  // and count as control events so events_processed stays invariant;
+  // per-daemon effects fire once, on the owner shard.
+  const auto tracer_at = [this](std::size_t shard) -> obs::Tracer* {
+    return shard_tracers_.empty() ? nullptr : &shard_tracers_[shard];
+  };
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& f = plan_.faults[i];
+    switch (f.type) {
+      case FaultType::DaemonStall:
+      case FaultType::DaemonCrash: {
+        std::vector<std::size_t> covered;
+        for (std::size_t d = 0; d < daemons_.size(); ++d) {
+          if (f.target < 0 || static_cast<std::size_t>(f.target) == d) covered.push_back(d);
+        }
+        for (std::size_t k = 0; k < covered.size(); ++k) {
+          const std::size_t d = covered[k];
+          const std::size_t s = daemon_shard_[d];
+          const bool mark = k == 0;
+          shards_->engine(s).schedule_at(f.start_us, [this, i, d, s, mark, tracer_at] {
+            const FaultSpec& spec = plan_.faults[i];
+            if (spec.type == FaultType::DaemonStall) {
+              daemons_[d]->stall_until(spec.end_us());
+            } else {
+              daemons_[d]->crash_until(spec.end_us());
+            }
+            if (mark) {
+              fault_outcomes_[i].injected = true;
+              if (obs::Tracer* tr = tracer_at(s)) {
+                tr->instant("fault", to_string(spec.type), obs::kEngineTrack,
+                            shards_->engine(s).now(), "window", 1.0);
+              }
+            }
+          });
+        }
+        if (!covered.empty()) {
+          // Window-close marker (trace parity with the legacy revert
+          // instant); scheduled unconditionally so the event count never
+          // depends on whether a tracer is attached.
+          const std::size_t s0 = daemon_shard_[covered.front()];
+          shards_->engine(s0).schedule_at(f.end_us(), [this, i, s0, tracer_at] {
+            if (obs::Tracer* tr = tracer_at(s0)) {
+              tr->instant("fault", to_string(plan_.faults[i].type), obs::kEngineTrack,
+                          shards_->engine(s0).now(), "window", 0.0);
+            }
+          });
+        }
+        break;
+      }
+      case FaultType::LinkSlowdown:
+        for (std::size_t s = 0; s < partition_.shards; ++s) {
+          shards_->engine(s).schedule_at(f.start_us, [this, i, s, tracer_at] {
+            ++shard_control_fired_[s];
+            shard_slowdowns_[s].emplace_back(i, plan_.faults[i].magnitude);
+            recompute_slowdown_shard(s);
+            if (s == 0) {
+              fault_outcomes_[i].injected = true;
+              if (obs::Tracer* tr = tracer_at(s)) {
+                tr->instant("fault", to_string(plan_.faults[i].type), obs::kEngineTrack,
+                            shards_->engine(s).now(), "window", 1.0);
+              }
+            }
+          });
+          shards_->engine(s).schedule_at(f.end_us(), [this, i, s, tracer_at] {
+            ++shard_control_fired_[s];
+            auto& slowdowns = shard_slowdowns_[s];
+            for (auto it = slowdowns.begin(); it != slowdowns.end(); ++it) {
+              if (it->first == i) {
+                slowdowns.erase(it);
+                break;
+              }
+            }
+            recompute_slowdown_shard(s);
+            if (s == 0) {
+              if (obs::Tracer* tr = tracer_at(s)) {
+                tr->instant("fault", to_string(plan_.faults[i].type), obs::kEngineTrack,
+                            shards_->engine(s).now(), "window", 0.0);
+              }
+            }
+          });
+        }
+        break;
+      case FaultType::SampleDrop:
+        for (std::size_t s = 0; s < partition_.shards; ++s) {
+          shards_->engine(s).schedule_at(f.start_us, [this, i, s, tracer_at] {
+            ++shard_control_fired_[s];
+            const FaultSpec& spec = plan_.faults[i];
+            shard_gates_[s]->add_drop(spec.target, spec.magnitude);
+            if (s == 0) {
+              fault_outcomes_[i].injected = true;
+              if (obs::Tracer* tr = tracer_at(s)) {
+                tr->instant("fault", to_string(spec.type), obs::kEngineTrack,
+                            shards_->engine(s).now(), "window", 1.0);
+              }
+            }
+          });
+          shards_->engine(s).schedule_at(f.end_us(), [this, i, s, tracer_at] {
+            ++shard_control_fired_[s];
+            const FaultSpec& spec = plan_.faults[i];
+            shard_gates_[s]->remove_drop(spec.target, spec.magnitude);
+            if (s == 0) {
+              if (obs::Tracer* tr = tracer_at(s)) {
+                tr->instant("fault", to_string(spec.type), obs::kEngineTrack,
+                            shards_->engine(s).now(), "window", 0.0);
+              }
+            }
+          });
+        }
+        break;
+      case FaultType::PipeBackpressure:
+        for (std::size_t s = 0; s < partition_.shards; ++s) {
+          shards_->engine(s).schedule_at(f.start_us, [this, i, s, tracer_at] {
+            ++shard_control_fired_[s];
+            shard_clamps_[s].emplace_back(i,
+                                          static_cast<std::int32_t>(plan_.faults[i].magnitude));
+            recompute_pipe_clamps_shard(s);
+            if (s == 0) {
+              fault_outcomes_[i].injected = true;
+              if (obs::Tracer* tr = tracer_at(s)) {
+                tr->instant("fault", to_string(plan_.faults[i].type), obs::kEngineTrack,
+                            shards_->engine(s).now(), "window", 1.0);
+              }
+            }
+          });
+          shards_->engine(s).schedule_at(f.end_us(), [this, i, s, tracer_at] {
+            ++shard_control_fired_[s];
+            auto& clamps = shard_clamps_[s];
+            bool removed = false;
+            for (auto it = clamps.begin(); it != clamps.end(); ++it) {
+              if (it->first == i) {
+                clamps.erase(it);
+                removed = true;
+                break;
+              }
+            }
+            // A reset_pipe repair may have lifted the clamp already.
+            if (removed) recompute_pipe_clamps_shard(s);
+            if (s == 0) {
+              if (obs::Tracer* tr = tracer_at(s)) {
+                tr->instant("fault", to_string(plan_.faults[i].type), obs::kEngineTrack,
+                            shards_->engine(s).now(), "window", 0.0);
+              }
+            }
+          });
+        }
+        break;
+    }
+  }
+
+  // Precomputed cascade hits: the penalty applies on the hit daemon's owner
+  // shard at the resolved time, and lifts when the parent window ends.
+  for (std::size_t k = 0; k < cascade_hits_.size(); ++k) {
+    const CascadeHit h = cascade_hits_[k];
+    const std::size_t row = plan_.faults.size() + k;
+    const std::size_t s = daemon_shard_[h.daemon];
+    shards_->engine(s).schedule_at(h.at_us, [this, h, row, s, tracer_at] {
+      daemon_net_penalties_[h.daemon].emplace_back(h.fault_index,
+                                                   plan_.faults[h.fault_index].cascade_factor);
+      recompute_net_penalty(h.daemon);
+      fault_outcomes_[row].injected = true;
+      if (obs::Tracer* tr = tracer_at(s)) {
+        tr->instant("fault", "cascade", obs::kEngineTrack, shards_->engine(s).now(), "daemon",
+                    static_cast<double>(h.daemon));
+      }
+    });
+    shards_->engine(s).schedule_at(plan_.faults[h.fault_index].end_us(), [this, h] {
+      auto& penalties = daemon_net_penalties_[h.daemon];
+      const std::size_t before = penalties.size();
+      penalties.erase(std::remove_if(penalties.begin(), penalties.end(),
+                                     [&h](const auto& entry) {
+                                       return entry.first == h.fault_index;
+                                     }),
+                      penalties.end());
+      if (penalties.size() != before) recompute_net_penalty(h.daemon);
+    });
+  }
+}
+
+SimTime Simulation::mirror_stalled_until(std::size_t daemon, SimTime t) const {
+  struct Edge {
+    SimTime time;
+    int kind;  // 0 = stall/crash window start, 1 = restart delivery
+    SimTime value;
+  };
+  std::vector<Edge> edges;
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.type != FaultType::DaemonStall && f.type != FaultType::DaemonCrash) continue;
+    if (f.target >= 0 && static_cast<std::size_t>(f.target) != daemon) continue;
+    if (f.start_us > t) continue;
+    edges.push_back(Edge{f.start_us, 0, f.end_us()});
+  }
+  for (const SimTime r : restart_dispatches_[daemon]) {
+    if (r <= t) edges.push_back(Edge{r, 1, r});
+  }
+  // Window starts win same-time ties (they are build-scheduled, so they run
+  // before an injected restart at the same instant on the owner shard);
+  // overlapping windows fold commutatively via max, matching stall_until.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.kind < b.kind;
+  });
+  SimTime until = 0.0;
+  for (const Edge& e : edges) {
+    until = e.kind == 0 ? std::max(until, e.value) : e.value;
+  }
+  return until;
 }
 
 void Simulation::recompute_slowdown() {
@@ -413,6 +818,30 @@ void Simulation::revert_fault(std::size_t fault_index) {
 
 bool Simulation::repair_restart_daemon(std::size_t fault_index) {
   const FaultSpec& f = plan_.faults[fault_index];
+  if (shards_) {
+    // The covered daemons live on their owner shards, whose clocks may be up
+    // to one window away.  Decide from the deterministic mirror (plan
+    // windows + restarts already dispatched) instead of peeking at
+    // cross-shard daemon state, then deliver restart_now as a timestamped
+    // message one lookahead out — same transport as sample forwarding.
+    const SimTime now = shards_->engine(0).now();
+    bool any = false;
+    for (std::size_t d = 0; d < daemons_.size(); ++d) {
+      if (f.target >= 0 && static_cast<std::size_t>(f.target) != d) continue;
+      if (mirror_stalled_until(d, now) <= now) continue;
+      const SimTime deliver_at = now + config_.uplink_latency_us;
+      ParadynDaemon* daemon = daemons_[d].get();
+      shards_->post(0, daemon_shard_[d], deliver_at, kRepairRestartKeyBase + d,
+                    [daemon] { daemon->restart_now(); });
+      restart_dispatches_[d].push_back(deliver_at);
+      any = true;
+    }
+    if (any && !shard_tracers_.empty()) {
+      shard_tracers_[0].instant("repair", "restart_daemon", obs::kEngineTrack, now, "fault",
+                                static_cast<double>(fault_index));
+    }
+    return any;
+  }
   bool any = false;
   for (std::size_t d = 0; d < daemons_.size(); ++d) {
     if (f.target >= 0 && static_cast<std::size_t>(f.target) != d) continue;
@@ -428,6 +857,33 @@ bool Simulation::repair_restart_daemon(std::size_t fault_index) {
 }
 
 bool Simulation::repair_reroute_link(std::size_t fault_index, double penalty_factor) {
+  if (shards_) {
+    // The slowdown lists are replicated per shard; the factor swap is
+    // broadcast to every replica at +lookahead.  The decision ("window still
+    // active?") mirrors the legacy membership test from the plan alone.
+    const FaultSpec& f = plan_.faults[fault_index];
+    const SimTime now = shards_->engine(0).now();
+    if (f.type != FaultType::LinkSlowdown) return false;
+    if (!(f.start_us <= now && now < f.end_us())) return false;
+    const SimTime deliver_at = now + config_.uplink_latency_us;
+    for (std::size_t s = 0; s < partition_.shards; ++s) {
+      shards_->post(0, s, deliver_at, kRepairEffectKeyBase + fault_index,
+                    [this, s, fault_index, penalty_factor] {
+                      ++shard_control_fired_[s];
+                      for (auto& [index, factor] : shard_slowdowns_[s]) {
+                        if (index != fault_index) continue;
+                        factor = penalty_factor;
+                        recompute_slowdown_shard(s);
+                        break;
+                      }
+                    });
+    }
+    if (!shard_tracers_.empty()) {
+      shard_tracers_[0].instant("repair", "reroute_link", obs::kEngineTrack, now, "fault",
+                                static_cast<double>(fault_index));
+    }
+    return true;
+  }
   for (auto& [index, factor] : active_slowdowns_) {
     if (index != fault_index) continue;
     factor = penalty_factor;
@@ -442,6 +898,45 @@ bool Simulation::repair_reroute_link(std::size_t fault_index, double penalty_fac
 }
 
 bool Simulation::repair_reset_pipe(std::size_t fault_index) {
+  if (shards_) {
+    const FaultSpec& f = plan_.faults[fault_index];
+    const SimTime now = shards_->engine(0).now();
+    if (f.type != FaultType::PipeBackpressure) return false;
+    if (reset_dispatched_[fault_index] != 0) return false;  // one-shot per fault
+    if (!(f.start_us <= now && now < f.end_us())) return false;
+    reset_dispatched_[fault_index] = 1;
+    const SimTime deliver_at = now + config_.uplink_latency_us;
+    for (std::size_t s = 0; s < partition_.shards; ++s) {
+      shards_->post(0, s, deliver_at, kRepairEffectKeyBase + fault_index, [this, s, fault_index] {
+        ++shard_control_fired_[s];
+        auto& clamps = shard_clamps_[s];
+        bool removed = false;
+        for (auto it = clamps.begin(); it != clamps.end(); ++it) {
+          if (it->first == fault_index) {
+            clamps.erase(it);
+            removed = true;
+            break;
+          }
+        }
+        if (removed) recompute_pipe_clamps_shard(s);
+        const FaultSpec& spec = plan_.faults[fault_index];
+        std::uint64_t drained = 0;
+        for (std::size_t p = 0; p < pipes_.size(); ++p) {
+          if (partition_.shard_of(apps_[p]->node()) != s) continue;
+          if (spec.target >= 0 && pipe_daemon_[p] != static_cast<std::size_t>(spec.target)) {
+            continue;
+          }
+          drained += pipes_[p]->drain();
+        }
+        shard_collector(s).samples_dropped += drained;
+      });
+    }
+    if (!shard_tracers_.empty()) {
+      shard_tracers_[0].instant("repair", "reset_pipe", obs::kEngineTrack, now, "fault",
+                                static_cast<double>(fault_index));
+    }
+    return true;
+  }
   bool removed = false;
   for (auto it = active_clamps_.begin(); it != active_clamps_.end(); ++it) {
     if (it->first == fault_index) {
@@ -467,6 +962,11 @@ bool Simulation::repair_reset_pipe(std::size_t fault_index) {
 }
 
 void Simulation::set_tracer(obs::Tracer* tracer) {
+  if (shards_) {
+    throw std::logic_error(
+        "Simulation::set_tracer: a partitioned run has one tracer per shard — attach via "
+        "set_trace_recorder");
+  }
   tracer_ = tracer;
   // Fixed track ids: 0 = engine, 1 = network, 2 = main, then one per CPU
   // resource, daemon, and application process.  Labels become Perfetto
@@ -509,7 +1009,77 @@ void Simulation::set_tracer(obs::Tracer* tracer) {
   }
 }
 
+void Simulation::set_trace_recorder(obs::TraceRecorder& recorder) {
+  trace_recorder_ = &recorder;
+  if (!shards_) {
+    shard_tracers_.clear();
+    shard_tracers_.push_back(recorder.create_tracer("rocc"));
+    set_tracer(&shard_tracers_.front());
+    return;
+  }
+
+  // One tracer (= one recorder process) per shard.  Entities keep the same
+  // global track numbering as set_tracer — 0 engine, 1 network, 2 main, then
+  // CPUs, daemons, apps — each registered on its owner shard's tracer, so a
+  // merged view lays out exactly like a legacy trace split across shard
+  // swimlanes.
+  constexpr std::int32_t kNetworkTrack = 1;
+  constexpr std::int32_t kMainTrack = 2;
+  shard_tracers_.clear();
+  shard_tracers_.reserve(partition_.shards);
+  for (std::size_t s = 0; s < partition_.shards; ++s) {
+    shard_tracers_.push_back(recorder.create_tracer("shard " + std::to_string(s)));
+  }
+  for (std::size_t s = 0; s < partition_.shards; ++s) {
+    obs::Tracer* tr = &shard_tracers_[s];
+    shards_->engine(s).set_tracer(tr);
+    shard_networks_[s]->set_tracer(tr, kNetworkTrack);
+    tr->set_track_name(obs::kEngineTrack, "engine");
+    tr->set_track_name(kNetworkTrack, "network");
+  }
+  if (main_) {
+    main_->set_tracer(&shard_tracers_[0], kMainTrack);
+    shard_tracers_[0].set_track_name(kMainTrack, "main paradyn");
+  }
+
+  std::int32_t next = 3;
+  const bool dedicated_main = config_.instrumentation_enabled && config_.main_on_dedicated_host;
+  for (std::size_t n = 0; n < node_cpus_.size(); ++n) {
+    const bool is_main_host = dedicated_main && n + 1 == node_cpus_.size();
+    const std::size_t s =
+        is_main_host ? 0 : partition_.shard_of(static_cast<std::int32_t>(n));
+    node_cpus_[n]->set_tracer(&shard_tracers_[s], next);
+    shard_tracers_[s].set_track_name(next, is_main_host
+                                               ? std::string("cpu main-host")
+                                               : "cpu node " + std::to_string(n));
+    ++next;
+  }
+  for (std::size_t d = 0; d < daemons_.size(); ++d) {
+    const std::size_t s = daemon_shard_[d];
+    daemons_[d]->set_tracer(&shard_tracers_[s], next);
+    shard_tracers_[s].set_track_name(next, "daemon " + std::to_string(d) + " (node " +
+                                               std::to_string(daemons_[d]->node()) + ")");
+    ++next;
+  }
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    const std::size_t s = partition_.shard_of(apps_[a]->node());
+    apps_[a]->set_tracer(&shard_tracers_[s], next);
+    shard_tracers_[s].set_track_name(next, "app n" + std::to_string(apps_[a]->node()) + "." +
+                                               std::to_string(apps_[a]->index()));
+    ++next;
+  }
+}
+
+void Simulation::set_shard_executor(des::ShardSet::Executor executor) {
+  if (shards_) shards_->set_executor(std::move(executor));
+}
+
 void Simulation::enable_metrics(obs::MetricsRegistry& registry, SimTime tick_us) {
+  if (shards_) {
+    throw std::logic_error(
+        "Simulation::enable_metrics: unsupported in partitioned mode — the probes read "
+        "cross-shard state mid-run");
+  }
   if (!(tick_us > 0.0)) {
     throw std::invalid_argument("Simulation::enable_metrics: tick_us must be > 0");
   }
@@ -587,6 +1157,33 @@ SimulationResult Simulation::run() {
   if (ran_) throw std::logic_error("Simulation::run: already ran");
   ran_ = true;
 
+  if (shards_) {
+    // Same start order as the legacy path; each entity schedules onto its
+    // owner shard's engine.  The controller/barrier/probe features are
+    // rejected at config validation, so only the sharded throttles remain.
+    for (auto& stream : background_) stream->start();
+    for (auto& daemon : daemons_) daemon->start();
+    for (auto& app : apps_) app->start();
+    for (auto& throttle : shard_throttles_) {
+      if (throttle) throttle->start();
+    }
+    schedule_faults_partitioned();
+    shards_->run([this](SimTime) {
+      // Transient deletion at the warm-up boundary (every shard stopped at
+      // exactly warmup_us; the boundary's messages are already injected).
+      for (auto& cpu : node_cpus_) cpu->reset_accounting();
+      for (auto& net : shard_networks_) net->reset_accounting();
+      for (std::size_t s = 0; s < partition_.shards; ++s) {
+        shard_collector(s) = MetricsCollector{};
+      }
+      // (shard_control_fired_ is deliberately not reset: events_processed
+      // spans the whole run, warm-up included, exactly like the legacy
+      // engine counter.)
+      metrics_.record_latency_series = config_.record_latency_series;
+    });
+    return collect();
+  }
+
   for (auto& stream : background_) stream->start();
   for (auto& daemon : daemons_) daemon->start();
   for (auto& app : apps_) app->start();
@@ -654,7 +1251,21 @@ SimulationResult Simulation::collect() const {
   r.is_cpu_util_pct = 100.0 * (pd_busy + main_busy) / capacity;
   r.pd_busy_share_pct = (all_busy > 0.0) ? 100.0 * pd_busy / all_busy : 0.0;
 
-  r.network_util_pct = 100.0 * network_->busy_time_total() / window_us;
+  if (shards_) {
+    // Rebuild the global busy time from the per-node attribution of each
+    // shard network: summing in canonical node order keeps the figure
+    // independent of how the nodes were cut into shards.
+    double net_busy = 0.0;
+    for (std::int32_t n = 0; n < config_.nodes; ++n) {
+      const NetworkResource& net = *shard_networks_[partition_.shard_of(n)];
+      for (int c = 0; c < trace::kNumProcessClasses; ++c) {
+        net_busy += net.busy_time_node(n, static_cast<ProcessClass>(c));
+      }
+    }
+    r.network_util_pct = 100.0 * net_busy / window_us;
+  } else {
+    r.network_util_pct = 100.0 * network_->busy_time_total() / window_us;
+  }
 
   r.latency_us = metrics_.latency_us;
   r.latency_series_us = metrics_.latency_series_us;
@@ -671,10 +1282,34 @@ SimulationResult Simulation::collect() const {
     nb.main_cpu_us = node_cpus_[n]->busy_time(ProcessClass::MainParadyn);
     r.per_node.push_back(nb);
   }
+  // Delivery-side counters (delivered, batches, latency) are main-owned and
+  // live in metrics_ — shard 0's collector — in both modes.  Generation-side
+  // counters are written where the emitting entity lives, so the partitioned
+  // path sums the shard collectors.
   r.samples_generated = metrics_.samples_generated;
   r.samples_delivered = metrics_.samples_delivered;
   r.batches_delivered = metrics_.batches_delivered;
-  r.events_processed = engine_.events_processed();
+  if (shards_) {
+    for (std::size_t s = 1; s < partition_.shards; ++s) {
+      r.samples_generated += shard_collector(s).samples_generated;
+    }
+    // Replicated control events (fault edges, repair broadcasts, throttle
+    // tick chains) fire once per shard; report the model events plus a
+    // single replica's worth so the count is shard-count-invariant.
+    std::uint64_t control_total = 0;
+    std::uint64_t control_zero = 0;
+    for (std::size_t s = 0; s < partition_.shards; ++s) {
+      std::uint64_t control = shard_control_fired_[s];
+      if (s < shard_throttles_.size() && shard_throttles_[s]) {
+        control += shard_throttles_[s]->ticks();
+      }
+      control_total += control;
+      if (s == 0) control_zero = control;
+    }
+    r.events_processed = shards_->events_processed() - control_total + control_zero;
+  } else {
+    r.events_processed = engine_.events_processed();
+  }
   r.throughput_samples_per_sec =
       static_cast<double>(metrics_.samples_delivered) / des::to_seconds(window_us);
 
@@ -687,11 +1322,30 @@ SimulationResult Simulation::collect() const {
     r.cost_adjustments = controller_->adjustments();
   }
   r.samples_dropped = metrics_.samples_dropped;
+  if (shards_) {
+    for (std::size_t s = 1; s < partition_.shards; ++s) {
+      r.samples_dropped += shard_collector(s).samples_dropped;
+    }
+  }
   r.fault_outcomes = fault_outcomes_;
   if (throttle_) {
     r.throttle_factors = throttle_->factors();
     r.max_throttle_factor = throttle_->max_factor();
     r.throttle_adjustments = throttle_->adjustments();
+  } else if (!shard_throttles_.empty()) {
+    // Stitch the per-shard instances back into the legacy layout: factors in
+    // daemon order (the order the single instance added its domains).
+    r.throttle_factors.reserve(daemons_.size());
+    for (std::size_t d = 0; d < daemons_.size(); ++d) {
+      const auto& inst = *shard_throttles_[daemon_shard_[d]];
+      r.throttle_factors.push_back(
+          inst.factors()[static_cast<std::size_t>(daemon_throttle_domain_[d])]);
+    }
+    for (const auto& inst : shard_throttles_) {
+      if (!inst) continue;
+      r.max_throttle_factor = std::max(r.max_throttle_factor, inst->max_factor());
+      r.throttle_adjustments += inst->adjustments();
+    }
   }
   return r;
 }

@@ -15,10 +15,12 @@
 //   auto r = sim.run();
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "des/engine.hpp"
+#include "des/shard.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rocc/app_process.hpp"
@@ -32,6 +34,7 @@
 #include "rocc/main_paradyn.hpp"
 #include "rocc/metrics.hpp"
 #include "rocc/network.hpp"
+#include "rocc/partition.hpp"
 #include "rocc/pipe.hpp"
 
 namespace paradyn::rocc {
@@ -48,7 +51,13 @@ class Simulation {
   [[nodiscard]] SimulationResult run();
 
   /// Accessors for tests and custom drivers (valid after construction).
-  [[nodiscard]] des::Engine& engine() noexcept { return engine_; }
+  /// Partitioned runs (config.shards > 0) expose shard 0's engine — the one
+  /// hosting the main Paradyn process, so detection/repair machinery that
+  /// schedules against "the" engine lands on the shard whose clock governs
+  /// sample delivery.
+  [[nodiscard]] des::Engine& engine() noexcept {
+    return shards_ ? shards_->engine(0) : engine_;
+  }
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
   [[nodiscard]] const MetricsCollector& metrics() const noexcept { return metrics_; }
   [[nodiscard]] std::size_t num_daemons() const noexcept { return daemons_.size(); }
@@ -89,10 +98,23 @@ class Simulation {
   /// before run(); pass nullptr to detach.  The Tracer must outlive run().
   void set_tracer(obs::Tracer* tracer);
 
+  /// Tracing entry point that works in both modes: legacy runs get one
+  /// tracer; partitioned runs get one tracer (= one recorder shard) per DES
+  /// shard, with entities keeping the same global track numbering as
+  /// set_tracer so cross-shard traces merge into the familiar layout.  Call
+  /// before run(); the recorder must outlive it.
+  void set_trace_recorder(obs::TraceRecorder& recorder);
+
+  /// Executor for the partitioned window loop (see des::ShardSet): absent,
+  /// shards run serially in index order; tools install a ThreadPool-backed
+  /// executor when hardware allows.  Results are bit-identical either way.
+  void set_shard_executor(des::ShardSet::Executor executor);
+
   /// Register the standard probes (event-queue depth, pipe occupancy,
   /// per-class CPU busy fraction, main backlog, sample counters) on
   /// `registry` and sample them every `tick_us` of simulated time during
-  /// run().  Call before run(); the registry must outlive it.
+  /// run().  Call before run(); the registry must outlive it.  Rejected in
+  /// partitioned mode (the probes read cross-shard state mid-run).
   void enable_metrics(obs::MetricsRegistry& registry, SimTime tick_us);
 
  private:
@@ -112,6 +134,23 @@ class Simulation {
   void apply_cascade_hit(std::size_t fault_index, std::size_t daemon, std::int32_t hop);
   void recompute_net_penalty(std::size_t daemon);
   [[nodiscard]] SimulationResult collect() const;
+
+  // --- Partitioned (PDES) mode helpers; active iff shards_ != nullptr ---
+  [[nodiscard]] MetricsCollector& shard_collector(std::size_t shard) noexcept {
+    return shard == 0 ? metrics_ : *extra_metrics_[shard - 1];
+  }
+  [[nodiscard]] const MetricsCollector& shard_collector(std::size_t shard) const noexcept {
+    return shard == 0 ? metrics_ : *extra_metrics_[shard - 1];
+  }
+  void schedule_faults_partitioned();
+  void recompute_slowdown_shard(std::size_t shard);
+  void recompute_pipe_clamps_shard(std::size_t shard);
+  /// Deterministic mirror of a daemon's stalled-until deadline as of shard
+  /// 0 time `t`, folded from the plan's stall/crash windows and the restart
+  /// deliveries this run dispatched (window starts win ties, restarts
+  /// override) — the partitioned repair API decides from this instead of
+  /// peeking at cross-shard daemon state.
+  [[nodiscard]] SimTime mirror_stalled_until(std::size_t daemon, SimTime t) const;
 
   SystemConfig config_;
   des::Engine engine_;
@@ -153,6 +192,37 @@ class Simulation {
   std::vector<std::vector<std::pair<std::size_t, double>>> daemon_net_penalties_;
   std::unique_ptr<des::RngStream> cascade_rng_;
   bool ran_ = false;
+
+  // --- Partitioned (PDES) state; engaged when config.shards > 0 ---
+  std::unique_ptr<des::ShardSet> shards_;
+  PartitionPlan partition_;
+  /// Collectors for shards 1..N-1; shard 0 writes into metrics_ so the
+  /// delivery-side fields (latency, delivered, batches — all main-owned)
+  /// live where the legacy collect path already looks.
+  std::vector<std::unique_ptr<MetricsCollector>> extra_metrics_;
+  std::vector<std::unique_ptr<NetworkResource>> shard_networks_;
+  std::vector<std::unique_ptr<FaultGate>> shard_gates_;
+  std::vector<std::unique_ptr<PerDaemonThrottle>> shard_throttles_;
+  std::vector<std::size_t> daemon_shard_;
+  std::vector<std::int32_t> daemon_throttle_domain_;
+  /// Per-shard replicas of the link-slowdown / pipe-clamp effect lists
+  /// (same (fault index, value) pairs, applied by shard-local events).
+  std::vector<std::vector<std::pair<std::size_t, double>>> shard_slowdowns_;
+  std::vector<std::vector<std::pair<std::size_t, std::int32_t>>> shard_clamps_;
+  /// Build-time resolved cascade hits (partition.hpp), in legacy order.
+  std::vector<CascadeHit> cascade_hits_;
+  /// Control events that fired per shard: effects replicated onto every
+  /// shard (link/drop/clamp edges, repair broadcasts) plus throttle ticks.
+  /// collect() reports sum(engines) - sum(control) + control[0], which is
+  /// invariant in the shard count.
+  std::vector<std::uint64_t> shard_control_fired_;
+  /// Repair mirror: restart delivery times dispatched per daemon, and a
+  /// one-shot flag per plan fault for reset_pipe.
+  std::vector<std::vector<SimTime>> restart_dispatches_;
+  std::vector<char> reset_dispatched_;
+  std::vector<obs::Tracer> shard_tracers_;
+  obs::TraceRecorder* trace_recorder_ = nullptr;
+  des::ShardSet::Executor shard_executor_;
 };
 
 /// Convenience: build and run in one call.

@@ -13,8 +13,8 @@ TEST(NetworkResource, SharedServerSerializesRequests) {
   des::Engine e;
   NetworkResource net(e, NetworkContention::SharedSingleServer);
   std::vector<des::SimTime> done;
-  net.submit({100.0, ProcessClass::Application, [&] { done.push_back(e.now()); }});
-  net.submit({50.0, ProcessClass::ParadynDaemon, [&] { done.push_back(e.now()); }});
+  net.submit({100.0, ProcessClass::Application, -1, [&] { done.push_back(e.now()); }});
+  net.submit({50.0, ProcessClass::ParadynDaemon, -1, [&] { done.push_back(e.now()); }});
   (void)e.run();
   ASSERT_EQ(done.size(), 2u);
   EXPECT_DOUBLE_EQ(done[0], 100.0);
@@ -25,8 +25,8 @@ TEST(NetworkResource, ContentionFreeRunsConcurrently) {
   des::Engine e;
   NetworkResource net(e, NetworkContention::ContentionFree);
   std::vector<des::SimTime> done;
-  net.submit({100.0, ProcessClass::Application, [&] { done.push_back(e.now()); }});
-  net.submit({50.0, ProcessClass::ParadynDaemon, [&] { done.push_back(e.now()); }});
+  net.submit({100.0, ProcessClass::Application, -1, [&] { done.push_back(e.now()); }});
+  net.submit({50.0, ProcessClass::ParadynDaemon, -1, [&] { done.push_back(e.now()); }});
   (void)e.run();
   ASSERT_EQ(done.size(), 2u);
   EXPECT_DOUBLE_EQ(done[0], 50.0);   // pure delay: shorter finishes first
@@ -36,9 +36,9 @@ TEST(NetworkResource, ContentionFreeRunsConcurrently) {
 TEST(NetworkResource, BusyTimePerClass) {
   des::Engine e;
   NetworkResource net(e, NetworkContention::SharedSingleServer);
-  net.submit({100.0, ProcessClass::Application, nullptr});
-  net.submit({50.0, ProcessClass::ParadynDaemon, nullptr});
-  net.submit({25.0, ProcessClass::ParadynDaemon, nullptr});
+  net.submit({100.0, ProcessClass::Application, -1, nullptr});
+  net.submit({50.0, ProcessClass::ParadynDaemon, -1, nullptr});
+  net.submit({25.0, ProcessClass::ParadynDaemon, -1, nullptr});
   (void)e.run();
   EXPECT_DOUBLE_EQ(net.busy_time(ProcessClass::Application), 100.0);
   EXPECT_DOUBLE_EQ(net.busy_time(ProcessClass::ParadynDaemon), 75.0);
@@ -50,7 +50,7 @@ TEST(NetworkResource, FifoOrderPreserved) {
   NetworkResource net(e, NetworkContention::SharedSingleServer);
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    net.submit({10.0, ProcessClass::Application, [&order, i] { order.push_back(i); }});
+    net.submit({10.0, ProcessClass::Application, -1, [&order, i] { order.push_back(i); }});
   }
   (void)e.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
@@ -60,7 +60,7 @@ TEST(NetworkResource, ZeroDurationAllowed) {
   des::Engine e;
   NetworkResource net(e, NetworkContention::SharedSingleServer);
   bool done = false;
-  net.submit({0.0, ProcessClass::Application, [&] { done = true; }});
+  net.submit({0.0, ProcessClass::Application, -1, [&] { done = true; }});
   (void)e.run();
   EXPECT_TRUE(done);
 }
@@ -68,15 +68,15 @@ TEST(NetworkResource, ZeroDurationAllowed) {
 TEST(NetworkResource, NegativeDurationThrows) {
   des::Engine e;
   NetworkResource net(e, NetworkContention::SharedSingleServer);
-  EXPECT_THROW(net.submit({-5.0, ProcessClass::Application, nullptr}), std::invalid_argument);
+  EXPECT_THROW(net.submit({-5.0, ProcessClass::Application, -1, nullptr}), std::invalid_argument);
 }
 
 TEST(NetworkResource, BacklogTracksSharedQueue) {
   des::Engine e;
   NetworkResource net(e, NetworkContention::SharedSingleServer);
-  net.submit({10.0, ProcessClass::Application, nullptr});
-  net.submit({10.0, ProcessClass::Application, nullptr});
-  net.submit({10.0, ProcessClass::Application, nullptr});
+  net.submit({10.0, ProcessClass::Application, -1, nullptr});
+  net.submit({10.0, ProcessClass::Application, -1, nullptr});
+  net.submit({10.0, ProcessClass::Application, -1, nullptr});
   EXPECT_EQ(net.backlog(), 3u);
   (void)e.run();
   EXPECT_EQ(net.backlog(), 0u);
@@ -87,8 +87,8 @@ TEST(NetworkResource, SubmitFromCompletionCallback) {
   des::Engine e;
   NetworkResource net(e, NetworkContention::SharedSingleServer);
   des::SimTime second_done = -1.0;
-  net.submit({10.0, ProcessClass::ParadynDaemon, [&] {
-                net.submit({20.0, ProcessClass::ParadynDaemon, [&] { second_done = e.now(); }});
+  net.submit({10.0, ProcessClass::ParadynDaemon, -1, [&] {
+                net.submit({20.0, ProcessClass::ParadynDaemon, -1, [&] { second_done = e.now(); }});
               }});
   (void)e.run();
   EXPECT_DOUBLE_EQ(second_done, 30.0);

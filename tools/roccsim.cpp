@@ -21,6 +21,7 @@
 #include "consultant/fault_detector.hpp"
 #include "experiments/report_json.hpp"
 #include "experiments/runner.hpp"
+#include "experiments/shard_executor.hpp"
 #include "experiments/table.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
@@ -46,6 +47,11 @@ void print_help() {
       "  --pipe N                pipe capacity in samples; default 64\n"
       "  --seconds X             simulated seconds; default 10\n"
       "  --warmup X              warm-up seconds excluded from metrics; default 0\n"
+      "  --shards N              partition the model into N conservative-window DES\n"
+      "                          shards (PDES); results are bit-identical for every N.\n"
+      "                          Default 0 = the classic single-engine path\n"
+      "  --uplink-ms X           daemon uplink delivery latency in ms — the cross-shard\n"
+      "                          lookahead; default 0 (0.5 when --shards is given)\n"
       "  --adaptive-budget X     enable the dynamic cost model with an IS overhead\n"
       "                          budget of X%% of CPU capacity; default off\n"
       "  --fault SPEC            inject perturbations; SPEC is ';'-joined entries like\n"
@@ -155,8 +161,8 @@ int main(int argc, char** argv) {
     const tools::CliArgs args(
         argc, argv,
         {"arch", "nodes", "apps", "daemons", "sampling-ms", "batch", "topology", "barrier-ms",
-         "pipe", "seconds", "warmup", "seed", "reference-rng", "reps", "jobs", "uninstrumented",
-         "dedicated-main",
+         "pipe", "seconds", "warmup", "shards", "uplink-ms", "seed", "reference-rng", "reps",
+         "jobs", "uninstrumented", "dedicated-main",
          "adaptive-budget", "fault", "repair", "adaptive-sampling", "trace", "trace-events",
          "metrics",
          "metrics-tick-ms", "progress", "report-json", "profile", "metrics-json", "help"});
@@ -188,6 +194,12 @@ int main(int argc, char** argv) {
     cfg.pipe_capacity = static_cast<std::int32_t>(args.get_long("pipe", 64));
     cfg.duration_us = args.get_double("seconds", 10.0) * 1e6;
     cfg.warmup_us = args.get_double("warmup", 0.0) * 1e6;
+    cfg.shards = static_cast<std::int32_t>(args.get_long("shards", 0));
+    // The uplink latency doubles as the cross-shard lookahead, so sharded
+    // runs need one; half the default daemon net occupancy is a sensible
+    // floor when the user asked for shards but said nothing about uplinks.
+    cfg.uplink_latency_us =
+        args.get_double("uplink-ms", cfg.shards > 0 ? 0.5 : 0.0) * 1'000.0;
     if (args.has("adaptive-budget")) {
       cfg.adaptive.enabled = true;
       cfg.adaptive.overhead_budget_pct = args.get_double("adaptive-budget", 1.0);
@@ -226,6 +238,11 @@ int main(int argc, char** argv) {
     const std::string metrics_json_file = args.get_string("metrics-json", "");
     // --metrics-json wants the probes armed even without a CSV destination.
     const bool want_metrics = !metrics_file.empty() || !metrics_json_file.empty();
+    if (cfg.shards > 0 && want_metrics) {
+      throw std::invalid_argument(
+          "--metrics/--metrics-json are not supported with --shards (the probes read "
+          "cross-shard state mid-run); drop --shards or the metrics flags");
+    }
     if (args.get_bool("progress")) experiments::set_progress_stream(&std::cerr);
 
     obs::ReproStamp stamp;
@@ -261,8 +278,15 @@ int main(int argc, char** argv) {
       const experiments::RunHook hook = [&](rocc::Simulation& sim, std::size_t /*cell*/,
                                             std::size_t rep) {
         if (recorder) {
-          tracers[rep] = recorder->create_tracer("rep " + std::to_string(rep));
-          sim.set_tracer(&tracers[rep]);
+          if (cfg.shards > 0) {
+            // Partitioned runs trace one tracer per shard ("shard s"
+            // process names); attach the recorder to rep 0 only so the
+            // shard names stay unambiguous across replications.
+            if (rep == 0) sim.set_trace_recorder(*recorder);
+          } else {
+            tracers[rep] = recorder->create_tracer("rep " + std::to_string(rep));
+            sim.set_tracer(&tracers[rep]);
+          }
         }
         if (want_metrics && rep == 0) sim.enable_metrics(registry, metrics_tick_us);
         // No-op when the effective fault plan is empty.
@@ -380,10 +404,25 @@ int main(int argc, char** argv) {
       }
     } else {
       rocc::Simulation sim(cfg);
+      // Fan the shard window loop over a pool when the hardware has room;
+      // the executor never changes results (bit-identical by contract).
+      std::optional<experiments::ThreadPool> shard_pool;
+      if (cfg.shards > 1) {
+        const std::size_t lanes = std::min<std::size_t>(
+            static_cast<std::size_t>(cfg.shards), experiments::ThreadPool::hardware_jobs());
+        if (lanes > 1) {
+          shard_pool.emplace(lanes - 1);  // the caller thread is lane 0
+          sim.set_shard_executor(experiments::shard_pool_executor(*shard_pool, lanes));
+        }
+      }
       obs::Tracer tracer;
       if (recorder) {
-        tracer = recorder->create_tracer();
-        sim.set_tracer(&tracer);
+        if (cfg.shards > 0) {
+          sim.set_trace_recorder(*recorder);
+        } else {
+          tracer = recorder->create_tracer();
+          sim.set_tracer(&tracer);
+        }
       }
       if (want_metrics) sim.enable_metrics(registry, metrics_tick_us);
       // No-op when the effective fault plan is empty.

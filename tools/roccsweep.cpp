@@ -6,11 +6,14 @@
 //
 // Columns: the axis, then pd_util, main_util, app_util, latency_ms,
 // throughput (means over --reps seed-varied replications).
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,12 +22,18 @@
 #include "consultant/fault_detector.hpp"
 #include "experiments/report_json.hpp"
 #include "experiments/runner.hpp"
+#include "experiments/shard_executor.hpp"
 #include "experiments/table.hpp"
 #include "obs/repro.hpp"
 #include "rocc/config.hpp"
 #include "rocc/faults.hpp"
+#include "rocc/simulation.hpp"
 
 namespace {
+
+/// Per-simulation PDES wiring (installs the shard executor); empty when the
+/// sweep runs unsharded or the clamp left only one lane per job.
+using ShardSetup = std::function<void(paradyn::rocc::Simulation&)>;
 
 void print_help() {
   std::puts(
@@ -37,9 +46,15 @@ void print_help() {
       "  --values a,b,c     sweep points (required)\n"
       "  --arch now|smp|mpp --nodes N --apps N --daemons N --sampling-ms X\n"
       "  --batch N --topology direct|tree --seconds X --reps N --seed N\n"
+      "  --shards N         partition every run into N conservative-window DES\n"
+      "                     shards (PDES); results are bit-identical for every N\n"
+      "  --uplink-ms X      daemon uplink latency in ms (the cross-shard lookahead);\n"
+      "                     default 0 (0.5 when --shards is given)\n"
       "  --reference-rng    pre-ziggurat variate backend (pre-PR-5 streams)\n"
       "  --jobs N           worker threads per replication set; default: all\n"
-      "                     hardware threads, 1 = serial (results identical)\n"
+      "                     hardware threads, 1 = serial (results identical).\n"
+      "                     Shard workers are clamped per job so --jobs x --shards\n"
+      "                     never oversubscribes the machine\n"
       "  --progress         heartbeat lines on stderr as runs finish\n"
       "  --report-json FILE full SimulationResult of every run as JSON\n"
       "  --fault-grid       instead of an axis sweep, run the canonical fault grid\n"
@@ -119,7 +134,8 @@ std::vector<GridEntry> fault_grid(double duration_us) {
 
 /// Run the grid and print a CSV of per-fault detection/recovery metrics.
 void run_fault_grid(const paradyn::rocc::SystemConfig& base, std::size_t reps, std::size_t jobs,
-                    const std::string& report_file, const paradyn::obs::ReproStamp& stamp) {
+                    const std::string& report_file, const paradyn::obs::ReproStamp& stamp,
+                    const ShardSetup& shard_setup) {
   using namespace paradyn;
   std::printf("fault,detected_frac,detection_ms,recovered_frac,recovery_ms,dropped,delivered,latency_ms\n");
   std::vector<rocc::SimulationResult> all_results;
@@ -130,6 +146,7 @@ void run_fault_grid(const paradyn::rocc::SystemConfig& base, std::size_t reps, s
     cfg.validate();
     std::vector<std::unique_ptr<consultant::DetectionHarness>> harnesses(reps);
     const experiments::RunHook hook = [&](rocc::Simulation& sim, std::size_t, std::size_t rep) {
+      if (shard_setup) shard_setup(sim);
       harnesses[rep] = std::make_unique<consultant::DetectionHarness>(sim);
     };
     const experiments::ReplicationSet rs(cfg, reps, jobs, hook);
@@ -234,7 +251,8 @@ std::vector<RepairGridEntry> repair_grid(double duration_us) {
 
 /// Run the repair grid and print a CSV of per-cell repair/MTTR metrics.
 void run_repair_grid(const paradyn::rocc::SystemConfig& base, std::size_t reps, std::size_t jobs,
-                     const std::string& report_file, const paradyn::obs::ReproStamp& stamp) {
+                     const std::string& report_file, const paradyn::obs::ReproStamp& stamp,
+                     const ShardSetup& shard_setup) {
   using namespace paradyn;
   std::printf(
       "fault,policy,detected_frac,detection_ms,repaired_frac,ttr_ms,gave_up_frac,"
@@ -249,6 +267,7 @@ void run_repair_grid(const paradyn::rocc::SystemConfig& base, std::size_t reps, 
     if (!entry.policy_spec.empty()) policy = consultant::RepairPolicy::parse(entry.policy_spec);
     std::vector<std::unique_ptr<consultant::DetectionHarness>> harnesses(reps);
     const experiments::RunHook hook = [&](rocc::Simulation& sim, std::size_t, std::size_t rep) {
+      if (shard_setup) shard_setup(sim);
       harnesses[rep] =
           std::make_unique<consultant::DetectionHarness>(sim, consultant::DetectorConfig{},
                                                          policy);
@@ -321,8 +340,8 @@ int main(int argc, char** argv) {
     const tools::CliArgs args(
         argc, argv,
         {"axis", "values", "arch", "nodes", "apps", "daemons", "sampling-ms", "batch",
-         "topology", "seconds", "reps", "seed", "reference-rng", "jobs", "progress",
-         "report-json", "fault-grid", "repair-grid", "help"});
+         "topology", "seconds", "reps", "seed", "shards", "uplink-ms", "reference-rng", "jobs",
+         "progress", "report-json", "fault-grid", "repair-grid", "help"});
     const bool grid_mode = args.get_bool("fault-grid");
     const bool repair_grid_mode = args.get_bool("repair-grid");
     if (args.get_bool("help") ||
@@ -361,10 +380,39 @@ int main(int argc, char** argv) {
     base.batch_size = static_cast<std::int32_t>(args.get_long("batch", 1));
     base.duration_us = args.get_double("seconds", 5.0) * 1e6;
     base.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+    base.shards = static_cast<std::int32_t>(args.get_long("shards", 0));
+    base.uplink_latency_us =
+        args.get_double("uplink-ms", base.shards > 0 ? 0.5 : 0.0) * 1'000.0;
     base.reference_rng = args.get_bool("reference-rng");
 
     if (args.get_bool("progress")) experiments::set_progress_stream(&std::cerr);
     const std::string report_file = args.get_string("report-json", "");
+
+    // Every replication job runs its own sharded simulation, so unclamped
+    // PDES lanes would put --jobs x --shards threads on the machine at
+    // once.  Clamp lanes per job to the hardware budget (warn once); the
+    // executor choice never changes results, so the clamp is free.
+    const std::size_t effective_jobs = jobs == 0 ? experiments::default_jobs() : jobs;
+    std::optional<experiments::ThreadPool> shard_pool;
+    ShardSetup shard_setup;
+    if (base.shards > 1) {
+      const std::size_t hw = experiments::ThreadPool::hardware_jobs();
+      auto lanes = static_cast<std::size_t>(base.shards);
+      if (effective_jobs * lanes > hw) {
+        lanes = std::min(static_cast<std::size_t>(base.shards),
+                         std::max<std::size_t>(1, hw / effective_jobs));
+        std::fprintf(stderr,
+                     "roccsweep: clamping shard workers to %zu per job (--jobs %zu x --shards "
+                     "%d exceeds %zu hardware thread(s)); results are unchanged\n",
+                     lanes, effective_jobs, base.shards, hw);
+      }
+      if (lanes > 1) {
+        shard_pool.emplace(effective_jobs * (lanes - 1));
+        shard_setup = [&pool = *shard_pool, lanes](rocc::Simulation& sim) {
+          sim.set_shard_executor(experiments::shard_pool_executor(pool, lanes));
+        };
+      }
+    }
 
     obs::ReproStamp stamp;
     stamp.tool = "roccsweep";
@@ -382,11 +430,11 @@ int main(int argc, char** argv) {
     stamp.write(std::cout);
 
     if (grid_mode) {
-      run_fault_grid(base, reps, jobs, report_file, stamp);
+      run_fault_grid(base, reps, jobs, report_file, stamp, shard_setup);
       return 0;
     }
     if (repair_grid_mode) {
-      run_repair_grid(base, reps, jobs, report_file, stamp);
+      run_repair_grid(base, reps, jobs, report_file, stamp, shard_setup);
       return 0;
     }
 
@@ -397,7 +445,10 @@ int main(int argc, char** argv) {
       rocc::SystemConfig cfg = base;
       apply_axis(cfg, axis, v);
       cfg.validate();
-      const experiments::ReplicationSet rs(cfg, reps, jobs);
+      const experiments::RunHook hook = [&](rocc::Simulation& sim, std::size_t, std::size_t) {
+        if (shard_setup) shard_setup(sim);
+      };
+      const experiments::ReplicationSet rs(cfg, reps, jobs, hook);
       sweep_report += rs.report();
       if (!report_file.empty()) {
         all_results.insert(all_results.end(), rs.results().begin(), rs.results().end());
