@@ -76,23 +76,33 @@ int main(int argc, char** argv) {
   (void)run_eps(overhead_cfg);  // warm-up: page in code and the event pool
 
   // The two runs are identical workloads, so the true overhead is zero and
-  // the gate is absolute: take the LOWER QUARTILE of the paired per-round
+  // the gate is absolute: take the lower quartile of the paired per-round
   // overheads.  Pairing cancels machine-wide drift within a round, and the
   // scheduler's noise is one-sided — a stall only ever slows the side it
-  // lands on, inflating some rounds — so the low end of the distribution
-  // is the clean measurement.  A real regression (off-path work that isn't
-  // gated on the tracer null check) slows every off run and shifts the
-  // whole distribution, quartile included.
-  constexpr int kRounds = 9;
+  // lands on — so the low end of the distribution is the clean measurement.
+  //
+  // The estimator must also be SYMMETRIC in run order.  Pooling both
+  // orderings into one quartile is not: within-round position bias (the
+  // second run sits on warmed caches and settled frequency) makes
+  // plain-first rounds read low and off-first rounds read high, and a
+  // pooled lower quartile selects almost exclusively from the plain-first
+  // set — a built-in negative bias (the old protocol sat at −2.8% on a
+  // zero-overhead workload).  Instead: quartile each ordering's rounds
+  // separately, then average the two quartiles, so the position bias
+  // enters once with each sign and cancels.  A real regression slows every
+  // off run regardless of position and still shifts both quartiles.
+  constexpr int kRoundsPerOrder = 5;
   double plain_eps = 0.0;
   double off_eps = 0.0;
-  std::vector<double> round_overheads;
-  for (int i = 0; i < kRounds; ++i) {
-    // Alternate which variant runs first so cache- and frequency-position
-    // bias inside a round cancels across rounds.
+  std::vector<double> overheads_plain_first;
+  std::vector<double> overheads_off_first;
+  for (int i = 0; i < 2 * kRoundsPerOrder; ++i) {
+    // Interleave the orderings so slow machine-wide drift spreads evenly
+    // across both sets.
     double plain;
     double off;
-    if (i % 2 == 0) {
+    const bool plain_first = i % 2 == 0;
+    if (plain_first) {
       plain = run_eps(overhead_cfg);
       off = run_profile_off_eps(overhead_cfg);
     } else {
@@ -101,11 +111,17 @@ int main(int argc, char** argv) {
     }
     plain_eps = std::max(plain_eps, plain);
     off_eps = std::max(off_eps, off);
-    if (off > 0.0) round_overheads.push_back((plain / off - 1.0) * 100.0);
+    if (off > 0.0) {
+      (plain_first ? overheads_plain_first : overheads_off_first)
+          .push_back((plain / off - 1.0) * 100.0);
+    }
   }
-  std::sort(round_overheads.begin(), round_overheads.end());
+  const auto lower_quartile = [](std::vector<double>& xs) {
+    std::sort(xs.begin(), xs.end());
+    return xs.empty() ? 0.0 : xs[xs.size() / 4];
+  };
   const double off_overhead_pct =
-      round_overheads.empty() ? 0.0 : round_overheads[round_overheads.size() / 4];
+      0.5 * (lower_quartile(overheads_plain_first) + lower_quartile(overheads_off_first));
 
   // The roccprof path: record a representative trace once, then time the
   // streaming parse + reduction over its JSON form.
@@ -123,7 +139,8 @@ int main(int argc, char** argv) {
 
   double analyze_sec = 1e30;
   std::uint64_t analyzed_events = 0;
-  for (int i = 0; i < kRounds; ++i) {
+  constexpr int kAnalyzeRounds = 9;
+  for (int i = 0; i < kAnalyzeRounds; ++i) {
     std::istringstream is(json);
     const bench::WallTimer t;
     const auto report = obs::profile_trace_stream(is);
@@ -134,7 +151,7 @@ int main(int argc, char** argv) {
       analyze_sec > 0.0 ? static_cast<double>(analyzed_events) / analyze_sec / 1e6 : 0.0;
 
   std::printf("=== Profiler hot path (NOW 4 nodes, SP = 5 ms, 5 s run, best of %d) ===\n",
-              kRounds);
+              2 * kRoundsPerOrder);
   std::printf("  %-28s %12.0f ev/s\n", "plain (no tracer)", plain_eps);
   std::printf("  %-28s %12.0f ev/s\n", "profiling off, armed", off_eps);
   std::printf("  %-28s %12.3f %%\n", "profile_off_overhead_pct", off_overhead_pct);

@@ -11,23 +11,27 @@ EventQueue::EventQueue() : bucket_head_(kNumBuckets, kNpos) {}
 std::uint32_t EventQueue::acquire_slot() {
   if (free_head_ != kNpos) {
     const std::uint32_t slot = free_head_;
-    free_head_ = record(slot).next;
+    free_head_ = next_[slot];
     return slot;
   }
   const std::size_t slot = allocated_;
   if ((slot & (kSlabSize - 1)) == 0) {
-    slabs_.push_back(std::make_unique<Record[]>(kSlabSize));
+    slabs_.push_back(std::make_unique<Callback[]>(kSlabSize));
   }
+  time_.push_back(0.0);
+  seq_.push_back(0);
+  next_.push_back(kNpos);
+  generation_.push_back(0);
+  state_.push_back(State::Free);
   ++allocated_;
   return static_cast<std::uint32_t>(slot);
 }
 
 void EventQueue::recycle(std::uint32_t slot) noexcept {
-  Record& r = record(slot);
-  r.callback.reset();
-  r.state = State::Free;
-  ++r.generation;
-  r.next = free_head_;
+  callback_of(slot).reset();
+  state_[slot] = State::Free;
+  ++generation_[slot];
+  next_[slot] = free_head_;
   free_head_ = slot;
 }
 
@@ -44,16 +48,18 @@ std::size_t EventQueue::bucket_index(SimTime time) const noexcept {
 }
 
 void EventQueue::insert_bucket(std::size_t index, std::uint32_t slot) noexcept {
-  Record& r = record(slot);
+  const SimTime time = time_[slot];
+  const std::uint64_t seq = seq_[slot];
   std::uint32_t* head = &bucket_head_[index];
   // Insertion sort by (time, seq): bucket lists hold ~1 live record at the
-  // adapted width, so the walk is short.
+  // adapted width, so the walk is short — and it reads only the packed key
+  // columns, never the callback slabs.
   while (*head != kNpos) {
-    const Record& other = record(*head);
-    if (r.time < other.time || (r.time == other.time && r.seq < other.seq)) break;
-    head = &record(*head).next;
+    const std::uint32_t other = *head;
+    if (time < time_[other] || (time == time_[other] && seq < seq_[other])) break;
+    head = &next_[other];
   }
-  r.next = *head;
+  next_[slot] = *head;
   *head = slot;
   ++in_buckets_;
   if (index < cursor_) cursor_ = index;
@@ -61,7 +67,7 @@ void EventQueue::insert_bucket(std::size_t index, std::uint32_t slot) noexcept {
 
 void EventQueue::link(std::uint32_t slot, SimTime time) {
   if (!window_valid_ || time >= win_hi_) {
-    staging_.push_back(FarEntry{time, record(slot).seq, slot});
+    staging_.push_back(FarEntry{time, seq_[slot], slot});
     return;
   }
   insert_bucket(bucket_index(time), slot);
@@ -89,7 +95,7 @@ bool EventQueue::advance_window() {
   }
   // Drop cancelled records from the ladder prefix.
   while (ladder_head_ < ladder_.size() &&
-         record(ladder_[ladder_head_].slot).state == State::Cancelled) {
+         state_[ladder_[ladder_head_].slot] == State::Cancelled) {
     recycle(ladder_[ladder_head_].slot);
     ++ladder_head_;
   }
@@ -128,22 +134,29 @@ bool EventQueue::advance_window() {
 
   // Migration visits slots in ascending (time, seq), so a record landing in
   // the same bucket as its predecessor appends at the tail; the hint makes
-  // that O(1) instead of re-walking the bucket list per record.
+  // that O(1) instead of re-walking the bucket list per record.  The
+  // per-slot state/link lookups are data-dependent loads off the ladder,
+  // so prefetch the columns a few entries ahead of the scan.
+  constexpr std::size_t kPrefetchAhead = 8;
   std::size_t last_index = kNumBuckets;
   std::uint32_t last_slot = kNpos;
   while (ladder_head_ < ladder_.size()) {
+    if (ladder_head_ + kPrefetchAhead < ladder_.size()) {
+      const std::uint32_t ahead = ladder_[ladder_head_ + kPrefetchAhead].slot;
+      prefetch(&state_[ahead]);
+      prefetch(&next_[ahead]);
+    }
     const FarEntry& entry = ladder_[ladder_head_];
     if (entry.time >= win_hi_) break;
-    Record& r = record(entry.slot);
-    if (r.state == State::Cancelled) {
+    if (state_[entry.slot] == State::Cancelled) {
       recycle(entry.slot);
       ++ladder_head_;
       continue;
     }
     const std::size_t index = bucket_index(entry.time);
     if (index == last_index) {
-      record(last_slot).next = entry.slot;
-      r.next = kNpos;
+      next_[last_slot] = entry.slot;
+      next_[entry.slot] = kNpos;
       ++in_buckets_;
     } else {
       insert_bucket(index, entry.slot);
@@ -163,9 +176,8 @@ std::uint32_t EventQueue::sweep_to_head() noexcept {
   while (in_buckets_ > 0) {
     while (bucket_head_[cursor_] == kNpos) ++cursor_;
     const std::uint32_t slot = bucket_head_[cursor_];
-    Record& r = record(slot);
-    if (r.state == State::Cancelled) {
-      bucket_head_[cursor_] = r.next;
+    if (state_[slot] == State::Cancelled) {
+      bucket_head_[cursor_] = next_[slot];
       --in_buckets_;
       recycle(slot);
       continue;
@@ -182,21 +194,25 @@ std::optional<EventQueue::Fired> EventQueue::pop() {
       if (!advance_window()) return std::nullopt;
       continue;
     }
-    Record& r = record(slot);
-    bucket_head_[cursor_] = r.next;
+    bucket_head_[cursor_] = next_[slot];
     --in_buckets_;
-    r.state = State::Firing;
+    state_[slot] = State::Firing;
     --live_;
-    return Fired{r.time, slot};
+    // The caller's next step is fire() — touch its callback line now — and
+    // after that the drain revisits this bucket's successor's keys.
+    prefetch(&callback_of(slot));
+    if (next_[slot] != kNpos) prefetch(&time_[next_[slot]]);
+    return Fired{time_[slot], slot};
   }
 }
 
 void EventQueue::fire(const Fired& fired) {
-  // Invoke in place: the record's address is slab-stable even if the
-  // callback pushes new events, and the slot is not recycled until the
-  // callback returns.  While state == Firing, pending() is false and
-  // cancel() is a no-op, so a self-cancel from inside the callback is safe.
-  record(fired.slot).callback();
+  // Invoke in place: the callback's slab address is stable even if the
+  // callback pushes new events (which may grow the key columns), and the
+  // slot is not recycled until the callback returns.  While state ==
+  // Firing, pending() is false and cancel() is a no-op, so a self-cancel
+  // from inside the callback is safe.
+  callback_of(fired.slot)();
   recycle(fired.slot);
 }
 
@@ -209,7 +225,7 @@ std::optional<SimTime> EventQueue::peek_time() {
       if (!advance_window()) return std::nullopt;
       continue;
     }
-    return record(slot).time;
+    return time_[slot];
   }
 }
 
@@ -217,13 +233,13 @@ void EventQueue::cancel(EventHandle& handle) noexcept {
   // A handle issued by a different queue is left untouched: resetting it
   // here would silently detach a still-live event.
   if (handle.queue_ != this) return;
-  Record& r = record(handle.slot_);
-  if (r.generation == handle.generation_ && r.state == State::Pending) {
+  const std::uint32_t slot = handle.slot_;
+  if (generation_[slot] == handle.generation_ && state_[slot] == State::Pending) {
     // Lazy cancellation: the record stays linked (bucket or overflow) and
     // is recycled when the sweep reaches it.  The callback is destroyed
     // now so captured resources are released promptly.
-    r.state = State::Cancelled;
-    r.callback.reset();
+    state_[slot] = State::Cancelled;
+    callback_of(slot).reset();
     --live_;
   }
   handle = EventHandle{};

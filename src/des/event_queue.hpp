@@ -1,7 +1,7 @@
 // Pending-event set for the discrete-event engine.
 //
-// A two-tier calendar queue over a slab pool of event records, tuned for
-// the engine's strongly time-clustered workload:
+// A two-tier calendar queue over slab-pooled event records, tuned for the
+// engine's strongly time-clustered workload:
 //
 //  * Near tier — a window of `kNumBuckets` buckets, each `width` of
 //    simulated time wide.  An event whose time falls inside the window is
@@ -13,15 +13,24 @@
 //    buffer of (time, seq, slot) tuples.  When the near tier drains, the
 //    window advances: the staging buffer is sorted and merged into the
 //    sorted ladder (one linear, cache-friendly pass over inline keys — the
-//    comparator never touches the slab), a fresh window is placed at the
-//    ladder's earliest time with a width derived from the event density
-//    near its head, and the leading run is migrated into buckets.
+//    comparator never touches per-slot storage), a fresh window is placed
+//    at the ladder's earliest time with a width derived from the event
+//    density near its head, and the leading run is migrated into buckets.
 //
-// Event records live in fixed slabs (stable addresses, recycled through a
-// free list) and hold their callback inline — steady-state scheduling does
-// not allocate.  A record's (slot, generation) pair doubles as the
-// cancellation handle; the generation counter is bumped on every recycle so
-// a stale handle can never cancel the slot's next tenant (ABA protection).
+// Storage is structure-of-arrays: the hot traversal keys — (time, seq)
+// ordering fields, intrusive links, lifecycle state, ABA generations —
+// live in dense per-slot vectors, so bucket walks, sweeps, and ladder
+// checks touch only packed key lines instead of dragging each record's
+// callback bytes through the cache (the AoS record was ~128 bytes, of
+// which a traversal used 21).  Callbacks alone stay in fixed slabs with
+// stable addresses: fire() runs a callback in place while that callback
+// may push new events and grow the key vectors, so callback storage must
+// never move.  Slots are recycled through a free list; steady-state
+// scheduling does not allocate.
+//
+// A record's (slot, generation) pair doubles as the cancellation handle;
+// the generation counter is bumped on every recycle so a stale handle can
+// never cancel the slot's next tenant (ABA protection).
 //
 // Ordering contract (identical to the binary-heap implementation this
 // replaced, bit-for-bit — see tests/des/event_queue_diff_test.cpp): events
@@ -87,12 +96,11 @@ class EventQueue {
   template <typename F>
   EventHandle push(SimTime time, F&& callback) {
     const std::uint32_t slot = acquire_slot();
-    Record& r = record(slot);
-    r.time = time;
-    r.seq = next_seq_++;
-    r.callback.emplace(std::forward<F>(callback));
-    r.state = State::Pending;
-    const std::uint32_t generation = r.generation;
+    time_[slot] = time;
+    seq_[slot] = next_seq_++;
+    callback_of(slot).emplace(std::forward<F>(callback));
+    state_[slot] = State::Pending;
+    const std::uint32_t generation = generation_[slot];
     link(slot, time);
     ++live_;
     return EventHandle{this, slot, generation};
@@ -133,28 +141,26 @@ class EventQueue {
 
   enum class State : std::uint8_t { Free, Pending, Firing, Cancelled };
 
-  struct Record {
-    SimTime time = 0;
-    std::uint64_t seq = 0;
-    std::uint32_t next = kNpos;       ///< Intrusive link: bucket list or free list.
-    std::uint32_t generation = 0;     ///< Bumped on recycle (ABA guard).
-    State state = State::Free;
-    Callback callback;
-  };
-
   static constexpr std::uint32_t kNpos = 0xffffffffu;
   /// Window size: more buckets means rarer (amortized-cheaper) ladder
   /// merges for large queues at 32 KiB of bucket heads; empty buckets cost
   /// nothing to skip because the sweep short-circuits on in_buckets_ == 0.
   static constexpr std::size_t kNumBuckets = 8192;
-  static constexpr std::size_t kSlabShift = 8;  ///< 256 records per slab.
+  static constexpr std::size_t kSlabShift = 8;  ///< 256 callbacks per slab.
   static constexpr std::size_t kSlabSize = std::size_t{1} << kSlabShift;
 
-  [[nodiscard]] Record& record(std::uint32_t slot) noexcept {
+  /// Callback storage is the one column that must not move: fire() runs it
+  /// in place while the callback may push events and grow the key vectors.
+  [[nodiscard]] Callback& callback_of(std::uint32_t slot) noexcept {
     return slabs_[slot >> kSlabShift][slot & (kSlabSize - 1)];
   }
-  [[nodiscard]] const Record& record(std::uint32_t slot) const noexcept {
-    return slabs_[slot >> kSlabShift][slot & (kSlabSize - 1)];
+
+  static void prefetch(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p);
+#else
+    (void)p;
+#endif
   }
 
   std::uint32_t acquire_slot();
@@ -173,8 +179,16 @@ class EventQueue {
   /// encountered on the way.  kNpos when the near tier is drained.
   std::uint32_t sweep_to_head() noexcept;
 
-  // Slab pool.
-  std::vector<std::unique_ptr<Record[]>> slabs_;
+  // Per-slot key columns (SoA), indexed by slot id; grown only in
+  // acquire_slot.  Traversals touch these and never the callback slabs.
+  std::vector<SimTime> time_;
+  std::vector<std::uint64_t> seq_;
+  std::vector<std::uint32_t> next_;        ///< Intrusive link: bucket or free list.
+  std::vector<std::uint32_t> generation_;  ///< Bumped on recycle (ABA guard).
+  std::vector<State> state_;
+
+  // Callback slabs (stable addresses) + free list.
+  std::vector<std::unique_ptr<Callback[]>> slabs_;
   std::uint32_t free_head_ = kNpos;
   std::size_t allocated_ = 0;
 
@@ -189,7 +203,7 @@ class EventQueue {
   SimTime inv_width_ = 1.0;  ///< 1/width_: bucket mapping multiplies, never divides.
 
   // Far tier.  The sort keys are carried inline so sorting and merging are
-  // sequential over 24-byte tuples instead of chasing slab pointers.
+  // sequential over 24-byte tuples instead of chasing per-slot columns.
   struct FarEntry {
     SimTime time;
     std::uint64_t seq;
@@ -208,8 +222,8 @@ class EventQueue {
 
 inline bool EventHandle::pending() const noexcept {
   if (queue_ == nullptr) return false;
-  const EventQueue::Record& r = queue_->record(slot_);
-  return r.generation == generation_ && r.state == EventQueue::State::Pending;
+  return queue_->generation_[slot_] == generation_ &&
+         queue_->state_[slot_] == EventQueue::State::Pending;
 }
 
 }  // namespace paradyn::des

@@ -22,7 +22,8 @@ namespace paradyn::rocc {
 class MainParadyn {
  public:
   MainParadyn(des::Engine& engine, const SystemConfig& config, CpuResource& host_cpu,
-              MetricsCollector& metrics, des::RngStream rng);
+              MetricsCollector& metrics, des::RngStream rng,
+              stats::BatchSpec batch = {});
 
   MainParadyn(const MainParadyn&) = delete;
   MainParadyn& operator=(const MainParadyn&) = delete;
@@ -57,7 +58,7 @@ class MainParadyn {
   CpuResource& host_cpu_;
   MetricsCollector& metrics_;
   // Per-unit Data Manager CPU demand frozen into an inline sampler.
-  stats::FrozenSampler main_cpu_;
+  stats::BufferedSampler main_cpu_;
   des::RngStream rng_;
   std::uint64_t batches_received_ = 0;
   std::uint64_t samples_received_ = 0;

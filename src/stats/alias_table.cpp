@@ -1,0 +1,90 @@
+#include "stats/alias_table.hpp"
+
+#include <stdexcept>
+
+namespace paradyn::stats {
+
+AliasTable AliasTable::from_sorted_values(const std::vector<double>& values) {
+  AliasTable t;
+  if (values.empty()) throw std::invalid_argument("AliasTable: empty sample");
+  if (values.size() == 1) {
+    t.lo_.push_back(values[0]);
+    t.columns_ = 1;
+    // width_ stays empty: degenerate, no RNG consumption.
+    return t;
+  }
+
+  // Merge consecutive identical (lo, hi) segment pairs: ties in the order
+  // statistics produce runs of equal segments (and zero-width atoms);
+  // grouping them keeps the table small and the column pick well mixed.
+  struct Seg {
+    double lo;
+    double width;
+    std::size_t count;
+  };
+  std::vector<Seg> segs;
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    const double lo = values[i];
+    const double width = values[i + 1] - values[i];
+    if (!segs.empty() && segs.back().lo == lo && segs.back().width == width) {
+      ++segs.back().count;
+    } else {
+      segs.push_back(Seg{lo, width, 1});
+    }
+  }
+
+  const std::size_t m = segs.size();
+  t.columns_ = m;
+  t.lo_.reserve(m);
+  t.width_.reserve(m);
+  for (const Seg& s : segs) {
+    t.lo_.push_back(s.lo);
+    t.width_.push_back(s.width);
+  }
+  if (m == 1) return t;  // single column: the draw path skips the alias test
+
+  // Vose's stable construction.  scaled[c] = weight_c * m, where
+  // weight_c = count_c / (n - 1); columns with scaled < 1 donate their
+  // deficit to an overweight column's alias slot.
+  const double total = static_cast<double>(values.size() - 1);
+  std::vector<double> scaled(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    scaled[c] = static_cast<double>(segs[c].count) * static_cast<double>(m) / total;
+  }
+  t.prob_.assign(m, 1.0);
+  t.alias_.resize(m);
+  for (std::size_t c = 0; c < m; ++c) t.alias_[c] = static_cast<std::uint32_t>(c);
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::size_t c = 0; c < m; ++c) {
+    (scaled[c] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(c));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    t.prob_[s] = scaled[s];
+    t.alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (either list) are numerically 1.0.
+  for (const std::uint32_t c : small) t.prob_[c] = 1.0;
+  for (const std::uint32_t c : large) t.prob_[c] = 1.0;
+
+  t.inv_p_.resize(m);
+  t.inv_q_.resize(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    t.inv_p_[c] = t.prob_[c] > 0.0 ? 1.0 / t.prob_[c] : 0.0;
+    // prob == 1 never takes the alias branch (x < 1 always); 0 is a safe
+    // placeholder that avoids an inf in the table.
+    t.inv_q_[c] = t.prob_[c] < 1.0 ? 1.0 / (1.0 - t.prob_[c]) : 0.0;
+  }
+  return t;
+}
+
+}  // namespace paradyn::stats

@@ -22,9 +22,11 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "des/random.hpp"
+#include "stats/alias_table.hpp"
 #include "stats/distributions.hpp"
 #include "stats/ziggurat.hpp"
 
@@ -38,9 +40,10 @@ enum class SamplerBackend : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SamplerBackend backend) noexcept;
 
-/// A Distribution frozen into an inline-dispatch sampler.  Every family —
-/// including Empirical, whose sorted order statistics are shared into an
-/// interpolation table — compiles to an inline switch; compile() rejects
+/// A Distribution frozen into an inline-dispatch sampler.  Every family
+/// compiles to an inline switch — Empirical becomes a Walker alias table
+/// under the Ziggurat backend (O(1) per draw) and keeps the historical
+/// inline inverse-CDF under Reference; compile() rejects
 /// unknown Distribution subclasses rather than fall back to the virtual
 /// sample() (the retired kVirtual path).
 class FrozenSampler {
@@ -72,15 +75,28 @@ class FrozenSampler {
         return a_ * std::pow(ziggurat_exponential(rng), b_);
       case Kind::kWeibullRef:
         return a_ * std::pow(-std::log(rng.next_open_double()), b_);
-      case Kind::kEmpirical:
+      case Kind::kEmpiricalAlias:
+        return (*alias_)(rng);
+      case Kind::kEmpiricalQuantile:
         return empirical_draw(rng);
     }
     return a_;  // unreachable
   }
 
+  /// Bulk draw: out is filled with exactly the stream out.size() calls of
+  /// operator() would produce — bit for bit, same final RNG state — but
+  /// normals/exponentials go through the batch ziggurat kernels
+  /// (ziggurat_*_fill) and the lognormal/Weibull transforms run as a
+  /// separate elementwise pass over the block.
+  void fill(des::Pcg32& rng, std::span<double> out) const;
+
   /// True when the sampler dispatches inline.  Always the case since the
   /// virtual fallback was retired; kept for tests and introspection.
   [[nodiscard]] bool devirtualized() const noexcept { return true; }
+
+  /// False for Deterministic: draws consume no randomness, so prefill
+  /// buffering would only add a copy.
+  [[nodiscard]] bool stochastic() const noexcept { return kind_ != Kind::kDeterministic; }
 
  private:
   enum class Kind : std::uint8_t {
@@ -92,12 +108,13 @@ class FrozenSampler {
     kLognormalRef,
     kWeibullZig,
     kWeibullRef,
-    kEmpirical,
+    kEmpiricalAlias,     ///< Walker alias table (Ziggurat backend).
+    kEmpiricalQuantile,  ///< Historical inline inverse-CDF (--reference-rng).
   };
 
   /// Inverse-CDF over the shared order-statistics table — the exact
-  /// arithmetic of Empirical::quantile(rng.next_double()), so streams are
-  /// bit-identical to the virtual path under both backends.
+  /// arithmetic of Empirical::quantile(rng.next_double()), so Reference
+  /// streams stay bit-identical to the historical virtual path.
   [[nodiscard]] double empirical_draw(des::Pcg32& rng) const {
     const std::vector<double>& v = *table_;
     const double h = rng.next_double() * static_cast<double>(v.size() - 1);
@@ -119,8 +136,10 @@ class FrozenSampler {
   Kind kind_ = Kind::kDeterministic;
   double a_ = 0.0;
   double b_ = 0.0;
-  /// Shared sorted order statistics; only set for Kind::kEmpirical.
+  /// Shared sorted order statistics; only set for kEmpiricalQuantile.
   std::shared_ptr<const std::vector<double>> table_;
+  /// Shared alias table; only set for kEmpiricalAlias.
+  std::shared_ptr<const AliasTable> alias_;
 };
 
 }  // namespace paradyn::stats

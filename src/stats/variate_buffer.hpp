@@ -1,0 +1,100 @@
+// Per-site prefill buffers: event callbacks consume precomputed variates.
+//
+// Even with the batch ziggurat kernels, a hot site that draws one variate
+// per event pays the per-call PCG + table-walk latency on the event path.
+// BufferedSampler moves generation off that path: it owns a dedicated RNG
+// sub-stream, refills a block of variates through FrozenSampler::fill()
+// (the AVX2 batch kernels), and hands them out one load at a time.
+//
+// Determinism contract — the reason buffering is safe to enable across
+// --jobs / --shards / either event queue:
+//
+//   * Each buffered site draws from its OWN named stream, derived from
+//     (global seed, entity tag, site tag) exactly like every other stream
+//     in the model.  Sites never share a buffered stream, so the k-th
+//     variate a site consumes is the k-th draw of its stream — a function
+//     of the configuration only, independent of event interleaving,
+//     executor, shard count, and (because fill() is bit-identical to the
+//     scalar loop) of the block size.
+//   * Fault / repair / throttle draws stay on their dedicated PR-6/7 tags
+//     and are never routed through a buffer, so enabling batching cannot
+//     move their streams.
+//
+// The trade-off: a buffered site's variates come from a *different* stream
+// than the unbuffered per-entity stream, so default-flag outputs change if
+// buffering is switched on.  That is why it is opt-in (--batch-sampling)
+// and why the distributional results are gated by the same KS/equivalence
+// harness as every sampler change (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "des/random.hpp"
+#include "stats/sampler.hpp"
+
+namespace paradyn::stats {
+
+/// How a hot site should buffer its draws.  Default: disabled (block == 0),
+/// the site draws from its entity stream per event, exactly as before.
+struct BatchSpec {
+  std::uint64_t seed = 0;    ///< Global experiment seed.
+  std::uint64_t entity = 0;  ///< Owning entity's tag (node/app/daemon id).
+  std::uint64_t site = 0;    ///< Per-site stream tag (rocc::kBatchSiteBase + i).
+  std::uint32_t block = 0;   ///< Variates per refill; 0 disables buffering.
+
+  [[nodiscard]] bool enabled() const noexcept { return block > 0; }
+
+  /// The same spec aimed at the site `offset` slots further along — how an
+  /// entity with several draw sites derives one spec per site.
+  [[nodiscard]] BatchSpec at(std::uint64_t offset) const noexcept {
+    BatchSpec s = *this;
+    s.site += offset;
+    return s;
+  }
+};
+
+/// A FrozenSampler plus (optionally) a prefill buffer on a dedicated
+/// stream.  Unbuffered (the default), operator() forwards to the sampler
+/// on the caller's RNG — bit-identical to calling the sampler directly.
+class BufferedSampler {
+ public:
+  BufferedSampler() = default;
+
+  /// Buffer only when the spec asks for it AND the sampler actually
+  /// consumes randomness (buffering a Deterministic is a pure copy tax).
+  BufferedSampler(FrozenSampler sampler, const BatchSpec& spec)
+      : sampler_(sampler), buffered_(spec.enabled() && sampler.stochastic()) {
+    if (buffered_) {
+      stream_ = des::RngStream(spec.seed, spec.entity, spec.site);
+      buffer_.resize(spec.block);
+      pos_ = spec.block;  // empty: first draw triggers the first refill
+    }
+  }
+
+  /// Draw one variate.  `rng` is the caller's entity stream, consumed only
+  /// in pass-through mode; a buffered site leaves it untouched (which is
+  /// what keeps the non-buffered draws on that stream bit-stable).
+  double operator()(des::Pcg32& rng) {
+    if (!buffered_) return sampler_(rng);
+    if (pos_ == buffer_.size()) {
+      sampler_.fill(stream_, buffer_);
+      pos_ = 0;
+    }
+    return buffer_[pos_++];
+  }
+
+  [[nodiscard]] bool buffered() const noexcept { return buffered_; }
+  [[nodiscard]] const FrozenSampler& sampler() const noexcept { return sampler_; }
+
+ private:
+  FrozenSampler sampler_;
+  std::vector<double> buffer_;
+  std::size_t pos_ = 0;
+  des::RngStream stream_;
+  bool buffered_ = false;
+};
+
+}  // namespace paradyn::stats

@@ -1,0 +1,796 @@
+// Batch ziggurat kernels (see ziggurat.hpp for the contract).
+//
+// Bit-exactness strategy: the scalar sampler consumes one 64-bit PCG draw
+// per fast-path variate and a data-dependent number of extra draws on the
+// rejection path.  A straightforward SIMD formulation would pre-draw a
+// vector of uniforms and hand rejecting lanes their *next* uniforms in a
+// different order than the scalar loop, silently forking the stream.  The
+// kernels here never let that happen:
+//
+//   1. Snapshot the PCG state at the head of each W-variate block
+//      (W = 8 for the AVX-512 arm, 4 for AVX2).
+//   2. Advance 2W lanes of LCG state at once from the snapshot using
+//      precomputed multiplier powers a^k and increment prefix sums, apply
+//      the XSH-RR output permutation per lane, and pair the 32-bit
+//      outputs into the same W u64 draws the scalar loop would make.
+//   3. Evaluate the ziggurat's one-compare fast path on all W lanes.
+//   4. Commit only what provably matches the scalar stream.  AVX-512:
+//      masked-store the accepted prefix, re-draw the first rejecting lane
+//      scalar (slow path, extra draws and all), resume after it.  AVX2:
+//      store all-accept blocks; on any rejection replay the whole block
+//      through the scalar sampler from the untouched snapshot.
+//
+// Every arithmetic step that produces a committed variate is exact: the
+// 53-bit integer -> double conversions are representable without rounding,
+// and IEEE multiplication is sign-magnitude, so flipping the sign after
+// |hz| * w equals double(hz) * w bit for bit.
+#include "stats/ziggurat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define PARADYN_ZIG_X86 1
+#include <immintrin.h>
+#else
+#define PARADYN_ZIG_X86 0
+#endif
+
+namespace paradyn::stats {
+namespace {
+
+// --- Scalar reference loops -------------------------------------------------
+
+void fill_normal_scalar(des::Pcg32& rng, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = ziggurat_normal(rng);
+}
+
+void fill_exponential_scalar(des::Pcg32& rng, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = ziggurat_exponential(rng);
+}
+
+#if PARADYN_ZIG_X86
+
+// --- AVX2 kernels -----------------------------------------------------------
+
+/// LCG constants for jumping k steps at once: state_k = mul[k] * state_0 +
+/// add_unit[k] * inc.  add_unit[k] = a^{k-1} + ... + a + 1.  16 steps =
+/// one AVX-512 block of eight u64 draws (two 32-bit outputs each);
+/// 32 steps = the unrolled pair of blocks the AVX-512 main loop retires
+/// per iteration.
+struct LcgJump {
+  std::uint64_t mul[33];
+  std::uint64_t add_unit[33];
+};
+
+constexpr LcgJump make_lcg_jump() {
+  LcgJump j{};
+  j.mul[0] = 1;
+  j.add_unit[0] = 0;
+  for (int k = 1; k <= 32; ++k) {
+    j.mul[k] = j.mul[k - 1] * des::Pcg32::kMultiplier;
+    j.add_unit[k] = j.add_unit[k - 1] * des::Pcg32::kMultiplier + 1;
+  }
+  return j;
+}
+
+constexpr LcgJump kJump = make_lcg_jump();
+
+/// The jump constants pre-split by output parity: lane j of the "even"
+/// vectors holds the constants for state t_{2j} (the high half of draw
+/// u_j) and the "odd" vectors for t_{2j+1} (its low half), so
+/// u = (output(t_even) << 32) | output(t_odd) lands every draw in its own
+/// lane already in scalar order — no cross-lane shuffle needed.
+struct LcgJumpVectors {
+  alignas(64) std::uint64_t mul_even[8];
+  alignas(64) std::uint64_t add_even[8];
+  alignas(64) std::uint64_t mul_odd[8];
+  alignas(64) std::uint64_t add_odd[8];
+};
+
+constexpr LcgJumpVectors make_lcg_jump_vectors() {
+  LcgJumpVectors v{};
+  for (int j = 0; j < 8; ++j) {
+    v.mul_even[j] = kJump.mul[2 * j];
+    v.add_even[j] = kJump.add_unit[2 * j];
+    v.mul_odd[j] = kJump.mul[2 * j + 1];
+    v.add_odd[j] = kJump.add_unit[2 * j + 1];
+  }
+  return v;
+}
+
+constexpr LcgJumpVectors kJumpV = make_lcg_jump_vectors();
+
+/// 64-bit lane-wise multiply (AVX2 has no vpmullq): schoolbook over the
+/// 32-bit halves, keeping the low 64 bits.
+__attribute__((target("avx2"))) inline __m256i mullo64(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                                         _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// XSH-RR output permutation on four 64-bit states, one 32-bit output per
+/// lane (kept in the lane's low half).  Matches Pcg32::next_u32 exactly.
+__attribute__((target("avx2"))) inline __m256i pcg_output(__m256i t) {
+  const __m256i mask32 = _mm256_set1_epi64x(0xffffffffLL);
+  __m256i x = _mm256_xor_si256(_mm256_srli_epi64(t, 18), t);
+  x = _mm256_and_si256(_mm256_srli_epi64(x, 27), mask32);
+  const __m256i rot = _mm256_srli_epi64(t, 59);
+  const __m256i lshift =
+      _mm256_and_si256(_mm256_sub_epi64(_mm256_set1_epi64x(32), rot), _mm256_set1_epi64x(31));
+  return _mm256_and_si256(
+      _mm256_or_si256(_mm256_srlv_epi64(x, rot), _mm256_sllv_epi64(x, lshift)), mask32);
+}
+
+/// The next four u64 draws from state `s`, in scalar draw order, plus the
+/// state after the eighth 32-bit step (not yet committed to the RNG).
+struct DrawBlock {
+  __m256i u;
+  std::uint64_t next_state;
+};
+
+/// States t_{k0}..t_{k0+3} from t_0 = s: t_k = a^k s + (a^{k-1}+...+1) inc.
+/// (A named function, not a lambda — GCC lambdas do not inherit the
+/// enclosing function's target("avx2") attribute.)
+__attribute__((target("avx2"))) inline __m256i lcg_states(__m256i sv, __m256i incv, int k0) {
+  const __m256i mul = _mm256_set_epi64x(
+      static_cast<long long>(kJump.mul[k0 + 3]), static_cast<long long>(kJump.mul[k0 + 2]),
+      static_cast<long long>(kJump.mul[k0 + 1]), static_cast<long long>(kJump.mul[k0]));
+  const __m256i add = _mm256_set_epi64x(
+      static_cast<long long>(kJump.add_unit[k0 + 3]),
+      static_cast<long long>(kJump.add_unit[k0 + 2]),
+      static_cast<long long>(kJump.add_unit[k0 + 1]),
+      static_cast<long long>(kJump.add_unit[k0]));
+  return _mm256_add_epi64(mullo64(mul, sv), mullo64(add, incv));
+}
+
+__attribute__((target("avx2"))) inline DrawBlock next4_u64(std::uint64_t s, std::uint64_t inc) {
+  const __m256i sv = _mm256_set1_epi64x(static_cast<long long>(s));
+  const __m256i incv = _mm256_set1_epi64x(static_cast<long long>(inc));
+  const __m256i o_lo = pcg_output(lcg_states(sv, incv, 0));  // o0..o3
+  const __m256i o_hi = pcg_output(lcg_states(sv, incv, 4));  // o4..o7
+  // u_j = (o_{2j} << 32) | o_{2j+1}: interleave across the two vectors,
+  // then restore draw order (unpack walks the 128-bit halves).
+  const __m256i evens = _mm256_unpacklo_epi64(o_lo, o_hi);  // o0 o4 o2 o6
+  const __m256i odds = _mm256_unpackhi_epi64(o_lo, o_hi);   // o1 o5 o3 o7
+  __m256i u = _mm256_or_si256(_mm256_slli_epi64(evens, 32), odds);  // u0 u2 u1 u3
+  u = _mm256_permute4x64_epi64(u, _MM_SHUFFLE(3, 1, 2, 0));         // u0 u1 u2 u3
+  return DrawBlock{u, kJump.mul[8] * s + kJump.add_unit[8] * inc};
+}
+
+__attribute__((target("avx2"))) void fill_normal_avx2(des::Pcg32& rng, double* out,
+                                                      std::size_t n) {
+  const std::uint64_t inc = rng.raw_increment();
+  std::uint64_t s = rng.raw_state();
+  const __m256i mask8 = _mm256_set1_epi64x(255);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i exp52 = _mm256_set1_epi64x(0x4330000000000000LL);
+  const __m256d two52 = _mm256_set1_pd(4503599627370496.0);
+  const __m256i msb = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const auto* ktab = reinterpret_cast<const long long*>(detail::kNormalZig.k);
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const DrawBlock block = next4_u64(s, inc);
+    const __m256i u = block.u;
+    const __m256i iz = _mm256_and_si256(u, mask8);
+    // Arithmetic >> 11 emulated: logical shift, then smear the sign into
+    // the top 11 bits.  sign is all-ones per negative lane.
+    const __m256i sign = _mm256_cmpgt_epi64(zero, u);
+    const __m256i hz = _mm256_or_si256(_mm256_srli_epi64(u, 11), _mm256_slli_epi64(sign, 53));
+    const __m256i az = _mm256_sub_epi64(_mm256_xor_si256(hz, sign), sign);
+    const __m256i kv = _mm256_i64gather_epi64(ktab, iz, 8);
+    // az and k are < 2^52, so the signed compare is an unsigned compare.
+    const __m256i accept = _mm256_cmpgt_epi64(kv, az);
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(accept)) != 0xF) {
+      // Some lane needs the wedge/tail: replay the whole block scalar from
+      // the uncommitted snapshot so the rejection draws interleave exactly
+      // as the scalar loop's would.
+      rng.set_raw_state(s);
+      out[i] = ziggurat_normal(rng);
+      out[i + 1] = ziggurat_normal(rng);
+      out[i + 2] = ziggurat_normal(rng);
+      out[i + 3] = ziggurat_normal(rng);
+      s = rng.raw_state();
+      continue;
+    }
+    // double(az) exactly, via the 2^52 mantissa-injection trick (az < 2^52),
+    // then the sign flip reproduces double(hz) — IEEE multiply is
+    // sign-magnitude, so (±|hz|) * w match bit for bit.
+    const __m256d mag = _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(az, exp52)), two52);
+    const __m256d value = _mm256_castsi256_pd(
+        _mm256_xor_si256(_mm256_castpd_si256(mag), _mm256_and_si256(sign, msb)));
+    const __m256d w = _mm256_i64gather_pd(detail::kNormalZig.w, iz, 8);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(value, w));
+    s = block.next_state;
+  }
+  rng.set_raw_state(s);
+  for (; i < n; ++i) out[i] = ziggurat_normal(rng);
+}
+
+__attribute__((target("avx2"))) void fill_exponential_avx2(des::Pcg32& rng, double* out,
+                                                           std::size_t n) {
+  const std::uint64_t inc = rng.raw_increment();
+  std::uint64_t s = rng.raw_state();
+  const __m256i mask8 = _mm256_set1_epi64x(255);
+  const __m256i mask52 = _mm256_set1_epi64x(0xfffffffffffffLL);
+  const __m256i exp52 = _mm256_set1_epi64x(0x4330000000000000LL);
+  const __m256d two52 = _mm256_set1_pd(4503599627370496.0);
+  const auto* ktab = reinterpret_cast<const long long*>(detail::kExpZig.k);
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const DrawBlock block = next4_u64(s, inc);
+    const __m256i jz = _mm256_srli_epi64(block.u, 11);
+    const __m256i iz = _mm256_and_si256(block.u, mask8);
+    const __m256i kv = _mm256_i64gather_epi64(ktab, iz, 8);
+    const __m256i accept = _mm256_cmpgt_epi64(kv, jz);  // both < 2^62: signed ok
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(accept)) != 0xF) {
+      rng.set_raw_state(s);
+      out[i] = ziggurat_exponential(rng);
+      out[i + 1] = ziggurat_exponential(rng);
+      out[i + 2] = ziggurat_exponential(rng);
+      out[i + 3] = ziggurat_exponential(rng);
+      s = rng.raw_state();
+      continue;
+    }
+    // jz is 53 bits — one bit past the mantissa-injection trick — so split
+    // into bit 52 and the low 52 bits; both partial conversions and their
+    // sum are exact (the sum is < 2^53).
+    const __m256d d_lo = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(_mm256_and_si256(jz, mask52), exp52)), two52);
+    const __m256d d_hi = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(_mm256_srli_epi64(jz, 52), exp52)), two52);
+    const __m256d d = _mm256_add_pd(_mm256_mul_pd(d_hi, two52), d_lo);
+    const __m256d w = _mm256_i64gather_pd(detail::kExpZig.w, iz, 8);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(d, w));
+    s = block.next_state;
+  }
+  rng.set_raw_state(s);
+  for (; i < n; ++i) out[i] = ziggurat_exponential(rng);
+}
+
+// --- AVX-512 kernels --------------------------------------------------------
+//
+// W = 8 draws per block.  AVX512DQ supplies the three operations the AVX2
+// arm has to emulate — native 64-bit lane multiply (vpmullq), arithmetic
+// 64-bit shift, and exact int64 -> double conversion (vcvtqq2pd) — and the
+// mask registers make the accept test and the PREFIX COMMIT cheap: on a
+// rejection the accepted lanes before the first rejecting one are stored
+// with a masked store (they are exactly the scalar stream), the RNG is
+// positioned at the rejecting lane's draw, that one variate is re-drawn
+// through the full scalar sampler, and the next block starts right after
+// it.  Nothing accepted is ever recomputed, unlike the AVX2 arm's
+// whole-block replay.
+
+/// XSH-RR on eight 64-bit states, one 32-bit output per lane (low half).
+/// XSH-RR output of eight states, with the rotated 32-bit result in the
+/// LOW half of each lane and garbage above it (the pairing step shifts or
+/// masks the garbage away).  The rotate is the native per-32-bit-element
+/// variable rotate: the count t >> 59 sits in the lane's low element and
+/// leaves the high element's count zero, so the low element is exactly
+/// ror32(xorshifted, rot) and the garbage stays confined to the high half.
+__attribute__((target("avx512f,avx512dq"))) inline __m512i pcg_output512_raw(__m512i t) {
+  const __m512i x = _mm512_srli_epi64(_mm512_xor_si512(_mm512_srli_epi64(t, 18), t), 27);
+  return _mm512_rorv_epi32(x, _mm512_srli_epi64(t, 59));
+}
+
+/// u64 draw j in lane j: (output(t_even) << 32) | output(t_odd), cleaning
+/// the raw outputs' garbage halves in the same two instructions.
+__attribute__((target("avx512f,avx512dq"))) inline __m512i pair_outputs512(__m512i t_even,
+                                                                           __m512i t_odd) {
+  const __m512i mask32 = _mm512_set1_epi64(0xffffffffLL);
+  return _mm512_ternarylogic_epi64(_mm512_slli_epi64(pcg_output512_raw(t_even), 32),
+                                   pcg_output512_raw(t_odd), mask32, 0xF8);
+}
+
+/// States t_{k0}, t_{k0+2}, ..., t_{k0+14} (k0 = 0) or the odd sequence
+/// (k0 = 1) from scalar state `s`, via the pre-split jump constants.
+__attribute__((target("avx512f,avx512dq"))) inline __m512i lcg_init512(
+    std::uint64_t s, std::uint64_t inc, const std::uint64_t* mul, const std::uint64_t* add) {
+  const __m512i sv = _mm512_set1_epi64(static_cast<long long>(s));
+  const __m512i incv = _mm512_set1_epi64(static_cast<long long>(inc));
+  return _mm512_add_epi64(_mm512_mullo_epi64(_mm512_load_si512(mul), sv),
+                          _mm512_mullo_epi64(_mm512_load_si512(add), incv));
+}
+
+/// Jump every lane of a state vector by the same step count:
+/// t' = a^k t + (a^{k-1} + ... + 1) inc, with a^k and the increment sum
+/// pre-broadcast by the caller.
+__attribute__((target("avx512f,avx512dq"))) inline __m512i lcg_advance512(__m512i t, __m512i a,
+                                                                          __m512i c) {
+  return _mm512_add_epi64(_mm512_mullo_epi64(t, a), c);
+}
+
+/// Lane 0 of a state vector (== the scalar state at the block head).
+__attribute__((target("avx512f,avx512dq"))) inline std::uint64_t lane0(__m512i v) {
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(_mm512_castsi512_si128(v)));
+}
+
+/// Per-layer accept threshold and value scale, gathered for eight lanes.
+/// Both tables are 2 KB and L1-resident, so vpgatherqq wins over manual
+/// extract-and-insert assembly here (measured on the target Xeons).
+struct GatheredTables {
+  __m512i k;
+  __m512d w;
+};
+
+__attribute__((target("avx512f,avx512dq"))) inline GatheredTables lookup_tables(
+    __m512i iz, const std::uint64_t* ktab, const double* wtab) {
+  return {_mm512_i64gather_epi64(iz, reinterpret_cast<const long long*>(ktab), 8),
+          _mm512_i64gather_pd(iz, wtab, 8)};
+}
+
+/// One generation chunk: raw u64 draws cached ahead of consumption.
+/// 1024 draws = 8 KB of scratch — small enough that scratch + tables +
+/// a production-sized output block all stay L1-resident.
+constexpr std::size_t kChunkU64 = 2048;
+
+/// Phase 1 of the AVX-512 fill: write the next `m` u64 draws of the raw
+/// PCG stream (m % 16 == 0) into `ubuf`, and the LCG state at the head of
+/// each 16-draw block pair (plus the final state) into `heads`.  Branch-free and
+/// rejection-free: the u64 stream is a pure function of the start state,
+/// so the consume phase can take slow paths through the REAL RNG without
+/// invalidating anything cached here.  Two blocks are kept in flight —
+/// the carried vpmullq advance is ~15 cycles deep and one block's ~16
+/// cheap ops cannot hide it alone.
+__attribute__((target("avx512f,avx512dq"))) void generate_u64_stream(
+    std::uint64_t s, std::uint64_t inc, std::uint64_t* ubuf, std::uint64_t* heads,
+    std::size_t m) {
+  const __m512i a16 = _mm512_set1_epi64(static_cast<long long>(kJump.mul[16]));
+  const __m512i c16 = _mm512_set1_epi64(static_cast<long long>(kJump.add_unit[16] * inc));
+  const __m512i a32 = _mm512_set1_epi64(static_cast<long long>(kJump.mul[32]));
+  const __m512i c32 = _mm512_set1_epi64(static_cast<long long>(kJump.add_unit[32] * inc));
+  __m512i t_even = lcg_init512(s, inc, kJumpV.mul_even, kJumpV.add_even);
+  __m512i t_odd = lcg_init512(s, inc, kJumpV.mul_odd, kJumpV.add_odd);
+  __m512i b_even = lcg_advance512(t_even, a16, c16);
+  __m512i b_odd = lcg_advance512(t_odd, a16, c16);
+  for (std::size_t b = 0; b < m / 8; b += 2) {
+    heads[b / 2] = lane0(t_even);
+    _mm512_store_si512(ubuf + 8 * b, pair_outputs512(t_even, t_odd));
+    _mm512_store_si512(ubuf + 8 * b + 8, pair_outputs512(b_even, b_odd));
+    t_even = lcg_advance512(t_even, a32, c32);
+    t_odd = lcg_advance512(t_odd, a32, c32);
+    b_even = lcg_advance512(b_even, a32, c32);
+    b_odd = lcg_advance512(b_odd, a32, c32);
+  }
+  heads[m / 16] = lane0(t_even);
+}
+
+/// The LCG state just before draw `p` of the current chunk.  The jump
+/// table reaches 32 steps, so one head per 16 draws is enough.
+inline std::uint64_t state_at(const std::uint64_t* heads, std::size_t p, std::uint64_t inc) {
+  const std::size_t o = 2 * (p % 16);
+  return kJump.mul[o] * heads[p / 16] + kJump.add_unit[o] * inc;
+}
+
+/// Wedge decision `lhs < exp(t)` without the libm call on the hot path.
+/// A degree-9 Taylor kernel after ln2 range reduction is good to ~2e-11
+/// relative over the wedge range t in (-7.7, 0]; outside the +/-1e-10
+/// ambiguity band around the approximation the decision provably equals
+/// the std::exp one, and inside it (probability ~1e-8 per call) we defer
+/// to std::exp itself.  Bit-exactness of the emitted stream only needs the
+/// DECISION to match the scalar slow path — the accepted value is x, not
+/// exp(t) — so this changes no output.
+inline bool wedge_less_than_exp(double lhs, double t) {
+  constexpr double kLog2E = 1.4426950408889634;
+  constexpr double kLn2Hi = 0x1.62e42fefa39efp-1;
+  constexpr double kLn2Lo = 0x1.abc9e3b39803fp-56;
+  const double dn = __builtin_floor(t * kLog2E + 0.5);
+  const double r = (t - dn * kLn2Hi) - dn * kLn2Lo;
+  const double r2 = r * r;
+  const double r4 = r2 * r2;
+  // Taylor 1/k!, Estrin grouping to keep the dependency chain short.
+  const double a = 1.0 + r;
+  const double b = (1.0 / 2.0) + r * (1.0 / 6.0);
+  const double c = (1.0 / 24.0) + r * (1.0 / 120.0);
+  const double d = (1.0 / 720.0) + r * (1.0 / 5040.0);
+  const double e = (1.0 / 40320.0) + r * (1.0 / 362880.0);
+  const double poly = (a + r2 * b) + r4 * ((c + r2 * d) + r4 * e);
+  // poly * 2^dn: dn in [-12, 0] here, so the exponent stays normal.
+  std::uint64_t bits;
+  std::memcpy(&bits, &poly, sizeof(bits));
+  bits += static_cast<std::uint64_t>(static_cast<std::int64_t>(dn)) << 52;
+  double approx;
+  std::memcpy(&approx, &bits, sizeof(approx));
+  const double eps = 1e-10 * approx;
+  if (lhs < approx - eps) return true;
+  if (lhs > approx + eps) return false;
+  return lhs < std::exp(t);
+}
+
+/// Resolve one rejecting block: commit the accepted prefix, then run the
+/// wedge/tail rejection algorithm directly against the cached u64 stream —
+/// the slow path's extra draws are exactly positions q, q+1, ... of ubuf.
+/// The scalar algorithm is memoryless given (hz, iz) at each iteration
+/// top, so when the cached stream runs low we reposition the real RNG and
+/// hand the current (hz, iz) to the out-of-line slow path, which finishes
+/// identically.  Returns true when the RNG was synced that way (otherwise
+/// the caller's position-based state recovery remains authoritative).
+__attribute__((target("avx512f,avx512dq"))) inline bool resolve_reject_normal(
+    des::Pcg32& rng, double* out, const std::uint64_t* ubuf, const std::uint64_t* heads,
+    std::uint64_t inc, std::size_t m, std::size_t& i, std::size_t& p, __m512i u, __m512d value,
+    __mmask8 accept) {
+  const unsigned r = static_cast<unsigned>(
+      __builtin_ctz(static_cast<unsigned>(~accept) & 0xFFu));
+  _mm512_mask_storeu_pd(out + i, static_cast<__mmask8>((1u << r) - 1u), value);
+  i += r;
+  p += r;
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(lanes, u);
+  const std::uint64_t uq = lanes[r];
+  std::int64_t hz = static_cast<std::int64_t>(uq) >> 11;
+  auto iz = static_cast<std::uint32_t>(uq & 255U);
+  std::size_t q = p + 1;
+  double val;
+  bool synced = false;
+  for (;;) {
+    if (q + 2 > m) {
+      rng.set_raw_state(state_at(heads, q, inc));
+      std::uint32_t consumed = 0;
+      val = detail::ziggurat_normal_slow(rng, hz, iz, &consumed);
+      q += consumed;
+      synced = true;
+      break;
+    }
+    if (iz == 0) {
+      const double x = -std::log(1.0 - static_cast<double>(ubuf[q] >> 11) * 0x1.0p-53) *
+                       (1.0 / detail::kNormalZigR);
+      const double y = -std::log(1.0 - static_cast<double>(ubuf[q + 1] >> 11) * 0x1.0p-53);
+      q += 2;
+      if (y + y < x * x) continue;
+      val = hz > 0 ? detail::kNormalZigR + x : -(detail::kNormalZigR + x);
+      break;
+    }
+    const double x = static_cast<double>(hz) * detail::kNormalZig.w[iz];
+    const double u2 = static_cast<double>(ubuf[q] >> 11) * 0x1.0p-53;
+    ++q;
+    if (wedge_less_than_exp(
+            detail::kNormalZig.f[iz] + u2 * (detail::kNormalZig.f[iz - 1] - detail::kNormalZig.f[iz]),
+            -0.5 * x * x)) {
+      val = x;
+      break;
+    }
+    const std::uint64_t uu = ubuf[q];
+    ++q;
+    iz = static_cast<std::uint32_t>(uu & 255U);
+    hz = static_cast<std::int64_t>(uu) >> 11;
+    const auto az = static_cast<std::uint64_t>(hz < 0 ? -hz : hz);
+    if (az < detail::kNormalZig.k[iz]) {
+      val = static_cast<double>(hz) * detail::kNormalZig.w[iz];
+      break;
+    }
+  }
+  out[i] = val;
+  ++i;
+  p = q;
+  return synced;
+}
+
+__attribute__((target("avx512f,avx512dq"))) inline bool resolve_reject_exponential(
+    des::Pcg32& rng, double* out, const std::uint64_t* ubuf, const std::uint64_t* heads,
+    std::uint64_t inc, std::size_t m, std::size_t& i, std::size_t& p, __m512i u, __m512d value,
+    __mmask8 accept) {
+  const unsigned r = static_cast<unsigned>(
+      __builtin_ctz(static_cast<unsigned>(~accept) & 0xFFu));
+  _mm512_mask_storeu_pd(out + i, static_cast<__mmask8>((1u << r) - 1u), value);
+  i += r;
+  p += r;
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(lanes, u);
+  const std::uint64_t uq = lanes[r];
+  std::uint64_t jz = uq >> 11;
+  auto iz = static_cast<std::uint32_t>(uq & 255U);
+  std::size_t q = p + 1;
+  double val;
+  bool synced = false;
+  for (;;) {
+    if (q + 2 > m) {
+      rng.set_raw_state(state_at(heads, q, inc));
+      std::uint32_t consumed = 0;
+      val = detail::ziggurat_exponential_slow(rng, jz, iz, &consumed);
+      q += consumed;
+      synced = true;
+      break;
+    }
+    if (iz == 0) {
+      val = detail::kExpZigR -
+            std::log(1.0 - static_cast<double>(ubuf[q] >> 11) * 0x1.0p-53);
+      ++q;
+      break;
+    }
+    const double x = static_cast<double>(jz) * detail::kExpZig.w[iz];
+    const double u2 = static_cast<double>(ubuf[q] >> 11) * 0x1.0p-53;
+    ++q;
+    if (wedge_less_than_exp(
+            detail::kExpZig.f[iz] + u2 * (detail::kExpZig.f[iz - 1] - detail::kExpZig.f[iz]),
+            -x)) {
+      val = x;
+      break;
+    }
+    const std::uint64_t uu = ubuf[q];
+    ++q;
+    iz = static_cast<std::uint32_t>(uu & 255U);
+    jz = uu >> 11;
+    if (jz < detail::kExpZig.k[iz]) {
+      val = static_cast<double>(jz) * detail::kExpZig.w[iz];
+      break;
+    }
+  }
+  out[i] = val;
+  ++i;
+  p = q;
+  return synced;
+}
+
+/// How many u64 draws the chunk should hold: everything still needed plus
+/// slow-path slack, rounded to the generator's 16-draw granularity and
+/// capped at the scratch size.  Exhausting the slack early just triggers
+/// another (small) regeneration — never an error.
+inline std::size_t chunk_draws(std::size_t remaining) {
+  const std::size_t want = (remaining + 32 + 15) & ~static_cast<std::size_t>(15);
+  return want < kChunkU64 ? want : kChunkU64;
+}
+
+// Phase 2, shared shape (normal / exponential differ only in the mantissa
+// extraction, table, and scalar fallback): consume the cached stream with
+// NO loop-carried vector state.  The all-accept path is one unaligned
+// load + table gathers + compare + convert + store; a rejecting lane
+// repositions the real RNG from the recorded block heads, resolves the
+// slow path scalar (consuming draws from the SAME stream), and advances
+// the read pointer by however many draws that took — found by walking
+// states forward until they match, typically one or two steps.
+
+__attribute__((target("avx512f,avx512dq"))) void fill_normal_avx512(des::Pcg32& rng,
+                                                                    double* out,
+                                                                    std::size_t n) {
+  const std::uint64_t inc = rng.raw_increment();
+  std::size_t i = 0;
+  if (n >= 8) {
+    alignas(64) std::uint64_t ubuf[kChunkU64];
+    alignas(64) std::uint64_t heads[kChunkU64 / 16 + 1];
+    const __m512i mask8 = _mm512_set1_epi64(255);
+    std::uint64_t s = rng.raw_state();
+    while (n - i >= 8) {
+      const std::size_t m = chunk_draws(n - i);
+      generate_u64_stream(s, inc, ubuf, heads, m);
+      std::size_t p = 0;
+      bool rng_at_p = false;
+      // Two blocks per iteration: one fused accept check covers 16 draws,
+      // halving branch and bookkeeping cost on the dominant path.  The
+      // pair-count is precomputed so the hot loop carries one counter; it
+      // is re-derived after a rejection moves p by a variable amount.
+      std::size_t iters = std::min((n - i) / 16, (m - p) / 16);
+      while (iters != 0) {
+        const __m512i u0 = _mm512_loadu_si512(ubuf + p);
+        const __m512i u1 = _mm512_loadu_si512(ubuf + p + 8);
+        const __m512i hz0 = _mm512_srai_epi64(u0, 11);
+        const __m512i hz1 = _mm512_srai_epi64(u1, 11);
+        const GatheredTables t0 = lookup_tables(_mm512_and_si512(u0, mask8),
+                                                detail::kNormalZig.k, detail::kNormalZig.w);
+        const GatheredTables t1 = lookup_tables(_mm512_and_si512(u1, mask8),
+                                                detail::kNormalZig.k, detail::kNormalZig.w);
+        // az and k are < 2^52, so the signed compare is an unsigned compare.
+        const __mmask8 accept0 = _mm512_cmpgt_epi64_mask(t0.k, _mm512_abs_epi64(hz0));
+        const __mmask8 accept1 = _mm512_cmpgt_epi64_mask(t1.k, _mm512_abs_epi64(hz1));
+        // |hz| < 2^53: vcvtqq2pd is exact, so value * w matches the scalar
+        // double(hz) * w[iz] bit for bit.
+        const __m512d value0 = _mm512_mul_pd(_mm512_cvtepi64_pd(hz0), t0.w);
+        const __m512d value1 = _mm512_mul_pd(_mm512_cvtepi64_pd(hz1), t1.w);
+        if ((static_cast<unsigned>(accept0) | (static_cast<unsigned>(accept1) << 8)) ==
+            0xFFFFu) {
+          _mm512_storeu_pd(out + i, value0);
+          _mm512_storeu_pd(out + i + 8, value1);
+          i += 16;
+          p += 16;
+          --iters;
+          rng_at_p = false;
+          continue;
+        }
+        if (accept0 != 0xFF) {
+          rng_at_p = resolve_reject_normal(rng, out, ubuf, heads, inc, m, i, p, u0, value0,
+                                          accept0);
+        } else {
+          _mm512_storeu_pd(out + i, value0);
+          i += 8;
+          p += 8;
+          rng_at_p = resolve_reject_normal(rng, out, ubuf, heads, inc, m, i, p, u1, value1,
+                                          accept1);
+        }
+        iters = (p > m || n - i < 16) ? 0 : std::min((n - i) / 16, (m - p) / 16);
+      }
+      while (i + 8 <= n && p + 8 <= m) {
+        const __m512i u = _mm512_loadu_si512(ubuf + p);
+        const __m512i hz = _mm512_srai_epi64(u, 11);
+        const GatheredTables t = lookup_tables(_mm512_and_si512(u, mask8),
+                                               detail::kNormalZig.k, detail::kNormalZig.w);
+        const __mmask8 accept = _mm512_cmpgt_epi64_mask(t.k, _mm512_abs_epi64(hz));
+        const __m512d value = _mm512_mul_pd(_mm512_cvtepi64_pd(hz), t.w);
+        if (accept == 0xFF) {
+          _mm512_storeu_pd(out + i, value);
+          i += 8;
+          p += 8;
+          rng_at_p = false;
+          continue;
+        }
+        rng_at_p = resolve_reject_normal(rng, out, ubuf, heads, inc, m, i, p, u, value, accept);
+      }
+      s = rng_at_p ? rng.raw_state() : state_at(heads, p, inc);
+    }
+    rng.set_raw_state(s);
+  }
+  for (; i < n; ++i) out[i] = ziggurat_normal(rng);
+}
+
+__attribute__((target("avx512f,avx512dq"))) void fill_exponential_avx512(des::Pcg32& rng,
+                                                                         double* out,
+                                                                         std::size_t n) {
+  const std::uint64_t inc = rng.raw_increment();
+  std::size_t i = 0;
+  if (n >= 8) {
+    alignas(64) std::uint64_t ubuf[kChunkU64];
+    alignas(64) std::uint64_t heads[kChunkU64 / 16 + 1];
+    const __m512i mask8 = _mm512_set1_epi64(255);
+    std::uint64_t s = rng.raw_state();
+    while (n - i >= 8) {
+      const std::size_t m = chunk_draws(n - i);
+      generate_u64_stream(s, inc, ubuf, heads, m);
+      std::size_t p = 0;
+      bool rng_at_p = false;
+      std::size_t iters = std::min((n - i) / 16, (m - p) / 16);
+      while (iters != 0) {
+        const __m512i u0 = _mm512_loadu_si512(ubuf + p);
+        const __m512i u1 = _mm512_loadu_si512(ubuf + p + 8);
+        const __m512i jz0 = _mm512_srli_epi64(u0, 11);
+        const __m512i jz1 = _mm512_srli_epi64(u1, 11);
+        const GatheredTables t0 = lookup_tables(_mm512_and_si512(u0, mask8),
+                                                detail::kExpZig.k, detail::kExpZig.w);
+        const GatheredTables t1 = lookup_tables(_mm512_and_si512(u1, mask8),
+                                                detail::kExpZig.k, detail::kExpZig.w);
+        const __mmask8 accept0 = _mm512_cmpgt_epi64_mask(t0.k, jz0);  // both < 2^62: signed ok
+        const __mmask8 accept1 = _mm512_cmpgt_epi64_mask(t1.k, jz1);
+        // jz < 2^53: vcvtuqq2pd is exact.
+        const __m512d value0 = _mm512_mul_pd(_mm512_cvtepu64_pd(jz0), t0.w);
+        const __m512d value1 = _mm512_mul_pd(_mm512_cvtepu64_pd(jz1), t1.w);
+        if ((static_cast<unsigned>(accept0) | (static_cast<unsigned>(accept1) << 8)) ==
+            0xFFFFu) {
+          _mm512_storeu_pd(out + i, value0);
+          _mm512_storeu_pd(out + i + 8, value1);
+          i += 16;
+          p += 16;
+          --iters;
+          rng_at_p = false;
+          continue;
+        }
+        if (accept0 != 0xFF) {
+          rng_at_p = resolve_reject_exponential(rng, out, ubuf, heads, inc, m, i, p, u0, value0,
+                                          accept0);
+        } else {
+          _mm512_storeu_pd(out + i, value0);
+          i += 8;
+          p += 8;
+          rng_at_p = resolve_reject_exponential(rng, out, ubuf, heads, inc, m, i, p, u1, value1,
+                                          accept1);
+        }
+        iters = (p > m || n - i < 16) ? 0 : std::min((n - i) / 16, (m - p) / 16);
+      }
+      while (i + 8 <= n && p + 8 <= m) {
+        const __m512i u = _mm512_loadu_si512(ubuf + p);
+        const __m512i jz = _mm512_srli_epi64(u, 11);
+        const GatheredTables t = lookup_tables(_mm512_and_si512(u, mask8),
+                                               detail::kExpZig.k, detail::kExpZig.w);
+        const __mmask8 accept = _mm512_cmpgt_epi64_mask(t.k, jz);  // both < 2^62: signed ok
+        const __m512d value = _mm512_mul_pd(_mm512_cvtepu64_pd(jz), t.w);
+        if (accept == 0xFF) {
+          _mm512_storeu_pd(out + i, value);
+          i += 8;
+          p += 8;
+          rng_at_p = false;
+          continue;
+        }
+        rng_at_p = resolve_reject_exponential(rng, out, ubuf, heads, inc, m, i, p, u, value, accept);
+      }
+      s = rng_at_p ? rng.raw_state() : state_at(heads, p, inc);
+    }
+    rng.set_raw_state(s);
+  }
+  for (; i < n; ++i) out[i] = ziggurat_exponential(rng);
+}
+
+#endif  // PARADYN_ZIG_X86
+
+// --- Dispatch ---------------------------------------------------------------
+
+enum Arm : int { kUnresolved = -1, kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+std::atomic<int> g_arm{kUnresolved};
+
+/// Best arm this CPU can run (independent of any override).
+int best_arm() noexcept {
+#if PARADYN_ZIG_X86
+  if (__builtin_cpu_supports("avx512f") != 0 && __builtin_cpu_supports("avx512dq") != 0) {
+    return kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") != 0) return kAvx2;
+#endif
+  return kScalar;
+}
+
+int resolve_arm() noexcept {
+  int arm = g_arm.load(std::memory_order_relaxed);
+  if (arm != kUnresolved) return arm;
+  arm = best_arm();
+  if (const char* env = std::getenv("PARADYN_BATCH_DISPATCH"); env != nullptr) {
+    // The env var can only LOWER the arm — it names the ceiling, so a CI
+    // leg pinned to "scalar" or "avx2" runs that arm on any hardware that
+    // has it, and is a no-op where the hardware tops out lower anyway.
+    if (std::strcmp(env, "scalar") == 0) {
+      arm = kScalar;
+    } else if (std::strcmp(env, "avx2") == 0 && arm > kAvx2) {
+      arm = kAvx2;
+    }
+  }
+  g_arm.store(arm, std::memory_order_relaxed);
+  return arm;
+}
+
+}  // namespace
+
+void set_batch_dispatch(BatchDispatch dispatch) noexcept {
+  int arm = best_arm();
+  if (dispatch == BatchDispatch::ForceScalar) {
+    arm = kScalar;
+  } else if (dispatch == BatchDispatch::CapAvx2 && arm > kAvx2) {
+    arm = kAvx2;
+  }
+  g_arm.store(arm, std::memory_order_relaxed);
+}
+
+const char* batch_dispatch_active() noexcept {
+  switch (resolve_arm()) {
+    case kAvx512:
+      return "avx512";
+    case kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+void ziggurat_normal_fill(des::Pcg32& rng, double* out, std::size_t n) {
+#if PARADYN_ZIG_X86
+  switch (resolve_arm()) {
+    case kAvx512:
+      fill_normal_avx512(rng, out, n);
+      return;
+    case kAvx2:
+      fill_normal_avx2(rng, out, n);
+      return;
+    default:
+      break;
+  }
+#endif
+  fill_normal_scalar(rng, out, n);
+}
+
+void ziggurat_exponential_fill(des::Pcg32& rng, double* out, std::size_t n) {
+#if PARADYN_ZIG_X86
+  switch (resolve_arm()) {
+    case kAvx512:
+      fill_exponential_avx512(rng, out, n);
+      return;
+    case kAvx2:
+      fill_exponential_avx2(rng, out, n);
+      return;
+    default:
+      break;
+  }
+#endif
+  fill_exponential_scalar(rng, out, n);
+}
+
+}  // namespace paradyn::stats

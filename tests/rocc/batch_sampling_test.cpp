@@ -1,0 +1,269 @@
+// Differential determinism suite for --batch-sampling prefill buffers.
+//
+// Proof obligations for the batched variate path (ISSUE 10):
+//   (1) BufferedSampler refills exactly at block boundaries from its own
+//       dedicated stream and never touches the entity stream;
+//   (2) simulation results are bit-identical for every block size — the
+//       consumed stream is a function of the configuration, not of how
+//       many variates each refill precomputes;
+//   (3) batched runs stay bit-identical across --jobs and --shards;
+//   (4) fault / repair / throttle draws live on their own PR-6/7 tags, so
+//       switching batching on cannot move the fault schedule (tag
+//       isolation), and faulted batched runs are executor-invariant;
+//   (5) event times produced by a buffered sampler pop identically from
+//       the calendar EventQueue and the reference binary heap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "consultant/fault_detector.hpp"
+#include "des/event_queue.hpp"
+#include "des/heap_event_queue.hpp"
+#include "des/random.hpp"
+#include "experiments/runner.hpp"
+#include "rocc/faults.hpp"
+#include "rocc/simulation.hpp"
+#include "stats/distributions.hpp"
+#include "stats/variate_buffer.hpp"
+
+namespace paradyn::rocc {
+namespace {
+
+// ---- BufferedSampler unit behavior. ----
+
+stats::FrozenSampler exp_sampler(double mean) {
+  return stats::FrozenSampler::compile(std::make_shared<stats::Exponential>(mean),
+                                       stats::SamplerBackend::Ziggurat);
+}
+
+TEST(BufferedSampler, RefillsAtBlockBoundaryFromDedicatedStream) {
+  constexpr std::uint32_t kBlock = 4;
+  constexpr int kDraws = 11;  // crosses two refill boundaries mid-stream
+  const stats::BatchSpec spec{/*seed=*/42, /*entity=*/7, /*site=*/64, kBlock};
+  stats::BufferedSampler buffered(exp_sampler(100.0), spec);
+  ASSERT_TRUE(buffered.buffered());
+
+  des::RngStream entity_rng(42, 1);
+  const std::uint64_t entity_state = entity_rng.raw_state();
+
+  // Because fill() is bit-identical to sequential scalar draws, the k-th
+  // buffered value must equal the k-th scalar draw off the dedicated
+  // (seed, entity, site) stream regardless of where refills land.
+  des::RngStream expected_rng(spec.seed, spec.entity, spec.site);
+  const stats::FrozenSampler scalar = exp_sampler(100.0);
+  for (int i = 0; i < kDraws; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(buffered(entity_rng), scalar(expected_rng));
+  }
+  // The entity stream is a pure pass-through parameter when buffering is
+  // active: not a single u64 may be consumed from it.
+  EXPECT_EQ(entity_rng.raw_state(), entity_state);
+}
+
+TEST(BufferedSampler, DisabledSpecPassesThroughToEntityStream) {
+  stats::BufferedSampler plain(exp_sampler(100.0), stats::BatchSpec{});
+  EXPECT_FALSE(plain.buffered());
+  des::RngStream a(1, 2);
+  des::RngStream b(1, 2);
+  const stats::FrozenSampler scalar = exp_sampler(100.0);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(plain(a), scalar(b));
+  EXPECT_EQ(a.raw_state(), b.raw_state());
+}
+
+TEST(BufferedSampler, DeterministicSamplerNeverBuffers) {
+  // A constant draw has no stream to buffer; an enabled spec must not
+  // make it consume (or even construct) a dedicated stream.
+  const stats::BatchSpec spec{1, 2, 3, /*block=*/256};
+  stats::BufferedSampler constant(
+      stats::FrozenSampler::compile(std::make_shared<stats::Deterministic>(5.0),
+                                    stats::SamplerBackend::Ziggurat),
+      spec);
+  EXPECT_FALSE(constant.buffered());
+  des::RngStream rng(9, 9);
+  const std::uint64_t state = rng.raw_state();
+  EXPECT_EQ(constant(rng), 5.0);
+  EXPECT_EQ(rng.raw_state(), state);
+}
+
+// ---- Simulation-level invariances. ----
+
+void expect_bit_identical(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.samples_generated, b.samples_generated);
+  EXPECT_EQ(a.samples_delivered, b.samples_delivered);
+  EXPECT_EQ(a.samples_dropped, b.samples_dropped);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_DOUBLE_EQ(a.latency_us.mean(), b.latency_us.mean());
+  EXPECT_DOUBLE_EQ(a.latency_us.max(), b.latency_us.max());
+  EXPECT_DOUBLE_EQ(a.pd_cpu_time_per_node_us, b.pd_cpu_time_per_node_us);
+  EXPECT_DOUBLE_EQ(a.app_cpu_time_per_node_us, b.app_cpu_time_per_node_us);
+  EXPECT_DOUBLE_EQ(a.main_cpu_time_us, b.main_cpu_time_us);
+}
+
+SystemConfig batched_config(std::int32_t nodes, std::int32_t block) {
+  auto c = SystemConfig::now(nodes);
+  c.duration_us = 1e6;
+  c.sampling_period_us = 10'000.0;
+  c.batch.enabled = true;
+  c.batch.block = block;
+  return c;
+}
+
+TEST(BatchSampling, ResultsInvariantUnderBlockSize) {
+  // The block size only decides how far ahead each site precomputes; the
+  // consumed stream — and therefore every metric — must not move.  Block 1
+  // is the degenerate buffer (refill every draw), 7 lands refills mid-
+  // everything, 4096 outlives most sites' total demand.
+  const SimulationResult baseline = run_simulation(batched_config(4, 256));
+  for (const std::int32_t block : {1, 7, 4096}) {
+    SCOPED_TRACE("block=" + std::to_string(block));
+    expect_bit_identical(baseline, run_simulation(batched_config(4, block)));
+  }
+}
+
+TEST(BatchSampling, ReplicationSetBitIdenticalAcrossJobs) {
+  constexpr std::size_t kReps = 4;
+  const auto c = batched_config(4, 256);
+  const experiments::ReplicationSet serial(c, kReps, /*jobs=*/1);
+  const experiments::ReplicationSet parallel(c, kReps, /*jobs=*/4);
+  ASSERT_EQ(serial.results().size(), kReps);
+  ASSERT_EQ(parallel.results().size(), kReps);
+  for (std::size_t i = 0; i < kReps; ++i) {
+    SCOPED_TRACE(i);
+    expect_bit_identical(serial.results()[i], parallel.results()[i]);
+  }
+}
+
+TEST(BatchSampling, ShardCountInvariantWithBatchingOn) {
+  auto c = batched_config(8, 64);
+  c.uplink_latency_us = 500.0;  // conservative lookahead
+  c.shards = 1;
+  const SimulationResult baseline = [&] {
+    Simulation sim(c);
+    return sim.run();
+  }();
+  for (const std::int32_t shards : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    auto run = c;
+    run.shards = shards;
+    Simulation sim(run);
+    expect_bit_identical(baseline, sim.run());
+  }
+}
+
+// ---- Fault-tag isolation. ----
+
+SystemConfig stochastic_fault_config() {
+  auto c = SystemConfig::now(4);
+  c.duration_us = 2e6;
+  c.sampling_period_us = 10'000.0;
+  // Stochastic start/duration/cascade so the schedule actually consumes
+  // the fault streams — a schedule of constants would pass vacuously.
+  c.faults = FaultPlan::parse(
+      "daemon_stall:daemon=1,start=uniform:300ms:600ms,dur=exp:400ms,cascade=0.7,"
+      "cascade_delay=50ms;"
+      "sample_drop:node=all,start=800ms,dur=300ms,p=0.3");
+  return c;
+}
+
+TEST(BatchSampling, FaultScheduleUnmovedByBatching) {
+  // Fault windows draw from dedicated (kTagFault*) streams that the prefill
+  // buffers never touch, so the injected schedule must be bit-identical
+  // with batching on and off even though workload draws move to new
+  // streams (and the system-level metrics therefore differ).
+  auto off = stochastic_fault_config();
+  auto on = stochastic_fault_config();
+  on.batch.enabled = true;
+  on.batch.block = 256;
+  const SimulationResult a = run_simulation(off);
+  const SimulationResult b = run_simulation(on);
+  ASSERT_EQ(a.fault_outcomes.size(), b.fault_outcomes.size());
+  for (std::size_t f = 0; f < a.fault_outcomes.size(); ++f) {
+    SCOPED_TRACE(f);
+    EXPECT_EQ(a.fault_outcomes[f].injected, b.fault_outcomes[f].injected);
+    EXPECT_DOUBLE_EQ(a.fault_outcomes[f].spec.start_us, b.fault_outcomes[f].spec.start_us);
+    EXPECT_DOUBLE_EQ(a.fault_outcomes[f].spec.duration_us,
+                     b.fault_outcomes[f].spec.duration_us);
+    EXPECT_EQ(a.fault_outcomes[f].cascaded_from, b.fault_outcomes[f].cascaded_from);
+  }
+}
+
+std::vector<SimulationResult> run_with_detection_at_jobs(const SystemConfig& c,
+                                                         std::size_t reps, std::size_t jobs) {
+  std::vector<std::unique_ptr<consultant::DetectionHarness>> harnesses(reps);
+  std::mutex mu;
+  const experiments::RunHook hook = [&](Simulation& sim, std::size_t, std::size_t rep) {
+    auto h = std::make_unique<consultant::DetectionHarness>(sim);
+    const std::lock_guard<std::mutex> lock(mu);
+    harnesses[rep] = std::move(h);
+  };
+  const experiments::ReplicationSet set(c, reps, jobs, hook);
+  std::vector<SimulationResult> results = set.results();
+  for (std::size_t i = 0; i < reps; ++i) harnesses[i]->finalize(results[i]);
+  return results;
+}
+
+TEST(BatchSampling, FaultedBatchedDetectionBitIdenticalAcrossJobs) {
+  constexpr std::size_t kReps = 3;
+  auto c = SystemConfig::now(2);
+  c.duration_us = 1.5e6;
+  c.sampling_period_us = 10'000.0;
+  c.batch.enabled = true;
+  c.batch.block = 128;
+  c.faults = FaultPlan::parse("daemon_stall:daemon=0,start=500ms,dur=300ms");
+
+  const auto serial = run_with_detection_at_jobs(c, kReps, 1);
+  const auto parallel = run_with_detection_at_jobs(c, kReps, 4);
+  for (std::size_t i = 0; i < kReps; ++i) {
+    SCOPED_TRACE(i);
+    expect_bit_identical(serial[i], parallel[i]);
+    ASSERT_EQ(serial[i].fault_outcomes.size(), 1u);
+    ASSERT_EQ(parallel[i].fault_outcomes.size(), 1u);
+    EXPECT_EQ(serial[i].fault_outcomes[0].detected, parallel[i].fault_outcomes[0].detected);
+    EXPECT_DOUBLE_EQ(serial[i].fault_outcomes[0].detection_latency_us,
+                     parallel[i].fault_outcomes[0].detection_latency_us);
+  }
+}
+
+// ---- Queue-level differential replay with buffered draw times. ----
+
+struct Popped {
+  des::SimTime time = 0.0;
+  std::uint64_t tag = 0;
+  bool operator==(const Popped&) const = default;
+};
+
+TEST(BatchSampling, BufferedEventTimesPopIdenticallyFromBothQueues) {
+  // The exact hot shape batching accelerates: schedule-after deltas drawn
+  // through a prefill buffer, pushed as absolute times, drained in order.
+  // Both queue implementations must agree on the full (time, tag) order.
+  const stats::BatchSpec spec{/*seed=*/9, /*entity=*/3, /*site=*/64, /*block=*/32};
+  stats::BufferedSampler delta(exp_sampler(250.0), spec);
+  des::RngStream rng(9, 1);
+
+  des::EventQueue calendar;
+  des::HeapEventQueue heap;
+  std::vector<Popped> calendar_out;
+  std::vector<Popped> heap_out;
+  double now = 0.0;
+  for (std::uint64_t tag = 0; tag < 500; ++tag) {
+    now += delta(rng);
+    const double t = now;
+    (void)calendar.push(t, [&calendar_out, t, tag] { calendar_out.push_back({t, tag}); });
+    (void)heap.push(t, [&heap_out, t, tag] { heap_out.push_back({t, tag}); });
+  }
+  while (true) {
+    auto c = calendar.pop();
+    auto h = heap.pop();
+    ASSERT_EQ(c.has_value(), h.has_value());
+    if (!c) break;
+    calendar.fire(*c);
+    h->callback();
+  }
+  EXPECT_EQ(calendar_out, heap_out);
+}
+
+}  // namespace
+}  // namespace paradyn::rocc

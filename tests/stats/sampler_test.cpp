@@ -105,24 +105,47 @@ TEST(FrozenSampler, UniformStaysInRange) {
   }
 }
 
-// Empirical compiles to an inline interpolation table (no virtual fallback
-// since the kVirtual retirement) and must bit-match the historical
-// Distribution::sample() stream — the same --reference-rng oracle that the
-// parametric families satisfy — under BOTH backends, since inverse-CDF
-// sampling never touches the ziggurat.
-TEST(FrozenSampler, EmpiricalCompilesToInlineTableBitExact) {
+// Empirical under the Reference backend keeps the historical inline
+// inverse-CDF and must bit-match the virtual Distribution::sample() stream
+// — the --reference-rng oracle.  (The Ziggurat backend switched to the
+// Walker alias table, a different stream; see the tests below and the
+// stat_equiv suite.)
+TEST(FrozenSampler, EmpiricalReferenceBackendBitMatchesVirtualSample) {
   const std::vector<double> data{1.0, 2.0, 4.0, 8.0, 16.0};
   const DistributionPtr dist = std::make_shared<Empirical>(data);
-  for (const auto backend : {SamplerBackend::Ziggurat, SamplerBackend::Reference}) {
-    const auto sampler = FrozenSampler::compile(dist, backend);
-    EXPECT_TRUE(sampler.devirtualized()) << to_string(backend);
-    des::RngStream rng_frozen(9, 9);
-    des::RngStream rng_virtual(9, 9);
-    for (int i = 0; i < 1'000; ++i) {
-      ASSERT_EQ(sampler(rng_frozen), dist->sample(rng_virtual))
-          << to_string(backend) << " draw " << i;
-    }
+  const auto sampler = FrozenSampler::compile(dist, SamplerBackend::Reference);
+  EXPECT_TRUE(sampler.devirtualized());
+  des::RngStream rng_frozen(9, 9);
+  des::RngStream rng_virtual(9, 9);
+  for (int i = 0; i < 1'000; ++i) {
+    ASSERT_EQ(sampler(rng_frozen), dist->sample(rng_virtual)) << " draw " << i;
   }
+}
+
+// The Ziggurat backend's alias table is the same mixture of CDF segments
+// as the quantile path: values stay inside the sample's hull and the mean
+// agrees with the distribution (full KS gate lives in stat_equiv).
+TEST(FrozenSampler, EmpiricalZigguratBackendAliasAgreesWithMoments) {
+  const std::vector<double> data{1.0, 2.0, 2.0, 4.0, 8.0, 16.0, 16.0, 31.0};
+  const DistributionPtr dist = std::make_shared<Empirical>(data);
+  const auto sampler = FrozenSampler::compile(dist, SamplerBackend::Ziggurat);
+  des::RngStream rng(9, 9);
+  constexpr std::size_t kDraws = 200'000;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    const double x = sampler(rng);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 31.0);
+    sum += x;
+  }
+  // The interpolated-CDF distribution both paths sample has mean equal to
+  // the average segment midpoint (NOT the sample mean — the extreme order
+  // statistics carry half weight).
+  double mixture_mean = 0.0;
+  for (std::size_t i = 0; i + 1 < data.size(); ++i) mixture_mean += (data[i] + data[i + 1]) / 2.0;
+  mixture_mean /= static_cast<double>(data.size() - 1);
+  const double tol = 5.0 * std::sqrt(dist->variance() / static_cast<double>(kDraws));
+  EXPECT_NEAR(sum / static_cast<double>(kDraws), mixture_mean, tol);
 }
 
 // The compiled table is a snapshot: the sampler stays valid after the
@@ -139,6 +162,37 @@ TEST(FrozenSampler, EmpiricalTableOutlivesSourceDistribution) {
     ASSERT_GE(x, 1.0);
     ASSERT_LE(x, 3.0);
   }
+}
+
+// fill() is defined as the batch form of n scalar draws: for every family,
+// both backends, and both batch dispatch arms, the block must bit-match
+// the scalar loop and leave the RNG in the identical state.
+TEST(FrozenSampler, FillBitMatchesScalarLoopAllFamiliesAllDispatchArms) {
+  auto families = known_families();
+  families.push_back(std::make_shared<Empirical>(std::vector<double>{1.0, 2.0, 2.0, 5.0, 9.0}));
+  // Odd size: exercises the vector body and the scalar tail.
+  constexpr std::size_t kN = 1003;
+  for (const auto dispatch :
+       {BatchDispatch::Auto, BatchDispatch::CapAvx2, BatchDispatch::ForceScalar}) {
+    set_batch_dispatch(dispatch);
+    for (const auto& dist : families) {
+      for (const auto backend : {SamplerBackend::Ziggurat, SamplerBackend::Reference}) {
+        const auto sampler = FrozenSampler::compile(dist, backend);
+        des::RngStream rng_fill(41, 13);
+        des::RngStream rng_scalar(41, 13);
+        std::vector<double> batch(kN);
+        sampler.fill(rng_fill, batch);
+        for (std::size_t i = 0; i < kN; ++i) {
+          const double want = sampler(rng_scalar);
+          ASSERT_EQ(batch[i], want) << dist->describe() << " " << to_string(backend)
+                                    << " dispatch=" << batch_dispatch_active() << " i=" << i;
+        }
+        ASSERT_EQ(rng_fill.next_u64(), rng_scalar.next_u64())
+            << dist->describe() << " " << to_string(backend) << ": RNG state diverged";
+      }
+    }
+  }
+  set_batch_dispatch(BatchDispatch::Auto);
 }
 
 // A Distribution subclass outside the known families is a configuration

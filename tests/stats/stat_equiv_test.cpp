@@ -14,6 +14,7 @@
 
 #include "des/random.hpp"
 #include "stats/distributions.hpp"
+#include "stats/empirical.hpp"
 #include "stats/ks_test.hpp"
 #include "stats/sampler.hpp"
 #include "stats/ziggurat.hpp"
@@ -83,6 +84,54 @@ TEST(StatEquiv, FrozenSamplerMatchesDistributionCdfUnderBothBackends) {
       expect_ks_accepts(xs, [&dist](double x) { return dist->cdf(x); }, what.c_str());
       expect_moments(xs, dist->mean(), dist->variance(), what.c_str());
     }
+  }
+}
+
+/// Empirical via the Walker alias table (ISSUE 10): the O(1) batched
+/// sampler replaced PR-6's inline quantile search on the Ziggurat backend,
+/// changing the consumed stream, so the new path re-proves itself against
+/// the interpolated empirical CDF — the distribution BOTH paths sample.
+/// Distinct order statistics keep the CDF continuous (a KS requirement).
+TEST(StatEquiv, EmpiricalAliasTableMatchesInterpolatedCdf) {
+  std::vector<double> data;
+  des::RngStream seed_rng(211, 1);
+  for (int i = 0; i < 64; ++i) {
+    // A spread-out, irregular, strictly increasing sample (jittered
+    // quadratic gaps) — exercises unequal segment widths in the table.
+    data.push_back(10.0 * i + 0.2 * i * i + seed_rng.next_double());
+  }
+  const auto dist = std::make_shared<Empirical>(data);
+
+  // Mixture moments: the interpolated CDF is a uniform mixture of the
+  // n-1 segments, NOT the sample distribution, so derive mean/variance
+  // from the segments analytically (segment uniform: m + w^2/12).
+  double mix_mean = 0.0;
+  double mix_second = 0.0;
+  for (std::size_t i = 0; i + 1 < data.size(); ++i) {
+    const double mid = 0.5 * (data[i] + data[i + 1]);
+    const double width = data[i + 1] - data[i];
+    mix_mean += mid;
+    mix_second += mid * mid + width * width / 12.0;
+  }
+  mix_mean /= static_cast<double>(data.size() - 1);
+  mix_second /= static_cast<double>(data.size() - 1);
+  const double mix_var = mix_second - mix_mean * mix_mean;
+
+  for (const auto backend : {SamplerBackend::Ziggurat, SamplerBackend::Reference}) {
+    const auto sampler = FrozenSampler::compile(dist, backend);
+    des::RngStream rng(211, backend == SamplerBackend::Ziggurat ? 2u : 3u);
+    std::vector<double> xs(kDraws);
+    const std::string what =
+        std::string("empirical / ") + to_string(backend) +
+        (backend == SamplerBackend::Ziggurat ? " (alias table)" : " (quantile)");
+    if (backend == SamplerBackend::Ziggurat) {
+      // Drive the batched fill() path — the production consumer.
+      sampler.fill(rng, xs);
+    } else {
+      for (double& x : xs) x = sampler(rng);
+    }
+    expect_ks_accepts(xs, [&dist](double x) { return dist->cdf(x); }, what.c_str());
+    expect_moments(xs, mix_mean, mix_var, what.c_str());
   }
 }
 

@@ -1,0 +1,112 @@
+// Differential tests of the batch ziggurat kernels: every fill must
+// bit-match the scalar loop — values AND final RNG state — on both
+// dispatch arms, across sizes that hit the vector body, the scalar tail,
+// and rejected (slow-path) blocks.
+#include "stats/ziggurat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "des/random.hpp"
+
+namespace paradyn::stats {
+namespace {
+
+using FillFn = void (*)(des::Pcg32&, double*, std::size_t);
+using ScalarFn = double (*)(des::Pcg32&);
+
+void expect_fill_matches_scalar(FillFn fill, ScalarFn scalar, std::uint64_t seed,
+                                std::uint64_t stream, std::size_t n) {
+  des::RngStream rng_fill(seed, stream);
+  des::RngStream rng_scalar(seed, stream);
+  std::vector<double> batch(n + 1, -1.0);  // +1 canary past the end
+  fill(rng_fill, batch.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double want = scalar(rng_scalar);
+    ASSERT_EQ(batch[i], want) << "dispatch=" << batch_dispatch_active() << " n=" << n
+                              << " i=" << i;
+  }
+  EXPECT_EQ(batch[n], -1.0) << "fill wrote past out[n)";
+  // Same final state: the streams must produce identical continuations.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(rng_fill.next_u64(), rng_scalar.next_u64()) << "state diverged after fill";
+  }
+}
+
+// Sizes: empty, sub-block, exact blocks, odd tails, and a span long enough
+// (40k normals ≈ 770 expected slow-path draws) to hit rejection replay
+// many times on every seed.
+constexpr std::size_t kSizes[] = {0, 1, 3, 4, 5, 8, 17, 256, 1000, 40'000};
+
+class ZigguratBatchDispatch : public ::testing::TestWithParam<BatchDispatch> {
+ protected:
+  void SetUp() override { set_batch_dispatch(GetParam()); }
+  void TearDown() override { set_batch_dispatch(BatchDispatch::Auto); }
+};
+
+TEST_P(ZigguratBatchDispatch, NormalFillBitMatchesScalarLoop) {
+  for (const std::size_t n : kSizes) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      expect_fill_matches_scalar(&ziggurat_normal_fill, &ziggurat_normal, seed, 7 * seed, n);
+    }
+  }
+}
+
+TEST_P(ZigguratBatchDispatch, ExponentialFillBitMatchesScalarLoop) {
+  for (const std::size_t n : kSizes) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      expect_fill_matches_scalar(&ziggurat_exponential_fill, &ziggurat_exponential, seed,
+                                 11 * seed, n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArms, ZigguratBatchDispatch,
+                         ::testing::Values(BatchDispatch::Auto, BatchDispatch::CapAvx2,
+                                           BatchDispatch::ForceScalar),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case BatchDispatch::Auto:
+                               return "Auto";
+                             case BatchDispatch::CapAvx2:
+                               return "CapAvx2";
+                             default:
+                               return "ForceScalar";
+                           }
+                         });
+
+TEST(ZigguratBatch, DispatchReportsKnownArm) {
+  set_batch_dispatch(BatchDispatch::ForceScalar);
+  EXPECT_STREQ(batch_dispatch_active(), "scalar");
+  set_batch_dispatch(BatchDispatch::CapAvx2);
+  const std::string capped = batch_dispatch_active();
+  EXPECT_TRUE(capped == "avx2" || capped == "scalar") << capped;
+  set_batch_dispatch(BatchDispatch::Auto);
+  const std::string arm = batch_dispatch_active();
+  EXPECT_TRUE(arm == "avx512" || arm == "avx2" || arm == "scalar") << arm;
+}
+
+// Every arm must agree with every other even when Auto resolves to a SIMD
+// tier (on scalar-only hosts the tiers degenerate to scalar-vs-scalar,
+// which is fine — the CI matrix forces the arms via
+// PARADYN_BATCH_DISPATCH).
+TEST(ZigguratBatch, ArmsProduceIdenticalStreams) {
+  std::vector<double> scalar(10'000);
+  set_batch_dispatch(BatchDispatch::ForceScalar);
+  des::RngStream rng_scalar(97, 3);
+  ziggurat_normal_fill(rng_scalar, scalar.data(), scalar.size());
+  for (const auto dispatch : {BatchDispatch::Auto, BatchDispatch::CapAvx2}) {
+    set_batch_dispatch(dispatch);
+    std::vector<double> simd(10'000);
+    des::RngStream rng_simd(97, 3);
+    ziggurat_normal_fill(rng_simd, simd.data(), simd.size());
+    EXPECT_EQ(simd, scalar) << batch_dispatch_active();
+  }
+  set_batch_dispatch(BatchDispatch::Auto);
+}
+
+}  // namespace
+}  // namespace paradyn::stats
